@@ -1,0 +1,53 @@
+//! Ablation: sweeps the CDL Criticality Threshold (paper §3.5.2: "we find
+//! that a CT of 8 gives the best outcome") and reports the CDS scheme's
+//! relative performance overhead at each setting.
+
+use tv_bench::{write_csv, HarnessArgs};
+use tv_core::{Experiment, RunConfig, Scheme};
+use tv_timing::Voltage;
+use tv_workloads::Benchmark;
+
+const THRESHOLDS: [u32; 5] = [2, 4, 8, 16, 24];
+const BENCHES: [Benchmark; 4] = [
+    Benchmark::Libquantum,
+    Benchmark::Astar,
+    Benchmark::Sjeng,
+    Benchmark::Mcf,
+];
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "CT sweep — CDS relative performance overhead vs EP at 1.04 V ({} commits)\n",
+        args.config.commits
+    );
+    print!("{:<12}", "bench");
+    for ct in THRESHOLDS {
+        print!(" {:>8}", format!("CT={ct}"));
+    }
+    println!();
+
+    let mut csv = Vec::new();
+    for bench in BENCHES {
+        print!("{:<12}", bench.name());
+        let mut line = bench.name().to_string();
+        for ct in THRESHOLDS {
+            let config = RunConfig {
+                criticality_threshold: ct,
+                ..args.config
+            };
+            let eval = Experiment::new(bench, Voltage::low_fault(), config)
+                .run_schemes(&[Scheme::ErrorPadding, Scheme::Cds]);
+            let rel = eval.relative_perf_overhead(Scheme::Cds);
+            print!(" {rel:>8.3}");
+            line.push_str(&format!(",{rel:.4}"));
+        }
+        println!();
+        csv.push(line);
+    }
+    write_csv(
+        &args.out_path("ct_sweep.csv"),
+        "bench,ct2,ct4,ct8,ct16,ct24",
+        &csv,
+    );
+}

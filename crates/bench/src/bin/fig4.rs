@@ -1,0 +1,18 @@
+//! Regenerates **Figure 4**: relative performance overhead vs EP at 1.04 V (lower is better).
+
+use tv_bench::{figure_csv_rows, run_relative_figure, write_csv, HarnessArgs};
+use tv_core::FigureRow;
+use tv_timing::Voltage;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Figure 4 — relative performance overhead vs EP at 1.04 V (lower is better) ({} commits/run)\n", args.config.commits);
+    println!("{:<12} {:>6} {:>6} {:>6}", "bench", "ABS", "FFS", "CDS");
+    let rows = run_relative_figure(args.config, Voltage::low_fault(), FigureRow::perf);
+    let avg = rows.last().expect("average row exists");
+    println!(
+        "\naverage overhead reduction vs EP: {:.1}% (paper reports the same figure)",
+        avg.mean_reduction_pct()
+    );
+    write_csv(&args.out_path("fig4.csv"), "bench,abs,ffs,cds", &figure_csv_rows(&rows));
+}

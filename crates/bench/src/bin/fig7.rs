@@ -1,0 +1,128 @@
+//! Regenerates **Figure 7**: commonality in sensitized paths of four
+//! microprocessor components (issue-queue select, AGEN, forward-check,
+//! ALU) across six SPEC2000-int benchmark input streams (paper §S1.3).
+//!
+//! Methodology (paper §S1.2): for each dynamic instance of a static PC,
+//! the *preceding* instruction's inputs first set the component's internal
+//! logic state, then the instance's inputs are applied; the gates that
+//! toggle on the second application are the instance's sensitized set.
+//! φ/ψ commonality is accumulated per PC over "several repeated instances"
+//! and averaged weighted by PC frequency.
+
+use std::collections::HashMap;
+
+use tv_bench::{write_csv, HarnessArgs};
+use tv_netlist::components::{
+    agen_inputs, agen32, alu_inputs, alu32, forward_check, issue_select32, select_inputs, AluOp,
+};
+use tv_netlist::{CommonalityAnalyzer, Netlist, Simulator};
+use tv_workloads::{Spec2000, ValueSample, ValueStream};
+
+/// Dynamic instances simulated per component × benchmark.
+const INSTANCES: usize = 4_000;
+/// Static-PC population per stream.
+const NUM_PCS: usize = 64;
+/// Instances accumulated per PC ("several repeated instances", §S1.2).
+const PER_PC_CAP: u64 = 50;
+
+type Encode = fn(&ValueSample) -> Vec<bool>;
+
+fn main() {
+    let args = HarnessArgs::parse();
+
+    let components: Vec<(&str, Netlist, Encode, Encode)> = vec![
+        (
+            "IssueQSelect",
+            issue_select32(),
+            |s| select_inputs(s.predecessor[0] as u32),
+            |s| select_inputs(s.request_vector),
+        ),
+        (
+            "AGen",
+            agen32(),
+            |s| agen_inputs(s.predecessor[0] as u32, s.predecessor[1] as u16, 0),
+            |s| agen_inputs(s.operands[0] as u32, s.operands[1] as u16, 0),
+        ),
+        (
+            "ForwardCheck",
+            forward_check(),
+            |s| forward_inputs(s.predecessor),
+            |s| forward_inputs(s.operands),
+        ),
+        (
+            "ALU",
+            alu32(),
+            |s| alu_inputs(s.predecessor[0] as u32, s.predecessor[1] as u32, AluOp::Add),
+            |s| alu_inputs(s.operands[0] as u32, s.operands[1] as u32, AluOp::Add),
+        ),
+    ];
+
+    println!(
+        "Figure 7 — commonality in sensitized paths ({INSTANCES} instances, ≤{PER_PC_CAP} per PC)\n"
+    );
+    print!("{:<14}", "component");
+    for b in Spec2000::ALL {
+        print!(" {:>8}", b.name());
+    }
+    println!(" {:>8}", "mean");
+
+    let mut csv = Vec::new();
+    for (name, netlist, encode_pred, encode) in &components {
+        print!("{name:<14}");
+        let mut line = name.to_string();
+        let mut sum = 0.0;
+        for bench in Spec2000::ALL {
+            let mut sim = Simulator::new(netlist);
+            let mut stream = ValueStream::new(bench, NUM_PCS, args.config.seed);
+            let mut analyzer = CommonalityAnalyzer::new(netlist.gates().len());
+            let mut per_pc: HashMap<u64, u64> = HashMap::new();
+            for _ in 0..INSTANCES {
+                let sample = stream.next_sample();
+                let seen = per_pc.entry(sample.pc).or_insert(0);
+                if *seen >= PER_PC_CAP {
+                    continue;
+                }
+                *seen += 1;
+                // Predecessor sets the internal state; the instance's own
+                // application yields its sensitized gate set.
+                sim.apply(&encode_pred(&sample));
+                sim.apply(&encode(&sample));
+                analyzer.record(sample.pc, sim.toggled());
+            }
+            let c = analyzer.finish();
+            print!(" {:>8.3}", c.weighted_average);
+            line.push_str(&format!(",{:.4}", c.weighted_average));
+            sum += c.weighted_average;
+        }
+        let mean = sum / Spec2000::ALL.len() as f64;
+        println!(" {mean:>8.3}");
+        line.push_str(&format!(",{mean:.4}"));
+        csv.push(line);
+    }
+    println!(
+        "\npaper reports component averages of 87.4% (IQ select), 89% (AGEN),\n\
+         92.4% (forward check) and 90% (ALU), with vortex the most common."
+    );
+    write_csv(
+        &args.out_path("fig7.csv"),
+        "component,bzip,gap,gzip,mcf,parser,vortex,mean",
+        &csv,
+    );
+}
+
+/// Encodes an operand pair as forward-check inputs: producer tags and
+/// consumer tags derived from the pair, so tag-match patterns recur with
+/// the per-PC values.
+fn forward_inputs(ops: [u64; 2]) -> Vec<bool> {
+    let mut v = Vec::with_capacity(4 * 7 + 4 + 8 * 7);
+    for p in 0..4u64 {
+        let tag = (ops[0] >> (7 * p)) & 0x7f;
+        v.extend((0..7).map(|i| (tag >> i) & 1 == 1));
+    }
+    v.extend((0..4).map(|i| (ops[0] >> (28 + i)) & 1 == 1));
+    for c in 0..8u64 {
+        let tag = (ops[(c % 2) as usize] >> (7 * (c / 2))) & 0x7f;
+        v.extend((0..7).map(|i| (tag >> i) & 1 == 1));
+    }
+    v
+}

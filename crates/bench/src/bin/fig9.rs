@@ -1,0 +1,18 @@
+//! Regenerates **Figure 9**: relative ED overhead vs EP at 0.97 V (lower is better).
+
+use tv_bench::{figure_csv_rows, run_relative_figure, write_csv, HarnessArgs};
+use tv_core::FigureRow;
+use tv_timing::Voltage;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Figure 9 — relative ED overhead vs EP at 0.97 V (lower is better) ({} commits/run)\n", args.config.commits);
+    println!("{:<12} {:>6} {:>6} {:>6}", "bench", "ABS", "FFS", "CDS");
+    let rows = run_relative_figure(args.config, Voltage::high_fault(), FigureRow::ed);
+    let avg = rows.last().expect("average row exists");
+    println!(
+        "\naverage overhead reduction vs EP: {:.1}% (paper reports the same figure)",
+        avg.mean_reduction_pct()
+    );
+    write_csv(&args.out_path("fig9.csv"), "bench,abs,ffs,cds", &figure_csv_rows(&rows));
+}

@@ -1,0 +1,73 @@
+//! Ablation: Razor recovery mechanism — in-situ replay (the paper's
+//! Razor-style recovery, default) versus a full pipeline flush. The flush
+//! model squashes the faulty instruction and everything younger, which
+//! multiplies the per-violation cost; the comparison quantifies how much
+//! the recovery mechanism itself matters to the Razor baseline.
+
+use tv_bench::{write_csv, HarnessArgs};
+use tv_core::Scheme;
+use tv_timing::Voltage;
+use tv_uarch::{CoreConfig, RecoveryModel};
+use tv_workloads::Benchmark;
+
+const BENCHES: [Benchmark; 4] = [
+    Benchmark::Astar,
+    Benchmark::Bzip2,
+    Benchmark::Sjeng,
+    Benchmark::Mcf,
+];
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Recovery ablation — Razor performance overhead at 0.97 V ({} commits)\n",
+        args.config.commits
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "bench", "in-situ%", "flush%", "ratio"
+    );
+
+    let mut csv = Vec::new();
+    for bench in BENCHES {
+        let mut overheads = Vec::new();
+        for recovery in [RecoveryModel::InSitu, RecoveryModel::Flush] {
+            let cfg = CoreConfig {
+                recovery,
+                replay_latency: if recovery == RecoveryModel::Flush { 6 } else { 3 },
+                ..CoreConfig::core1()
+            };
+            let run = |scheme: Scheme| {
+                let mut pipe = scheme
+                    .pipeline_builder(bench, args.config.seed, Voltage::high_fault())
+                    .config(cfg.clone())
+                    .build();
+                pipe.warm_up(args.config.warmup);
+                pipe.run(args.config.commits).cycles
+            };
+            let base = run(Scheme::FaultFree);
+            let razor = run(Scheme::Razor);
+            overheads.push((razor as f64 / base as f64 - 1.0) * 100.0);
+        }
+        let ratio = overheads[1] / overheads[0].max(1e-9);
+        println!(
+            "{:<12} {:>10.2} {:>10.2} {:>9.1}x",
+            bench.name(),
+            overheads[0],
+            overheads[1],
+            ratio
+        );
+        csv.push(format!(
+            "{},{:.3},{:.3},{:.2}",
+            bench.name(),
+            overheads[0],
+            overheads[1],
+            ratio
+        ));
+    }
+    write_csv(
+        &args.out_path("recovery_ablation.csv"),
+        "bench,insitu_pct,flush_pct,ratio",
+        &csv,
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerates **Table 1**: per-benchmark fault-free IPC, fault rates at
+//! 0.97 V and 1.04 V, and the (performance %, ED %) overhead tuples of the
+//! Razor and Error Padding schemes at both voltages.
+
+use tv_bench::{write_csv, HarnessArgs};
+use tv_core::{Experiment, Scheme, Table1Row};
+use tv_timing::Voltage;
+use tv_workloads::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Table 1 — fault rates and Razor/EP overheads ({} commits/run)\n",
+        args.config.commits
+    );
+    println!(
+        "{:<12} {:>5}  {:>6} {:>16} {:>16}  {:>6} {:>16} {:>16}",
+        "bench",
+        "IPC",
+        "FR.97",
+        "Razor@0.97",
+        "EP@0.97",
+        "FR1.04",
+        "Razor@1.04",
+        "EP@1.04"
+    );
+
+    let schemes = [Scheme::Razor, Scheme::ErrorPadding];
+    let mut csv = Vec::new();
+    for bench in Benchmark::ALL {
+        let hi = Experiment::new(bench, Voltage::high_fault(), args.config).run_schemes(&schemes);
+        let lo = Experiment::new(bench, Voltage::low_fault(), args.config).run_schemes(&schemes);
+        let row = Table1Row::from_evaluations(&hi, &lo);
+        println!("{row}");
+        csv.push(format!(
+            "{},{:.3},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            row.bench,
+            row.fault_free_ipc,
+            row.fr_097,
+            row.razor_097.perf_pct,
+            row.razor_097.ed_pct,
+            row.ep_097.perf_pct,
+            row.ep_097.ed_pct,
+            row.fr_104,
+            row.razor_104.perf_pct,
+            row.razor_104.ed_pct,
+            row.ep_104.perf_pct,
+            row.ep_104.ed_pct,
+        ));
+    }
+    write_csv(
+        &args.out_path("table1.csv"),
+        "bench,ipc,fr_097,razor_perf_097,razor_ed_097,ep_perf_097,ep_ed_097,\
+         fr_104,razor_perf_104,razor_ed_104,ep_perf_104,ep_ed_104",
+        &csv,
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table 3**: gate count and logic depth of the four
+//! synthesized processor components of the §S1 study, plus the synthesis
+//! characterization (area, critical path, power) our netlists yield.
+
+use tv_bench::{write_csv, HarnessArgs};
+use tv_netlist::components::study_components;
+use tv_netlist::SynthReport;
+
+/// Paper Table 3 values for side-by-side comparison.
+const PAPER: [(&str, usize, u32); 4] = [
+    ("issue_select32", 189, 33),
+    ("agen32", 491, 43),
+    ("forward_check", 428, 15),
+    ("alu32", 4728, 46),
+];
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Table 3 — synthesized processor components\n");
+    println!(
+        "{:<16} {:>7} {:>7} {:>9} {:>10} {:>11} | {:>11} {:>11}",
+        "module", "gates", "depth", "area", "Tcrit(ps)", "Pdyn(µW)", "paper gates", "paper depth"
+    );
+    let mut csv = Vec::new();
+    for netlist in study_components() {
+        let r = SynthReport::characterize(&netlist, 0.15, 2.0);
+        let (pg, pd) = PAPER
+            .iter()
+            .find(|(n, _, _)| *n == netlist.name())
+            .map(|&(_, g, d)| (g, d))
+            .expect("paper row exists");
+        println!(
+            "{:<16} {:>7} {:>7} {:>9.1} {:>10.0} {:>11.2} | {:>11} {:>11}",
+            r.name, r.num_gates, r.logic_depth, r.area, r.critical_path_ps, r.dynamic_power_uw, pg, pd
+        );
+        csv.push(format!(
+            "{},{},{},{:.1},{:.0},{:.2},{},{}",
+            r.name, r.num_gates, r.logic_depth, r.area, r.critical_path_ps, r.dynamic_power_uw, pg, pd
+        ));
+    }
+    write_csv(
+        &args.out_path("table3.csv"),
+        "module,gates,depth,area_nand2,tcrit_ps,pdyn_uw,paper_gates,paper_depth",
+        &csv,
+    );
+}

@@ -1,0 +1,125 @@
+//! Shared harness plumbing for the table/figure binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md`'s experiment index). They share the
+//! command-line convention implemented by [`HarnessArgs`]:
+//!
+//! ```text
+//! --commits N   measured committed instructions per run (default 1 000 000)
+//! --warmup N    warm-up commits before measurement   (default 200 000)
+//! --seed N      workload/die seed                    (default 42)
+//! --out DIR     result directory                     (default bench_results)
+//! --quick       shorthand for --commits 100000 --warmup 50000
+//! ```
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use tv_core::{Experiment, FigureRow, RunConfig, Scheme};
+use tv_timing::Voltage;
+use tv_workloads::Benchmark;
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Measurement parameters forwarded to the experiment driver.
+    pub config: RunConfig,
+    /// Output directory for `.csv`/`.txt` artifacts.
+    pub out: PathBuf,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut config = RunConfig::paper();
+        let mut out = PathBuf::from("bench_results");
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--commits" => {
+                    config.commits = value("--commits").parse().expect("--commits: integer")
+                }
+                "--warmup" => {
+                    config.warmup = value("--warmup").parse().expect("--warmup: integer")
+                }
+                "--seed" => config.seed = value("--seed").parse().expect("--seed: integer"),
+                "--out" => out = PathBuf::from(value("--out")),
+                "--quick" => {
+                    config.commits = 100_000;
+                    config.warmup = 50_000;
+                }
+                other => panic!(
+                    "unknown argument {other}; supported: --commits --warmup --seed --out --quick"
+                ),
+            }
+        }
+        HarnessArgs { config, out }
+    }
+
+    /// Ensures the output directory exists and returns the path of `name`
+    /// inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn out_path(&self, name: &str) -> PathBuf {
+        fs::create_dir_all(&self.out).expect("create output directory");
+        self.out.join(name)
+    }
+}
+
+/// Writes a CSV file (header + rows) and reports the path on stdout.
+///
+/// # Panics
+///
+/// Panics on I/O errors — harness binaries want loud failures.
+pub fn write_csv(path: &Path, header: &str, rows: &[String]) {
+    let mut f = fs::File::create(path).expect("create csv");
+    writeln!(f, "{header}").expect("write csv");
+    for row in rows {
+        writeln!(f, "{row}").expect("write csv");
+    }
+    println!("wrote {}", path.display());
+}
+
+/// Runs one EP-normalized figure (4, 5, 8 or 9): per-benchmark relative
+/// overheads of ABS/FFS/CDS at `vdd`, using `metric` to extract either the
+/// performance or the ED variant. Returns the rows plus the AVERAGE row.
+pub fn run_relative_figure(
+    config: RunConfig,
+    vdd: Voltage,
+    metric: fn(&tv_core::Evaluation) -> FigureRow,
+) -> Vec<FigureRow> {
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let eval = Experiment::new(bench, vdd, config).run_schemes(&[
+            Scheme::ErrorPadding,
+            Scheme::Abs,
+            Scheme::Ffs,
+            Scheme::Cds,
+        ]);
+        let row = metric(&eval);
+        println!("{row}");
+        rows.push(row);
+    }
+    let avg = tv_core::average_row(&rows);
+    println!("{avg}");
+    rows.push(avg);
+    rows
+}
+
+/// Formats figure rows as CSV lines.
+pub fn figure_csv_rows(rows: &[FigureRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| format!("{},{:.4},{:.4},{:.4}", r.bench, r.abs, r.ffs, r.cds))
+        .collect()
+}

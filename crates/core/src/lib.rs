@@ -1,0 +1,43 @@
+//! Violation-aware instruction scheduling — the paper's contribution.
+//!
+//! This crate assembles the complete system of *"Efficiently Tolerating
+//! Timing Violations in Pipelined Microprocessors"* (DAC 2013) on top of
+//! the substrate crates:
+//!
+//! * [`select`] — the three selection-priority policies of §3.5: age-based
+//!   (**ABS**, re-exported from `tv-uarch`), faulty-first (**FFS**) and
+//!   criticality-driven (**CDS**, fed by the Criticality Detection Logic
+//!   with the paper's best threshold CT = 8);
+//! * [`schemes`] — the five comparative schemes of §5 (Razor, Error
+//!   Padding, ABS, FFS, CDS) plus the fault-free golden configuration,
+//!   each mapping to a tolerance mode, selection policy and predictor
+//!   configuration of the pipeline;
+//! * [`experiment`] — the measurement driver: runs a benchmark under every
+//!   scheme on the *identical* dynamic instruction stream and produces the
+//!   `(performance %, ED %)` overhead tuples of Table 1 and the
+//!   EP-normalized relative overheads of Figures 4/5/8/9;
+//! * [`report`] — result aggregation (per-benchmark rows, averages) shared
+//!   by the benchmark harnesses.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tv_core::{Experiment, RunConfig, Scheme};
+//! use tv_timing::Voltage;
+//! use tv_workloads::Benchmark;
+//!
+//! let cfg = RunConfig::default();
+//! let eval = Experiment::new(Benchmark::Astar, Voltage::low_fault(), cfg).run_all();
+//! let rel = eval.relative_perf_overhead(Scheme::Abs);
+//! assert!(rel >= 0.0);
+//! ```
+
+pub mod experiment;
+pub mod report;
+pub mod schemes;
+pub mod select;
+
+pub use experiment::{Evaluation, Experiment, RunConfig, SchemeResult};
+pub use report::{average_row, FigureRow, Table1Row};
+pub use schemes::Scheme;
+pub use select::{CriticalityDrivenSelect, FaultyFirstSelect};

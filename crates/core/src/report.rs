@@ -1,0 +1,195 @@
+//! Result aggregation shared by the benchmark harnesses.
+
+use tv_energy::OverheadTuple;
+
+use crate::experiment::Evaluation;
+use crate::schemes::Scheme;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Fault-free IPC.
+    pub fault_free_ipc: f64,
+    /// Fault rate (%) at 0.97 V.
+    pub fr_097: f64,
+    /// Razor overhead at 0.97 V.
+    pub razor_097: OverheadTuple,
+    /// EP overhead at 0.97 V.
+    pub ep_097: OverheadTuple,
+    /// Fault rate (%) at 1.04 V.
+    pub fr_104: f64,
+    /// Razor overhead at 1.04 V.
+    pub razor_104: OverheadTuple,
+    /// EP overhead at 1.04 V.
+    pub ep_104: OverheadTuple,
+}
+
+impl Table1Row {
+    /// Builds a row from the two per-voltage evaluations of one benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluations are for different benchmarks or are
+    /// missing the Razor/EP schemes.
+    pub fn from_evaluations(hi_097: &Evaluation, lo_104: &Evaluation) -> Self {
+        assert_eq!(
+            hi_097.benchmark(),
+            lo_104.benchmark(),
+            "evaluations must cover the same benchmark"
+        );
+        Table1Row {
+            bench: hi_097.benchmark().name().to_string(),
+            fault_free_ipc: lo_104.fault_free_ipc(),
+            fr_097: hi_097.fault_rate_pct(Scheme::Razor),
+            razor_097: hi_097.overhead(Scheme::Razor),
+            ep_097: hi_097.overhead(Scheme::ErrorPadding),
+            fr_104: lo_104.fault_rate_pct(Scheme::Razor),
+            razor_104: lo_104.overhead(Scheme::Razor),
+            ep_104: lo_104.overhead(Scheme::ErrorPadding),
+        }
+    }
+}
+
+impl std::fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} {:>5.2}  {:>6.2} {:>16} {:>16}  {:>6.2} {:>16} {:>16}",
+            self.bench,
+            self.fault_free_ipc,
+            self.fr_097,
+            self.razor_097.to_string(),
+            self.ep_097.to_string(),
+            self.fr_104,
+            self.razor_104.to_string(),
+            self.ep_104.to_string(),
+        )
+    }
+}
+
+/// One bar group of Figures 4/5/8/9: per-benchmark relative overheads of
+/// the three proposed schemes, normalized to EP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRow {
+    /// Benchmark name (or "AVERAGE").
+    pub bench: String,
+    /// Relative overhead of ABS.
+    pub abs: f64,
+    /// Relative overhead of FFS.
+    pub ffs: f64,
+    /// Relative overhead of CDS.
+    pub cds: f64,
+}
+
+impl FigureRow {
+    /// Extracts the performance-overhead row (Figures 4/8).
+    pub fn perf(eval: &Evaluation) -> Self {
+        FigureRow {
+            bench: eval.benchmark().name().to_string(),
+            abs: eval.relative_perf_overhead(Scheme::Abs),
+            ffs: eval.relative_perf_overhead(Scheme::Ffs),
+            cds: eval.relative_perf_overhead(Scheme::Cds),
+        }
+    }
+
+    /// Extracts the ED-overhead row (Figures 5/9).
+    pub fn ed(eval: &Evaluation) -> Self {
+        FigureRow {
+            bench: eval.benchmark().name().to_string(),
+            abs: eval.relative_ed_overhead(Scheme::Abs),
+            ffs: eval.relative_ed_overhead(Scheme::Ffs),
+            cds: eval.relative_ed_overhead(Scheme::Cds),
+        }
+    }
+
+    /// Average reduction versus EP across the three schemes, in percent
+    /// (the paper's "our schemes reduce the ... overhead by N %" figure).
+    pub fn mean_reduction_pct(&self) -> f64 {
+        (1.0 - (self.abs + self.ffs + self.cds) / 3.0) * 100.0
+    }
+
+    /// The scheme with the lowest relative overhead in this row.
+    pub fn best(&self) -> Scheme {
+        let mut best = (Scheme::Abs, self.abs);
+        if self.ffs < best.1 {
+            best = (Scheme::Ffs, self.ffs);
+        }
+        if self.cds < best.1 {
+            best = (Scheme::Cds, self.cds);
+        }
+        best.0
+    }
+}
+
+impl std::fmt::Display for FigureRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} {:>6.3} {:>6.3} {:>6.3}",
+            self.bench, self.abs, self.ffs, self.cds
+        )
+    }
+}
+
+/// Arithmetic mean of figure rows (the paper's AVERAGE bar).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn average_row(rows: &[FigureRow]) -> FigureRow {
+    assert!(!rows.is_empty(), "cannot average zero rows");
+    let n = rows.len() as f64;
+    FigureRow {
+        bench: "AVERAGE".to_string(),
+        abs: rows.iter().map(|r| r.abs).sum::<f64>() / n,
+        ffs: rows.iter().map(|r| r.ffs).sum::<f64>() / n,
+        cds: rows.iter().map(|r| r.cds).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(abs: f64, ffs: f64, cds: f64) -> FigureRow {
+        FigureRow {
+            bench: "x".into(),
+            abs,
+            ffs,
+            cds,
+        }
+    }
+
+    #[test]
+    fn average_and_reduction() {
+        let rows = [row(0.1, 0.2, 0.3), row(0.3, 0.2, 0.1)];
+        let avg = average_row(&rows);
+        assert!((avg.abs - 0.2).abs() < 1e-12);
+        assert!((avg.ffs - 0.2).abs() < 1e-12);
+        assert!((avg.cds - 0.2).abs() < 1e-12);
+        assert!((avg.mean_reduction_pct() - 80.0).abs() < 1e-9);
+        assert_eq!(avg.bench, "AVERAGE");
+    }
+
+    #[test]
+    fn best_scheme_selection() {
+        assert_eq!(row(0.1, 0.2, 0.3).best(), Scheme::Abs);
+        assert_eq!(row(0.3, 0.1, 0.2).best(), Scheme::Ffs);
+        assert_eq!(row(0.3, 0.2, 0.1).best(), Scheme::Cds);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero rows")]
+    fn empty_average_panics() {
+        let _ = average_row(&[]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = row(0.123, 0.456, 0.789);
+        let s = r.to_string();
+        assert!(s.contains("0.123") && s.contains("0.789"));
+    }
+}

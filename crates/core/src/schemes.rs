@@ -1,0 +1,169 @@
+//! The comparative schemes of the paper's evaluation (§5).
+//!
+//! | Scheme | Tolerance | Selection | Predictor |
+//! |---|---|---|---|
+//! | FaultFree | none (1.10 V golden run) | ABS | – |
+//! | Razor | replay every violation | ABS | – |
+//! | ErrorPadding | whole-pipeline stall per predicted violation | ABS | TEP |
+//! | Abs | violation-aware scheduling | ABS | TEP |
+//! | Ffs | violation-aware scheduling | FFS | TEP |
+//! | Cds | violation-aware scheduling | CDS (CT = 8) | TEP |
+//!
+//! Per §4.2, "for both fault-free execution and Error Padding scheme, we
+//! use the age based instruction selection policy".
+
+use tv_timing::Voltage;
+use tv_uarch::{AgeBasedSelect, Pipeline, PipelineBuilder, SelectPolicy, ToleranceMode};
+use tv_workloads::{Benchmark, Profile};
+
+use crate::select::{CriticalityDrivenSelect, FaultyFirstSelect};
+
+/// One of the paper's comparative schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scheme {
+    /// Fault-free golden run at nominal voltage.
+    FaultFree,
+    /// Reactive replay for every violation (Razor \[3\]).
+    Razor,
+    /// Stall-based error padding for predicted violations ([12, 13]).
+    ErrorPadding,
+    /// Violation-aware scheduling with age-based selection.
+    Abs,
+    /// Violation-aware scheduling with faulty-first selection.
+    Ffs,
+    /// Violation-aware scheduling with criticality-driven selection.
+    Cds,
+}
+
+impl Scheme {
+    /// All schemes in presentation order.
+    pub const ALL: [Scheme; 6] = [
+        Scheme::FaultFree,
+        Scheme::Razor,
+        Scheme::ErrorPadding,
+        Scheme::Abs,
+        Scheme::Ffs,
+        Scheme::Cds,
+    ];
+
+    /// The three proposed violation-aware schemes (Figures 4/5/8/9).
+    pub const PROPOSED: [Scheme; 3] = [Scheme::Abs, Scheme::Ffs, Scheme::Cds];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::FaultFree => "FaultFree",
+            Scheme::Razor => "Razor",
+            Scheme::ErrorPadding => "EP",
+            Scheme::Abs => "ABS",
+            Scheme::Ffs => "FFS",
+            Scheme::Cds => "CDS",
+        }
+    }
+
+    /// The pipeline tolerance mode implementing this scheme.
+    pub fn tolerance_mode(self) -> ToleranceMode {
+        match self {
+            Scheme::FaultFree => ToleranceMode::FaultFree,
+            Scheme::Razor => ToleranceMode::Razor,
+            Scheme::ErrorPadding => ToleranceMode::ErrorPadding,
+            Scheme::Abs | Scheme::Ffs | Scheme::Cds => ToleranceMode::ViolationAware,
+        }
+    }
+
+    /// A fresh selection-policy instance for this scheme.
+    pub fn policy(self) -> Box<dyn SelectPolicy> {
+        match self {
+            Scheme::Ffs => Box::new(FaultyFirstSelect::new()),
+            Scheme::Cds => Box::new(CriticalityDrivenSelect::new()),
+            _ => Box::new(AgeBasedSelect::new()),
+        }
+    }
+
+    /// Whether this is one of the paper's proposed violation-aware schemes.
+    pub fn is_proposed(self) -> bool {
+        matches!(self, Scheme::Abs | Scheme::Ffs | Scheme::Cds)
+    }
+
+    /// Starts a pipeline builder configured for this scheme.
+    ///
+    /// The fault-free scheme always runs at nominal voltage (its defining
+    /// property: "baseline machines have zero fault rate when executing at
+    /// 1.1 V", §4.3); faulty schemes run at `vdd`.
+    pub fn pipeline_builder(self, bench: Benchmark, seed: u64, vdd: Voltage) -> PipelineBuilder {
+        self.pipeline_builder_with_profile(bench.profile(), seed, vdd)
+    }
+
+    /// [`pipeline_builder`](Scheme::pipeline_builder) for an explicit
+    /// workload profile.
+    pub fn pipeline_builder_with_profile(
+        self,
+        profile: Profile,
+        seed: u64,
+        vdd: Voltage,
+    ) -> PipelineBuilder {
+        let vdd = if self == Scheme::FaultFree {
+            Voltage::nominal()
+        } else {
+            vdd
+        };
+        Pipeline::builder_with_profile(profile, seed)
+            .tolerance(self.tolerance_mode())
+            .voltage(vdd)
+            .policy(self.policy())
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_metadata() {
+        assert_eq!(Scheme::ALL.len(), 6);
+        assert_eq!(Scheme::PROPOSED.len(), 3);
+        assert!(Scheme::Abs.is_proposed());
+        assert!(!Scheme::ErrorPadding.is_proposed());
+        assert_eq!(Scheme::Cds.name(), "CDS");
+        assert_eq!(Scheme::ErrorPadding.to_string(), "EP");
+        assert_eq!(Scheme::Razor.tolerance_mode(), ToleranceMode::Razor);
+        assert_eq!(
+            Scheme::Ffs.tolerance_mode(),
+            ToleranceMode::ViolationAware
+        );
+    }
+
+    #[test]
+    fn policies_match_paper_assignments() {
+        assert_eq!(Scheme::FaultFree.policy().name(), "ABS");
+        assert_eq!(Scheme::ErrorPadding.policy().name(), "ABS");
+        assert_eq!(Scheme::Abs.policy().name(), "ABS");
+        assert_eq!(Scheme::Ffs.policy().name(), "FFS");
+        assert_eq!(Scheme::Cds.policy().name(), "CDS");
+    }
+
+    #[test]
+    fn fault_free_scheme_runs_clean() {
+        let stats = Scheme::FaultFree
+            .pipeline_builder(Benchmark::Gcc, 5, Voltage::high_fault())
+            .build()
+            .run(5_000);
+        assert_eq!(stats.faults_total(), 0, "fault-free ignores the faulty voltage");
+    }
+
+    #[test]
+    fn proposed_scheme_runs_with_faults() {
+        let stats = Scheme::Abs
+            .pipeline_builder(Benchmark::Sjeng, 5, Voltage::high_fault())
+            .build()
+            .run(30_000);
+        assert!(stats.faults_total() > 0);
+        assert!(stats.slot_freezes > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Violation-aware selection policies (paper §3.5).
+//!
+//! All three policies "confine the penalty to a faulty instruction and its
+//! dependents, and aim to minimize the system level performance overhead
+//! of a timing fault" — the VTE machinery (slot freezing, delayed
+//! broadcast) is identical; only the selection *priority* differs:
+//!
+//! * **ABS** — oldest first ([`tv_uarch::AgeBasedSelect`]);
+//! * **FFS** — "attempts to schedule instructions with faults early, so as
+//!   to release their dependent instructions sooner"; falls back to age
+//!   when no faulty instruction is ready;
+//! * **CDS** — "eagerly selects faulty instructions that are expected to
+//!   be critical"; falls back to age when no faulty-and-critical
+//!   instruction is ready. Criticality comes from the CDL via the TEP.
+
+use tv_uarch::{IssueCandidate, SelectPolicy};
+
+/// Faulty First Selection: predicted-faulty instructions first (oldest
+/// faulty first), then the rest by age.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultyFirstSelect;
+
+impl FaultyFirstSelect {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FaultyFirstSelect
+    }
+}
+
+impl SelectPolicy for FaultyFirstSelect {
+    fn name(&self) -> &'static str {
+        "FFS"
+    }
+
+    fn prioritize(&mut self, candidates: &mut [IssueCandidate]) {
+        // The SLE sets the grant line for faulty instructions; ties (and
+        // the no-faulty case) resolve by timestamp, "similar to ABS".
+        candidates.sort_by_key(|c| (!c.faulty, c.seq));
+    }
+}
+
+/// Criticality Driven Selection: faulty *and critical* instructions first,
+/// then the rest by age.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CriticalityDrivenSelect;
+
+impl CriticalityDrivenSelect {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        CriticalityDrivenSelect
+    }
+}
+
+impl SelectPolicy for CriticalityDrivenSelect {
+    fn name(&self) -> &'static str {
+        "CDS"
+    }
+
+    fn prioritize(&mut self, candidates: &mut [IssueCandidate]) {
+        // "The CDS policy eagerly selects faulty instructions that are
+        // expected to be critical. Again, similar to FFS, if no such
+        // instructions (faulty and critical) exist, then it uses the
+        // timestamp."
+        candidates.sort_by_key(|c| (!(c.faulty && c.critical), c.seq));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_workloads::OpClass;
+
+    fn cand(seq: u64, faulty: bool, critical: bool) -> IssueCandidate {
+        IssueCandidate {
+            slot: seq as usize,
+            seq,
+            timestamp: (seq % 64) as u8,
+            faulty,
+            critical,
+            op: OpClass::IntAlu,
+        }
+    }
+
+    #[test]
+    fn ffs_puts_faulty_first_then_age() {
+        let mut cands = vec![
+            cand(10, false, false),
+            cand(30, true, false),
+            cand(20, true, true),
+            cand(5, false, true),
+        ];
+        FaultyFirstSelect::new().prioritize(&mut cands);
+        let seqs: Vec<u64> = cands.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![20, 30, 5, 10]);
+        assert_eq!(FaultyFirstSelect::new().name(), "FFS");
+    }
+
+    #[test]
+    fn ffs_without_faulty_degenerates_to_age() {
+        let mut cands = vec![cand(9, false, false), cand(3, false, true)];
+        FaultyFirstSelect::new().prioritize(&mut cands);
+        assert_eq!(cands[0].seq, 3);
+    }
+
+    #[test]
+    fn cds_requires_both_faulty_and_critical() {
+        let mut cands = vec![
+            cand(10, true, false),  // faulty but not critical
+            cand(30, true, true),   // the CDS target
+            cand(5, false, true),   // critical but clean
+            cand(20, false, false),
+        ];
+        CriticalityDrivenSelect::new().prioritize(&mut cands);
+        let seqs: Vec<u64> = cands.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![30, 5, 10, 20]);
+        assert_eq!(CriticalityDrivenSelect::new().name(), "CDS");
+    }
+
+    #[test]
+    fn cds_without_critical_faulty_degenerates_to_age() {
+        let mut cands = vec![cand(9, true, false), cand(3, false, false)];
+        CriticalityDrivenSelect::new().prioritize(&mut cands);
+        assert_eq!(cands[0].seq, 3);
+    }
+
+    #[test]
+    fn policies_preserve_candidate_sets() {
+        let mut cands: Vec<_> = (0..32)
+            .map(|i| cand(i, i % 3 == 0, i % 5 == 0))
+            .collect();
+        let sum: u64 = cands.iter().map(|c| c.seq).sum();
+        FaultyFirstSelect::new().prioritize(&mut cands);
+        assert_eq!(cands.iter().map(|c| c.seq).sum::<u64>(), sum);
+        CriticalityDrivenSelect::new().prioritize(&mut cands);
+        assert_eq!(cands.iter().map(|c| c.seq).sum::<u64>(), sum);
+        assert_eq!(cands.len(), 32);
+    }
+}

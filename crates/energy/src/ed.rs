@@ -1,0 +1,179 @@
+//! Run energy and energy-delay accounting.
+//!
+//! The paper estimates performance with IPC and energy efficiency with the
+//! energy-delay product (§5.1), reporting scheme overheads as
+//! `(performance %, ED %)` tuples relative to fault-free execution
+//! (Table 1) and as relative overheads normalized to the EP baseline
+//! (Figures 4/5/8/9). All comparisons run the *same committed instruction
+//! stream*, so energy differences come from extra cycles (leakage), extra
+//! activity (replayed work, refetches) and the padding machinery — not
+//! from the supply-voltage change itself, matching the paper's convention
+//! of reporting positive ED degradation for faulty execution.
+
+use tv_uarch::SimStats;
+
+use crate::power::EnergyParams;
+
+/// Energy of one simulation run, split by source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Dynamic energy (pJ) from pipeline activity.
+    pub dynamic_pj: f64,
+    /// Leakage energy (pJ) over the run's cycles.
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj + self.leakage_pj
+    }
+}
+
+/// Energy/delay summary of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunEnergy {
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Run length in cycles.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+}
+
+impl RunEnergy {
+    /// Computes the energy of `stats` under `params`.
+    pub fn from_stats(stats: &SimStats, params: &EnergyParams) -> Self {
+        params.validate();
+        let a = &stats.activity;
+        let dynamic_pj = a.fetch_groups as f64 * params.fetch_group_pj
+            + a.decodes as f64 * params.decode_pj
+            + a.renames as f64 * params.rename_pj
+            + a.dispatches as f64 * params.dispatch_pj
+            + a.issues as f64 * params.issue_pj
+            + a.regreads as f64 * params.regread_pj
+            + a.fu_simple as f64 * params.fu_simple_pj
+            + a.fu_complex as f64 * params.fu_complex_pj
+            + a.fu_mem as f64 * params.fu_mem_pj
+            + a.lsq_searches as f64 * params.lsq_search_pj
+            + a.dcache_accesses as f64 * params.dcache_pj
+            + a.l2_accesses as f64 * params.l2_pj
+            + a.mem_accesses as f64 * params.mem_pj
+            + a.broadcasts as f64 * params.broadcast_pj
+            + a.retires as f64 * params.retire_pj;
+        let leakage_pj = stats.cycles as f64 * params.leakage_pj_per_cycle;
+        RunEnergy {
+            energy: EnergyBreakdown {
+                dynamic_pj,
+                leakage_pj,
+            },
+            cycles: stats.cycles,
+            committed: stats.committed,
+        }
+    }
+
+    /// Energy-delay product (pJ·cycles).
+    pub fn ed_product(&self) -> f64 {
+        self.energy.total_pj() * self.cycles as f64
+    }
+
+    /// Energy per committed instruction (pJ).
+    pub fn energy_per_inst(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.energy.total_pj() / self.committed as f64
+        }
+    }
+}
+
+/// A `(performance %, ED %)` overhead tuple as printed in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadTuple {
+    /// Performance degradation in percent (cycle count increase for the
+    /// same committed instructions).
+    pub perf_pct: f64,
+    /// Energy-delay degradation in percent.
+    pub ed_pct: f64,
+}
+
+impl OverheadTuple {
+    /// Overheads of `scheme` relative to `baseline` (fault-free execution
+    /// of the same instruction stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs committed different instruction counts — the
+    /// comparison would be meaningless.
+    pub fn relative_to(scheme: &RunEnergy, baseline: &RunEnergy) -> Self {
+        assert_eq!(
+            scheme.committed, baseline.committed,
+            "overhead comparison requires identical committed work"
+        );
+        let perf = scheme.cycles as f64 / baseline.cycles as f64 - 1.0;
+        let ed = scheme.ed_product() / baseline.ed_product() - 1.0;
+        OverheadTuple {
+            perf_pct: perf * 100.0,
+            ed_pct: ed * 100.0,
+        }
+    }
+}
+
+impl std::fmt::Display for OverheadTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.perf_pct, self.ed_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_timing::Voltage;
+    use tv_uarch::{Pipeline, ToleranceMode};
+    use tv_workloads::Benchmark;
+
+    fn run(mode: ToleranceMode, vdd: Voltage) -> RunEnergy {
+        let stats = Pipeline::builder(Benchmark::Astar, 11)
+            .tolerance(mode)
+            .voltage(vdd)
+            .build()
+            .run(20_000);
+        RunEnergy::from_stats(&stats, &EnergyParams::core1_45nm())
+    }
+
+    #[test]
+    fn energy_is_positive_and_split() {
+        let e = run(ToleranceMode::FaultFree, Voltage::nominal());
+        assert!(e.energy.dynamic_pj > 0.0);
+        assert!(e.energy.leakage_pj > 0.0);
+        assert!(e.ed_product() > 0.0);
+        assert!(e.energy_per_inst() > 0.0);
+    }
+
+    #[test]
+    fn razor_costs_energy_and_delay() {
+        let clean = run(ToleranceMode::FaultFree, Voltage::nominal());
+        let razor = run(ToleranceMode::Razor, Voltage::high_fault());
+        let o = OverheadTuple::relative_to(&razor, &clean);
+        assert!(o.perf_pct > 0.0, "perf overhead {o}");
+        assert!(o.ed_pct > o.perf_pct, "ED overhead exceeds perf overhead: {o}");
+    }
+
+    #[test]
+    fn identical_runs_have_zero_overhead() {
+        let a = run(ToleranceMode::FaultFree, Voltage::nominal());
+        let o = OverheadTuple::relative_to(&a, &a);
+        assert_eq!(o.perf_pct, 0.0);
+        assert_eq!(o.ed_pct, 0.0);
+        assert_eq!(o.to_string(), "(0.00, 0.00)");
+    }
+
+    #[test]
+    #[should_panic(expected = "identical committed work")]
+    fn mismatched_commits_panic() {
+        let a = run(ToleranceMode::FaultFree, Voltage::nominal());
+        let mut b = a;
+        b.committed += 1;
+        let _ = OverheadTuple::relative_to(&a, &b);
+    }
+}

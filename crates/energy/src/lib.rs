@@ -1,0 +1,27 @@
+//! Energy, power, and area accounting.
+//!
+//! The paper gathers energy "by combining architectural usage information
+//! with power characteristics from the synthesized hardware" (§4.1) and
+//! reports energy efficiency as the energy-delay (ED) product (§5.1). This
+//! crate rebuilds that layer:
+//!
+//! * [`power`] — the per-event energy table (45 nm-class relative values)
+//!   and per-cycle leakage of the Core-1-style machine;
+//! * [`ed`] — maps a run's [`tv_uarch::stats::Activity`] counters to total
+//!   energy, computes ED products, and the (performance %, ED %) overhead
+//!   tuples of Table 1 and Figures 5/9;
+//! * [`overhead`] — the VTE hardware-cost analysis of Table 2: storage and
+//!   logic added to the baseline scheduler by ABS/FFS (timestamps, fault
+//!   fields, FUSR) and by CDS (plus the Criticality Detection Logic, whose
+//!   area/power come from the actual gate-level [`tv_netlist`] circuit),
+//!   scaled to core level with the paper's scheduler share (§S3: the
+//!   scheduler is 3.9 % of core area, 8.9 % of dynamic power, 1.2 % of
+//!   leakage).
+
+pub mod ed;
+pub mod overhead;
+pub mod power;
+
+pub use ed::{EnergyBreakdown, OverheadTuple, RunEnergy};
+pub use overhead::{SchedulerOverhead, VteOverheadReport};
+pub use power::EnergyParams;

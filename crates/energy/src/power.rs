@@ -1,0 +1,131 @@
+//! Per-event energy parameters.
+//!
+//! Values are picojoules per event for a 45 nm-class 4-wide core — derived
+//! from the usual CACTI/McPAT-style relative weights (array reads scale
+//! with port count and size; CAM searches are expensive; off-chip accesses
+//! dominate). Absolute calibration is irrelevant for the paper's results,
+//! which are all *relative* overheads between schemes running the same
+//! instruction stream.
+
+/// Per-event energies (pJ) and per-cycle leakage of the modelled core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// One I-cache fetch group (line read + next-PC logic).
+    pub fetch_group_pj: f64,
+    /// Decoding one instruction (includes the TEP lookup, which the paper
+    /// performs in parallel with decode).
+    pub decode_pj: f64,
+    /// One rename-table write + free-list pop.
+    pub rename_pj: f64,
+    /// Dispatch of one instruction (ROB + IQ entry write).
+    pub dispatch_pj: f64,
+    /// One wakeup/select activation (CAM match + grant).
+    pub issue_pj: f64,
+    /// One register-file read-port activation (two operands).
+    pub regread_pj: f64,
+    /// One simple-ALU operation.
+    pub fu_simple_pj: f64,
+    /// One complex-unit operation (multiply/divide/FP).
+    pub fu_complex_pj: f64,
+    /// One AGEN + memory-port activation.
+    pub fu_mem_pj: f64,
+    /// One load/store-queue CAM search.
+    pub lsq_search_pj: f64,
+    /// One L1 data-cache access.
+    pub dcache_pj: f64,
+    /// One L2 access.
+    pub l2_pj: f64,
+    /// One main-memory access (DRAM activate + transfer, on-chip share).
+    pub mem_pj: f64,
+    /// One result-tag broadcast into the issue queue.
+    pub broadcast_pj: f64,
+    /// Retiring one instruction (ROB read + architectural update).
+    pub retire_pj: f64,
+    /// Core leakage per cycle (pJ/cycle).
+    pub leakage_pj_per_cycle: f64,
+}
+
+impl EnergyParams {
+    /// The default 45 nm-class parameter set.
+    pub fn core1_45nm() -> Self {
+        EnergyParams {
+            fetch_group_pj: 18.0,
+            decode_pj: 4.0,
+            rename_pj: 6.0,
+            dispatch_pj: 6.0,
+            issue_pj: 11.0,
+            regread_pj: 8.0,
+            fu_simple_pj: 9.0,
+            fu_complex_pj: 28.0,
+            fu_mem_pj: 9.0,
+            lsq_search_pj: 10.0,
+            dcache_pj: 22.0,
+            l2_pj: 90.0,
+            mem_pj: 260.0,
+            broadcast_pj: 7.0,
+            retire_pj: 6.0,
+            leakage_pj_per_cycle: 32.0,
+        }
+    }
+
+    /// Validates physical plausibility (all parameters non-negative, the
+    /// memory hierarchy ordered L1 < L2 < memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an implausible parameter set.
+    pub fn validate(&self) {
+        let all = [
+            self.fetch_group_pj,
+            self.decode_pj,
+            self.rename_pj,
+            self.dispatch_pj,
+            self.issue_pj,
+            self.regread_pj,
+            self.fu_simple_pj,
+            self.fu_complex_pj,
+            self.fu_mem_pj,
+            self.lsq_search_pj,
+            self.dcache_pj,
+            self.l2_pj,
+            self.mem_pj,
+            self.broadcast_pj,
+            self.retire_pj,
+            self.leakage_pj_per_cycle,
+        ];
+        assert!(
+            all.iter().all(|&x| x >= 0.0 && x.is_finite()),
+            "energies must be finite and non-negative"
+        );
+        assert!(
+            self.dcache_pj < self.l2_pj && self.l2_pj < self.mem_pj,
+            "memory-hierarchy energies must be ordered"
+        );
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::core1_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        EnergyParams::core1_45nm().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn inverted_hierarchy_panics() {
+        let p = EnergyParams {
+            l2_pj: 1.0,
+            ..EnergyParams::core1_45nm()
+        };
+        p.validate();
+    }
+}

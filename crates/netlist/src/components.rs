@@ -1,0 +1,645 @@
+//! The four synthesized processor components of the paper's §S1 study.
+//!
+//! | Module (paper Table 3) | builder | paper gates / depth |
+//! |---|---|---|
+//! | Issue Queue Select | [`issue_select32`] | 189 / 33 |
+//! | 32-bit Simple ALU  | [`alu32`]          | 4728 / 46 |
+//! | AGEN               | [`agen32`]         | 491 / 43 |
+//! | Forward Check      | [`forward_check`]  | 428 / 15 |
+//!
+//! The builders produce genuine combinational gate networks whose sensitized
+//! paths depend on operand values, which is all the commonality study needs;
+//! absolute gate counts land in the same ballpark as the paper's Synopsys
+//! results and are reported honestly by `tv-bench --bin table3`.
+
+use crate::builder::{Builder, Word};
+use crate::netlist::Netlist;
+
+/// ALU operation select encoding for [`alu32`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add = 0,
+    Sub = 1,
+    And = 2,
+    Or = 3,
+    Xor = 4,
+    /// Set-less-than (unsigned): `result = (a < b) as u32`.
+    Sltu = 5,
+    /// Shift left logical by `b[4:0]`.
+    Sll = 6,
+    /// Shift right logical by `b[4:0]`.
+    Srl = 7,
+}
+
+/// Builds the 32-bit simple ALU.
+///
+/// Ports: inputs `a[32]`, `b[32]`, `op[3]`; outputs `result[32]`, `zero[1]`.
+///
+/// Internally: a carry-select adder shared by add/sub/sltu, a bitwise logic
+/// unit, left/right barrel shifters, and a balanced result-select mux tree —
+/// the high-logic-depth structure the paper picks the ALU for.
+pub fn alu32() -> Netlist {
+    let mut b = Builder::new("alu32");
+    let a = b.input_word("a", 32);
+    let bb = b.input_word("b", 32);
+    let op = b.input_word("op", 3);
+
+    // op decoding
+    let op0 = op.bit(0);
+    let op1 = op.bit(1);
+    let op2 = op.bit(2);
+    let n_op1 = b.not(op1);
+    let n_op2 = b.not(op2);
+    let is_sub = {
+        // Sub (001) or Sltu (101): op1 = 0, op0 = 1
+        let t = b.and(op0, n_op1);
+        b.buf(t)
+    };
+
+    // adder path: a + (b ^ subtract) + subtract
+    let sub_word = Word {
+        bits: (0..32).map(|_| is_sub).collect(),
+    };
+    let b_eff = b.xor_word(&bb, &sub_word);
+    let (sum, carry_out) = b.carry_select_adder(&a, &b_eff, is_sub, 4);
+
+    // logic unit
+    let and_w = b.and_word(&a, &bb);
+    let or_w = b.or_word(&a, &bb);
+    let xor_w = b.xor_word(&a, &bb);
+
+    // sltu: for a - b, unsigned borrow = !carry_out
+    let borrow = b.not(carry_out);
+    let zero32 = b.constant_word(0, 31);
+    let slt_w = Word {
+        bits: std::iter::once(borrow).chain(zero32.bits).collect(),
+    };
+
+    // shifters (amount = b[4:0])
+    let amount = Word {
+        bits: bb.bits[0..5].to_vec(),
+    };
+    let sll_w = b.barrel_shift(&a, &amount, true);
+    let srl_w = b.barrel_shift(&a, &amount, false);
+
+    // result select: 3-level mux tree on op bits
+    // op2 = 0: {add, sub, and, or}; op2 = 1: {xor, sltu, sll, srl}
+    let add_or_sub = sum; // identical datapath result
+    let and_or = b.mux_word(op0, &and_w, &or_w);
+    let lo = b.mux_word(op1, &add_or_sub, &and_or);
+    let xor_slt = b.mux_word(op0, &xor_w, &slt_w);
+    let sll_srl = b.mux_word(op0, &sll_w, &srl_w);
+    let hi = b.mux_word(op1, &xor_slt, &sll_srl);
+    let result = b.mux_word(op2, &lo, &hi);
+
+    // zero flag
+    let not_bits: Vec<_> = result.bits.iter().map(|&n| n).collect();
+    let any = b.or_tree(&not_bits);
+    let zero = b.not(any);
+
+    // keep decode nets alive in the report
+    let _ = (n_op2,);
+
+    b.output_word("result", &result);
+    b.output("zero", &[zero]);
+    b.finish()
+}
+
+/// Input vector for [`alu32`] (ports are declared `a`, `b`, `op` in order).
+pub fn alu_inputs(a: u32, b: u32, op: AluOp) -> Vec<bool> {
+    let mut v = Vec::with_capacity(67);
+    v.extend((0..32).map(|i| (a >> i) & 1 == 1));
+    v.extend((0..32).map(|i| (b >> i) & 1 == 1));
+    let code = op as u32;
+    v.extend((0..3).map(|i| (code >> i) & 1 == 1));
+    v
+}
+
+/// Reads the `result` port of [`alu32`] from a settled value slice.
+pub fn alu_result(netlist: &Netlist, values: &[bool]) -> u32 {
+    read_port(netlist, values, "result") as u32
+}
+
+/// Builds the address-generation unit: `addr = base + sign_extend(offset)`,
+/// with a misalignment detector for 2/4/8-byte accesses.
+///
+/// Ports: inputs `base[32]`, `offset[16]`, `size[2]`; outputs `addr[32]`,
+/// `misaligned[1]`.
+pub fn agen32() -> Netlist {
+    let mut b = Builder::new("agen32");
+    let base = b.input_word("base", 32);
+    let offset = b.input_word("offset", 16);
+    let size = b.input_word("size", 2);
+
+    // sign extension: replicate offset[15]
+    let sign = offset.bit(15);
+    let ext = Word {
+        bits: offset
+            .bits
+            .iter()
+            .copied()
+            .chain(std::iter::repeat(sign).take(16))
+            .collect(),
+    };
+    let zero = b.constant(false);
+    // Narrow carry-select blocks give the mid-depth structure (paper: 43).
+    let (addr, _c) = b.carry_select_adder(&base, &ext, zero, 2);
+
+    // misalignment: size 01 => addr[0] != 0; 10 => addr[1:0] != 0; 11 => addr[2:0] != 0
+    let s0 = size.bit(0);
+    let s1 = size.bit(1);
+    let a0 = addr.bit(0);
+    let a1 = addr.bit(1);
+    let a2 = addr.bit(2);
+    let half_mis = b.and(s0, a0);
+    let lo2 = b.or(a0, a1);
+    let word_mis = b.and(s1, lo2);
+    let lo3 = b.or(lo2, a2);
+    let both = b.and(s0, s1);
+    let dword_mis = b.and(both, lo3);
+    let m1 = b.or(half_mis, word_mis);
+    let misaligned = b.or(m1, dword_mis);
+
+    b.output_word("addr", &addr);
+    b.output("misaligned", &[misaligned]);
+    b.finish()
+}
+
+/// Input vector for [`agen32`] (ports `base`, `offset`, `size` in order).
+pub fn agen_inputs(base: u32, offset: u16, size: u8) -> Vec<bool> {
+    let mut v = Vec::with_capacity(50);
+    v.extend((0..32).map(|i| (base >> i) & 1 == 1));
+    v.extend((0..16).map(|i| (offset >> i) & 1 == 1));
+    v.extend((0..2).map(|i| (size >> i) & 1 == 1));
+    v
+}
+
+/// Number of consumers (issue width) in [`forward_check`].
+pub const FWD_CONSUMERS: usize = 4;
+/// Number of producing functional units in [`forward_check`].
+pub const FWD_PRODUCERS: usize = 4;
+/// Physical-register tag width in [`forward_check`] (96 regs ⇒ 7 bits).
+pub const FWD_TAG_BITS: usize = 7;
+
+/// Builds the bypass-network forward-check logic.
+///
+/// For each of [`FWD_CONSUMERS`] consumers × 2 source operands, the logic
+/// compares the source tag against each of [`FWD_PRODUCERS`] producer result
+/// tags (qualified by a valid bit) and emits a one-hot bypass-select per
+/// operand plus a `bypass` enable — "controls the latches in the bypass
+/// network to ensure correct execution of back-to-back dependent
+/// instructions" (paper §S1.2.2).
+///
+/// Ports: inputs `ptag{p}[7]`, `pvalid[4]`, `ctag{c}_{s}[7]`; outputs
+/// `sel{c}_{s}[4]` (one-hot producer match) and `byp{c}_{s}[1]`.
+pub fn forward_check() -> Netlist {
+    let mut b = Builder::new("forward_check");
+
+    let ptags: Vec<Word> = (0..FWD_PRODUCERS)
+        .map(|p| b.input_word(&format!("ptag{p}"), FWD_TAG_BITS))
+        .collect();
+    let pvalid = b.input_word("pvalid", FWD_PRODUCERS);
+
+    let mut ctags = Vec::new();
+    for c in 0..FWD_CONSUMERS {
+        for s in 0..2 {
+            ctags.push((c, s, b.input_word(&format!("ctag{c}_{s}"), FWD_TAG_BITS)));
+        }
+    }
+
+    for (c, s, ctag) in &ctags {
+        let mut matches = Vec::with_capacity(FWD_PRODUCERS);
+        for p in 0..FWD_PRODUCERS {
+            let eq = b.equals(ctag, &ptags[p]);
+            let qualified = b.and(eq, pvalid.bit(p));
+            matches.push(qualified);
+        }
+        // Priority: lowest-index producer wins if multiple match (a tag can
+        // legally match at most one live producer; priority keeps the
+        // circuit well-defined regardless).
+        let mut priority = Vec::with_capacity(FWD_PRODUCERS);
+        let mut blocked = None;
+        for (p, &m) in matches.iter().enumerate() {
+            let grant = match blocked {
+                None => b.buf(m),
+                Some(blk) => {
+                    let nb = b.not(blk);
+                    b.and(m, nb)
+                }
+            };
+            priority.push(grant);
+            blocked = Some(match blocked {
+                None => m,
+                Some(blk) => b.or(blk, m),
+            });
+            let _ = p;
+        }
+        let byp = b.or_tree(&matches);
+        b.output(&format!("sel{c}_{s}"), &priority);
+        b.output(&format!("byp{c}_{s}"), &[byp]);
+    }
+    b.finish()
+}
+
+/// Number of issue-queue entries in [`issue_select32`].
+pub const SELECT_ENTRIES: usize = 32;
+
+/// Builds the issue-queue select logic: a 32-entry tree arbiter granting
+/// the lowest-index requesting entry ("given a request vector from the
+/// existing instructions in the issue queue, ... sets the request grant
+/// line for the selected instructions", paper §S1.2.2).
+///
+/// Ports: input `req[32]`; outputs `grant[32]` (one-hot or all-zero) and
+/// `any[1]`.
+pub fn issue_select32() -> Netlist {
+    let mut b = Builder::new("issue_select32");
+    let req = b.input_word("req", SELECT_ENTRIES);
+
+    // Bottom-up "any" tree.
+    #[derive(Clone, Copy)]
+    struct Node {
+        any: crate::gate::NetId,
+        lo: usize,
+        hi: usize, // leaf range [lo, hi)
+        left: Option<usize>,
+        right: Option<usize>,
+    }
+    let mut nodes: Vec<Node> = Vec::new();
+    // leaves
+    let mut layer: Vec<usize> = (0..SELECT_ENTRIES)
+        .map(|i| {
+            nodes.push(Node {
+                any: req.bit(i),
+                lo: i,
+                hi: i + 1,
+                left: None,
+                right: None,
+            });
+            nodes.len() - 1
+        })
+        .collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let (l, r) = (pair[0], pair[1]);
+                let any = b.or(nodes[l].any, nodes[r].any);
+                nodes.push(Node {
+                    any,
+                    lo: nodes[l].lo,
+                    hi: nodes[r].hi,
+                    left: Some(l),
+                    right: Some(r),
+                });
+                next.push(nodes.len() - 1);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    let root = layer[0];
+    let any_req = b.buf(nodes[root].any);
+
+    // Top-down grant propagation: left subtree has priority.
+    let mut grant_in = vec![None; nodes.len()];
+    grant_in[root] = Some(any_req);
+    let mut grants = vec![None; SELECT_ENTRIES];
+    // nodes were created bottom-up, so iterate in reverse creation order to
+    // visit parents before children.
+    for idx in (0..nodes.len()).rev() {
+        let Some(g) = grant_in[idx] else { continue };
+        let node = nodes[idx];
+        match (node.left, node.right) {
+            (Some(l), Some(r)) => {
+                let gl = b.and(g, nodes[l].any);
+                let nl = b.not(nodes[l].any);
+                let pr = b.and(g, nl);
+                let gr = b.and(pr, nodes[r].any);
+                grant_in[l] = Some(gl);
+                grant_in[r] = Some(gr);
+            }
+            _ => {
+                grants[node.lo] = Some(g);
+            }
+        }
+    }
+    let grant_bits: Vec<_> = grants
+        .into_iter()
+        .map(|g| g.expect("every leaf receives a grant line"))
+        .collect();
+
+    b.output("grant", &grant_bits);
+    b.output("any", &[any_req]);
+    b.finish()
+}
+
+/// Input vector for [`issue_select32`].
+pub fn select_inputs(req: u32) -> Vec<bool> {
+    (0..SELECT_ENTRIES).map(|i| (req >> i) & 1 == 1).collect()
+}
+
+/// Number of reservation-station entries monitored by [`cdl32`].
+pub const CDL_ENTRIES: usize = 32;
+
+/// Builds the Criticality Detection Logic (paper §3.5.2, Figure 3): a
+/// population counter over the 32 reservation-station tag-match lines plus
+/// a comparator against the Criticality Threshold.
+///
+/// Ports: inputs `matches[32]`, `ct[6]`; outputs `count[6]`, `critical[1]`
+/// (`count >= ct`).
+pub fn cdl32() -> Netlist {
+    let mut b = Builder::new("cdl32");
+    let matches = b.input_word("matches", CDL_ENTRIES);
+    let ct = b.input_word("ct", 6);
+
+    // Population count: binary adder tree over single-bit words.
+    let mut layer: Vec<Word> = matches
+        .bits
+        .iter()
+        .map(|&bit| Word { bits: vec![bit] })
+        .collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let zero = b.constant(false);
+                let mut a = pair[0].clone();
+                let mut c = pair[1].clone();
+                // zero-extend to equal width + 1 for the carry
+                let w = a.width().max(c.width()) + 1;
+                while a.width() < w {
+                    a.bits.push(zero);
+                }
+                while c.width() < w {
+                    c.bits.push(zero);
+                }
+                let (sum, _) = b.adder(&a, &c, zero);
+                next.push(sum);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        layer = next;
+    }
+    let mut count = layer.pop().expect("non-empty tree");
+    let zero = b.constant(false);
+    while count.width() < 6 {
+        count.bits.push(zero);
+    }
+    count.bits.truncate(6);
+
+    // count >= ct  ⇔  count - ct does not borrow  ⇔  carry-out of
+    // count + !ct + 1 is 1.
+    let not_ct = b.not_word(&ct);
+    let one = b.constant(true);
+    let (_, carry) = b.adder(&count, &not_ct, one);
+    let critical = b.buf(carry);
+
+    b.output_word("count", &count);
+    b.output("critical", &[critical]);
+    b.finish()
+}
+
+/// Input vector for [`cdl32`] (ports `matches`, `ct` in order).
+pub fn cdl_inputs(matches: u32, ct: u8) -> Vec<bool> {
+    let mut v = Vec::with_capacity(38);
+    v.extend((0..32).map(|i| (matches >> i) & 1 == 1));
+    v.extend((0..6).map(|i| (ct >> i) & 1 == 1));
+    v
+}
+
+/// Reads a named ≤64-bit output port from a settled value slice.
+pub fn read_port(netlist: &Netlist, values: &[bool], name: &str) -> u64 {
+    let port = netlist
+        .port(name)
+        .unwrap_or_else(|| panic!("no port named {name}"));
+    port.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, n)| acc | ((values[n.index()] as u64) << i))
+}
+
+/// All four study components, in Figure 7 order.
+pub fn study_components() -> Vec<Netlist> {
+    vec![issue_select32(), agen32(), forward_check(), alu32()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn alu_add_sub() {
+        let alu = alu32();
+        assert!(alu.validate().is_ok());
+        let mut sim = Simulator::new(&alu);
+        let v = sim.apply(&alu_inputs(7, 35, AluOp::Add)).to_vec();
+        assert_eq!(alu_result(&alu, &v), 42);
+        let v = sim.apply(&alu_inputs(100, 58, AluOp::Sub)).to_vec();
+        assert_eq!(alu_result(&alu, &v), 42);
+        let v = sim.apply(&alu_inputs(5, 5, AluOp::Sub)).to_vec();
+        assert_eq!(alu_result(&alu, &v), 0);
+        assert_eq!(read_port(&alu, &v, "zero"), 1);
+    }
+
+    #[test]
+    fn alu_logic_ops() {
+        let alu = alu32();
+        let mut sim = Simulator::new(&alu);
+        let a = 0xdead_beefu32;
+        let b = 0x0f0f_0f0fu32;
+        for (op, want) in [
+            (AluOp::And, a & b),
+            (AluOp::Or, a | b),
+            (AluOp::Xor, a ^ b),
+        ] {
+            let v = sim.apply(&alu_inputs(a, b, op)).to_vec();
+            assert_eq!(alu_result(&alu, &v), want, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn alu_sltu_and_shifts() {
+        let alu = alu32();
+        let mut sim = Simulator::new(&alu);
+        let v = sim.apply(&alu_inputs(3, 9, AluOp::Sltu)).to_vec();
+        assert_eq!(alu_result(&alu, &v), 1);
+        let v = sim.apply(&alu_inputs(9, 3, AluOp::Sltu)).to_vec();
+        assert_eq!(alu_result(&alu, &v), 0);
+        let v = sim.apply(&alu_inputs(1, 12, AluOp::Sll)).to_vec();
+        assert_eq!(alu_result(&alu, &v), 1 << 12);
+        let v = sim.apply(&alu_inputs(0x8000_0000, 31, AluOp::Srl)).to_vec();
+        assert_eq!(alu_result(&alu, &v), 1);
+    }
+
+    #[test]
+    fn alu_wraps_on_overflow() {
+        let alu = alu32();
+        let mut sim = Simulator::new(&alu);
+        let v = sim
+            .apply(&alu_inputs(u32::MAX, 1, AluOp::Add))
+            .to_vec();
+        assert_eq!(alu_result(&alu, &v), 0);
+    }
+
+    #[test]
+    fn agen_adds_signed_offset() {
+        let agen = agen32();
+        assert!(agen.validate().is_ok());
+        let mut sim = Simulator::new(&agen);
+        let v = sim.apply(&agen_inputs(0x1000, 0x10, 0)).to_vec();
+        assert_eq!(read_port(&agen, &v, "addr"), 0x1010);
+        // negative offset
+        let v = sim.apply(&agen_inputs(0x1000, (-16i16) as u16, 0)).to_vec();
+        assert_eq!(read_port(&agen, &v, "addr"), 0x0ff0);
+    }
+
+    #[test]
+    fn agen_detects_misalignment() {
+        let agen = agen32();
+        let mut sim = Simulator::new(&agen);
+        // size=01 (half): odd address misaligned
+        let v = sim.apply(&agen_inputs(0x1001, 0, 1)).to_vec();
+        assert_eq!(read_port(&agen, &v, "misaligned"), 1);
+        let v = sim.apply(&agen_inputs(0x1002, 0, 1)).to_vec();
+        assert_eq!(read_port(&agen, &v, "misaligned"), 0);
+        // size=10 (word): addr % 4 != 0 misaligned
+        let v = sim.apply(&agen_inputs(0x1002, 0, 2)).to_vec();
+        assert_eq!(read_port(&agen, &v, "misaligned"), 1);
+        // size=11 (dword): addr % 8 != 0 misaligned
+        let v = sim.apply(&agen_inputs(0x1004, 0, 3)).to_vec();
+        assert_eq!(read_port(&agen, &v, "misaligned"), 1);
+        let v = sim.apply(&agen_inputs(0x1008, 0, 3)).to_vec();
+        assert_eq!(read_port(&agen, &v, "misaligned"), 0);
+    }
+
+    #[test]
+    fn forward_check_matches_tags() {
+        let fc = forward_check();
+        assert!(fc.validate().is_ok());
+        let mut sim = Simulator::new(&fc);
+        // producer 2 broadcasts tag 0x55; consumer 1 src 0 waits on 0x55
+        let v = sim.input_vector(&[
+            ("ptag0", 0x01),
+            ("ptag1", 0x02),
+            ("ptag2", 0x55),
+            ("ptag3", 0x03),
+            ("pvalid", 0b0100),
+            ("ctag1_0", 0x55),
+            ("ctag0_0", 0x7f),
+        ]);
+        sim.apply(&v);
+        assert_eq!(sim.port_value("byp1_0"), 1);
+        assert_eq!(sim.port_value("sel1_0"), 0b0100);
+        assert_eq!(sim.port_value("byp0_0"), 0);
+    }
+
+    #[test]
+    fn forward_check_requires_valid() {
+        let fc = forward_check();
+        let mut sim = Simulator::new(&fc);
+        let v = sim.input_vector(&[("ptag0", 0x11), ("ctag0_0", 0x11), ("pvalid", 0)]);
+        sim.apply(&v);
+        assert_eq!(sim.port_value("byp0_0"), 0);
+    }
+
+    #[test]
+    fn forward_check_priority_is_one_hot() {
+        let fc = forward_check();
+        let mut sim = Simulator::new(&fc);
+        // two producers broadcast the same tag; lowest index wins
+        let v = sim.input_vector(&[
+            ("ptag1", 0x22),
+            ("ptag3", 0x22),
+            ("pvalid", 0b1010),
+            ("ctag2_1", 0x22),
+        ]);
+        sim.apply(&v);
+        assert_eq!(sim.port_value("sel2_1"), 0b0010);
+    }
+
+    #[test]
+    fn issue_select_grants_lowest_requester() {
+        let sel = issue_select32();
+        assert!(sel.validate().is_ok());
+        let mut sim = Simulator::new(&sel);
+        for req in [0u32, 1, 0x8000_0000, 0xffff_ffff, 0b1010_0000, 0x0001_0010] {
+            let values = sim.apply(&select_inputs(req)).to_vec();
+            let grant = read_port(&sel, &values, "grant") as u32;
+            let any = read_port(&sel, &values, "any");
+            if req == 0 {
+                assert_eq!(grant, 0);
+                assert_eq!(any, 0);
+            } else {
+                assert_eq!(grant, 1 << req.trailing_zeros(), "req={req:#x}");
+                assert_eq!(any, 1);
+                assert_eq!(grant.count_ones(), 1);
+                assert_ne!(grant & req, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn component_sizes_are_in_ballpark() {
+        let sel = issue_select32();
+        let alu = alu32();
+        let agen = agen32();
+        let fc = forward_check();
+        // Paper Table 3: 189 / 4728 / 491 / 428 gates. Require same order
+        // of magnitude and correct ordering.
+        assert!(sel.num_logic_gates() >= 90 && sel.num_logic_gates() <= 400);
+        assert!(alu.num_logic_gates() >= 2000 && alu.num_logic_gates() <= 9000);
+        assert!(agen.num_logic_gates() >= 250 && agen.num_logic_gates() <= 1000);
+        assert!(fc.num_logic_gates() >= 200 && fc.num_logic_gates() <= 900);
+        assert!(alu.num_logic_gates() > agen.num_logic_gates());
+        assert!(agen.num_logic_gates() > sel.num_logic_gates());
+        // Depth ordering: ALU deepest, forward check shallowest.
+        assert!(alu.logic_depth() > fc.logic_depth());
+        assert!(agen.logic_depth() > fc.logic_depth());
+    }
+
+    #[test]
+    fn study_components_has_four_in_order() {
+        let v = study_components();
+        let names: Vec<_> = v.iter().map(|n| n.name().to_string()).collect();
+        assert_eq!(
+            names,
+            ["issue_select32", "agen32", "forward_check", "alu32"]
+        );
+    }
+}
+
+#[cfg(test)]
+mod cdl_tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn cdl_counts_and_compares() {
+        let cdl = cdl32();
+        assert!(cdl.validate().is_ok());
+        let mut sim = Simulator::new(&cdl);
+        for (matches, ct, want_count, want_crit) in [
+            (0u32, 8u8, 0u64, 0u64),
+            (0xff, 8, 8, 1),
+            (0x7f, 8, 7, 0),
+            (u32::MAX, 8, 32, 1),
+            (0b1010_1010, 4, 4, 1),
+            (0b1010_1010, 5, 4, 0),
+            (1 << 31, 1, 1, 1),
+        ] {
+            let v = sim.apply(&cdl_inputs(matches, ct)).to_vec();
+            assert_eq!(read_port(&cdl, &v, "count"), want_count, "matches={matches:#x}");
+            assert_eq!(read_port(&cdl, &v, "critical"), want_crit, "matches={matches:#x} ct={ct}");
+        }
+    }
+
+    #[test]
+    fn cdl_is_small_relative_to_alu() {
+        // Table 2's story: CDS's extra logic is a modest add-on.
+        let cdl = cdl32();
+        let alu = alu32();
+        assert!(cdl.num_logic_gates() * 4 < alu.num_logic_gates());
+    }
+}

@@ -1,0 +1,210 @@
+//! Gate and net primitives.
+
+use std::fmt;
+
+/// Identifier of a net — the output of exactly one gate (or primary input).
+///
+/// Nets are indexed densely in creation order, which the
+/// [`Builder`](crate::builder::Builder) guarantees to be a topological
+/// order of the combinational circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Dense index of this net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The logic function of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input (no fanin).
+    Input,
+    /// Constant 0 or 1 (no fanin).
+    Const(bool),
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+}
+
+impl GateKind {
+    /// Number of fanin nets this gate kind consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Input | GateKind::Const(_) => 0,
+            GateKind::Buf | GateKind::Not => 1,
+            _ => 2,
+        }
+    }
+
+    /// Evaluates the gate function.
+    ///
+    /// Unused operand slots are ignored.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            GateKind::Input => a, // inputs are driven externally
+            GateKind::Const(v) => v,
+            GateKind::Buf => a,
+            GateKind::Not => !a,
+            GateKind::And => a && b,
+            GateKind::Or => a || b,
+            GateKind::Nand => !(a && b),
+            GateKind::Nor => !(a || b),
+            GateKind::Xor => a ^ b,
+            GateKind::Xnor => !(a ^ b),
+        }
+    }
+
+    /// Area of this gate in NAND2-equivalent units (typical standard-cell
+    /// ratios for a 45 nm library).
+    pub fn area(self) -> f64 {
+        match self {
+            GateKind::Input | GateKind::Const(_) => 0.0,
+            GateKind::Buf => 0.75,
+            GateKind::Not => 0.5,
+            GateKind::Nand | GateKind::Nor => 1.0,
+            GateKind::And | GateKind::Or => 1.25,
+            GateKind::Xor | GateKind::Xnor => 2.25,
+        }
+    }
+
+    /// Nominal propagation delay in picoseconds (45 nm-class, FO4-ish
+    /// loading). Used by the statistical timing model as the mean of the
+    /// per-gate delay distribution.
+    pub fn nominal_delay_ps(self) -> f64 {
+        match self {
+            GateKind::Input | GateKind::Const(_) => 0.0,
+            GateKind::Buf => 14.0,
+            GateKind::Not => 10.0,
+            GateKind::Nand | GateKind::Nor => 16.0,
+            GateKind::And | GateKind::Or => 22.0,
+            GateKind::Xor | GateKind::Xnor => 30.0,
+        }
+    }
+
+    /// Switching energy per output toggle, in femtojoules (relative scale).
+    pub fn switch_energy_fj(self) -> f64 {
+        match self {
+            GateKind::Input | GateKind::Const(_) => 0.0,
+            GateKind::Buf => 0.9,
+            GateKind::Not => 0.6,
+            GateKind::Nand | GateKind::Nor => 1.0,
+            GateKind::And | GateKind::Or => 1.3,
+            GateKind::Xor | GateKind::Xnor => 2.1,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Input => "input",
+            GateKind::Const(false) => "const0",
+            GateKind::Const(true) => "const1",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One gate instance: a kind plus up to two fanin nets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    /// Logic function.
+    pub kind: GateKind,
+    /// Fanin nets; slots beyond [`GateKind::arity`] are unused.
+    pub fanin: [NetId; 2],
+}
+
+impl Gate {
+    /// Fanin nets actually used by this gate.
+    pub fn fanin_nets(&self) -> &[NetId] {
+        &self.fanin[..self.kind.arity()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(GateKind::Input.arity(), 0);
+        assert_eq!(GateKind::Const(true).arity(), 0);
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::Buf.arity(), 1);
+        assert_eq!(GateKind::Nand.arity(), 2);
+        assert_eq!(GateKind::Xor.arity(), 2);
+    }
+
+    #[test]
+    fn truth_tables() {
+        use GateKind::*;
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(And.eval(a, b), a && b);
+                assert_eq!(Or.eval(a, b), a || b);
+                assert_eq!(Nand.eval(a, b), !(a && b));
+                assert_eq!(Nor.eval(a, b), !(a || b));
+                assert_eq!(Xor.eval(a, b), a ^ b);
+                assert_eq!(Xnor.eval(a, b), !(a ^ b));
+            }
+            assert_eq!(Not.eval(a, false), !a);
+            assert_eq!(Buf.eval(a, true), a);
+            assert_eq!(Const(true).eval(a, a), true);
+            assert_eq!(Const(false).eval(a, a), false);
+        }
+    }
+
+    #[test]
+    fn physical_parameters_are_positive_for_logic() {
+        for k in [
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            assert!(k.area() > 0.0);
+            assert!(k.nominal_delay_ps() > 0.0);
+            assert!(k.switch_energy_fj() > 0.0);
+        }
+        assert_eq!(GateKind::Input.area(), 0.0);
+    }
+
+    #[test]
+    fn fanin_nets_respects_arity() {
+        let g = Gate {
+            kind: GateKind::Not,
+            fanin: [NetId(3), NetId(0)],
+        };
+        assert_eq!(g.fanin_nets(), &[NetId(3)]);
+        assert_eq!(format!("{}", NetId(3)), "n3");
+        assert_eq!(GateKind::Nand.to_string(), "nand");
+    }
+}

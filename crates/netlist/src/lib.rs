@@ -1,0 +1,52 @@
+//! Gate-level netlists for the paper's cross-layer sensitization study.
+//!
+//! The paper's supplemental section S1 synthesizes four Fabscalar core
+//! components with Synopsys Design Compiler (45 nm FreePDK) and measures,
+//! with gate-level logic simulation, how similar the *sensitized paths* of
+//! repeated dynamic instances of one static instruction are. This crate
+//! rebuilds that entire layer from scratch:
+//!
+//! * [`gate`] / [`netlist`] — a combinational gate-level netlist
+//!   representation with structural validation and level (logic-depth)
+//!   analysis;
+//! * [`builder`] — a structured builder for composing word-level operators
+//!   (adders, comparators, muxes, shifters) out of 1/2-input gates;
+//! * [`components`] — the four studied components: 32-bit simple ALU,
+//!   address-generation unit (AGEN), bypass-network forward-check logic,
+//!   and the issue-queue select (arbiter) logic (paper Table 3);
+//! * [`sim`] — a topological logic simulator that tracks which gates toggle
+//!   between consecutive input vectors (the *sensitized gate set*);
+//! * [`toggle`] — the φ/ψ commonality estimator of paper §S1.2;
+//! * [`synth`] — a Design-Compiler-style report: gate count, logic depth,
+//!   area and power estimates in NAND2-equivalent units (used by Table 2
+//!   and Table 3);
+//! * [`verilog`] — flat structural Verilog export for cross-validation
+//!   with external EDA tools.
+//!
+//! # Example
+//!
+//! ```
+//! use tv_netlist::components;
+//! use tv_netlist::sim::Simulator;
+//!
+//! let alu = components::alu32();
+//! let mut sim = Simulator::new(&alu);
+//! let out = sim.apply(&components::alu_inputs(7, 35, components::AluOp::Add));
+//! assert_eq!(components::alu_result(&alu, &out), 42);
+//! ```
+
+pub mod builder;
+pub mod components;
+pub mod gate;
+pub mod netlist;
+pub mod sim;
+pub mod synth;
+pub mod toggle;
+pub mod verilog;
+
+pub use builder::{Builder, Word};
+pub use gate::{Gate, GateKind, NetId};
+pub use netlist::Netlist;
+pub use sim::Simulator;
+pub use synth::SynthReport;
+pub use toggle::{Commonality, CommonalityAnalyzer};

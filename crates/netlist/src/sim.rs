@@ -1,0 +1,183 @@
+//! Topological logic simulation with toggle tracking.
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// A stateful gate-level simulator.
+///
+/// The simulator keeps the previous net values between
+/// [`apply`](Simulator::apply) calls, so each application reports which
+/// gates *toggled* relative to the prior machine state — the sensitized
+/// gate set of paper §S1.2 ("the set of gates in a circuit that change
+/// state in \[a\] dynamic instance").
+#[derive(Debug, Clone)]
+pub struct Simulator<'n> {
+    netlist: &'n Netlist,
+    values: Vec<bool>,
+    toggled: Vec<u32>,
+    initialized: bool,
+}
+
+impl<'n> Simulator<'n> {
+    /// Creates a simulator over `netlist` with all nets at logic 0.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        Simulator {
+            netlist,
+            values: vec![false; netlist.gates().len()],
+            toggled: Vec::new(),
+            initialized: false,
+        }
+    }
+
+    /// Applies one primary-input vector (in [`Netlist::inputs`] order) and
+    /// returns the settled value of every net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn apply(&mut self, inputs: &[bool]) -> &[bool] {
+        let netlist = self.netlist;
+        assert_eq!(
+            inputs.len(),
+            netlist.inputs().len(),
+            "input vector width mismatch"
+        );
+        self.toggled.clear();
+        let first = !self.initialized;
+        self.initialized = true;
+
+        let mut in_iter = inputs.iter();
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            let new = match gate.kind {
+                GateKind::Input => *in_iter.next().expect("one value per input"),
+                GateKind::Const(v) => v,
+                kind => {
+                    let a = self.values[gate.fanin[0].index()];
+                    let b = self.values[gate.fanin[1].index()];
+                    kind.eval(a, b)
+                }
+            };
+            if new != self.values[i] && !first {
+                self.toggled.push(i as u32);
+            }
+            self.values[i] = new;
+        }
+        &self.values
+    }
+
+    /// Gates (by dense index) that changed state during the most recent
+    /// [`apply`](Simulator::apply). Empty for the very first application
+    /// (there is no prior state to toggle from).
+    pub fn toggled(&self) -> &[u32] {
+        &self.toggled
+    }
+
+    /// Current value of a named output port, interpreted little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or is wider than 64 bits.
+    pub fn port_value(&self, name: &str) -> u64 {
+        let port = self
+            .netlist
+            .port(name)
+            .unwrap_or_else(|| panic!("no port named {name}"));
+        assert!(port.len() <= 64, "port {name} wider than 64 bits");
+        port.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, n)| acc | ((self.values[n.index()] as u64) << i))
+    }
+
+    /// Builds an input vector from named port assignments.
+    ///
+    /// Ports not mentioned default to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named port is unknown or is not a primary-input port.
+    pub fn input_vector(&self, assignments: &[(&str, u64)]) -> Vec<bool> {
+        let netlist = self.netlist;
+        let mut vector = vec![false; netlist.inputs().len()];
+        for (name, value) in assignments {
+            let port = netlist
+                .port(name)
+                .unwrap_or_else(|| panic!("no port named {name}"));
+            for (i, net) in port.iter().enumerate() {
+                let pos = netlist
+                    .inputs()
+                    .iter()
+                    .position(|n| n == net)
+                    .unwrap_or_else(|| panic!("port {name} is not an input port"));
+                vector[pos] = (value >> i) & 1 == 1;
+            }
+        }
+        vector
+    }
+
+    /// Total switching energy (femtojoules) of the most recent application:
+    /// the sum of per-gate switch energies over toggled gates.
+    pub fn switch_energy_fj(&self) -> f64 {
+        self.toggled
+            .iter()
+            .map(|&i| self.netlist.gates()[i as usize].kind.switch_energy_fj())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    fn xor_circuit() -> crate::netlist::Netlist {
+        let mut b = Builder::new("xor");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.xor(a, c);
+        b.output("x", &[x]);
+        b.finish()
+    }
+
+    #[test]
+    fn first_apply_reports_no_toggles() {
+        let n = xor_circuit();
+        let mut sim = Simulator::new(&n);
+        let v = sim.input_vector(&[("a", 1), ("b", 0)]);
+        sim.apply(&v);
+        assert!(sim.toggled().is_empty());
+        assert_eq!(sim.port_value("x"), 1);
+    }
+
+    #[test]
+    fn toggles_tracked_between_vectors() {
+        let n = xor_circuit();
+        let mut sim = Simulator::new(&n);
+        let v0 = sim.input_vector(&[("a", 0), ("b", 0)]);
+        let v1 = sim.input_vector(&[("a", 1), ("b", 0)]);
+        sim.apply(&v0);
+        sim.apply(&v1);
+        // input a and the xor gate toggle
+        assert_eq!(sim.toggled().len(), 2);
+        assert!(sim.switch_energy_fj() > 0.0);
+        // re-applying the same vector toggles nothing
+        sim.apply(&v1);
+        assert!(sim.toggled().is_empty());
+        assert_eq!(sim.switch_energy_fj(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let n = xor_circuit();
+        let mut sim = Simulator::new(&n);
+        sim.apply(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no port named")]
+    fn unknown_port_panics() {
+        let n = xor_circuit();
+        let sim = Simulator::new(&n);
+        let _ = sim.port_value("zzz");
+    }
+}

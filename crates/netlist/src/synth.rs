@@ -1,0 +1,166 @@
+//! Synthesis-style reporting: cell counts, logic depth, area, and power.
+//!
+//! The paper synthesizes its components with Synopsys Design Compiler on a
+//! 45 nm FreePDK library and reports gate counts and logic depth (Table 3)
+//! plus area/power overheads (Table 2). [`SynthReport`] produces the
+//! equivalent figures for our hand-built netlists: cell count, logic depth,
+//! NAND2-equivalent area, worst-case (sum of levels) nominal path delay,
+//! and dynamic/leakage power estimates under a given toggle activity.
+
+use std::collections::BTreeMap;
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// Leakage power per NAND2-equivalent area unit, in nanowatts (45 nm-class
+/// constant; absolute scale is arbitrary but consistent across components).
+const LEAKAGE_NW_PER_AREA: f64 = 2.4;
+
+/// A synthesis report for one netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthReport {
+    /// Component name.
+    pub name: String,
+    /// Logic cell count (inputs and constants excluded).
+    pub num_gates: usize,
+    /// Logic depth in gate levels.
+    pub logic_depth: u32,
+    /// Total area in NAND2-equivalent units.
+    pub area: f64,
+    /// Nominal critical-path delay in picoseconds (sum of nominal gate
+    /// delays along the deepest path).
+    pub critical_path_ps: f64,
+    /// Dynamic power in microwatts at the given activity and clock,
+    /// `P = α · Σ E_switch · f`.
+    pub dynamic_power_uw: f64,
+    /// Leakage power in microwatts (proportional to area).
+    pub leakage_power_uw: f64,
+    /// Cell histogram by gate kind.
+    pub cells: BTreeMap<String, usize>,
+}
+
+impl SynthReport {
+    /// Characterizes `netlist` assuming `activity` (average fraction of
+    /// gates toggling per cycle) and a clock of `freq_ghz` GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]` or `freq_ghz` is not
+    /// positive.
+    pub fn characterize(netlist: &Netlist, activity: f64, freq_ghz: f64) -> Self {
+        assert!((0.0..=1.0).contains(&activity), "activity out of range");
+        assert!(freq_ghz > 0.0, "frequency must be positive");
+
+        let mut cells: BTreeMap<String, usize> = BTreeMap::new();
+        let mut total_switch_fj = 0.0;
+        for gate in netlist.gates() {
+            if matches!(gate.kind, GateKind::Input | GateKind::Const(_)) {
+                continue;
+            }
+            *cells.entry(gate.kind.to_string()).or_default() += 1;
+            total_switch_fj += gate.kind.switch_energy_fj();
+        }
+
+        let critical_path_ps = critical_path_ps(netlist);
+        let area = netlist.area();
+        // fJ * GHz = µW; activity scales the fraction of switched capacitance.
+        let dynamic_power_uw = activity * total_switch_fj * freq_ghz / 1000.0 * 1000.0;
+        let leakage_power_uw = area * LEAKAGE_NW_PER_AREA / 1000.0;
+
+        SynthReport {
+            name: netlist.name().to_string(),
+            num_gates: netlist.num_logic_gates(),
+            logic_depth: netlist.logic_depth(),
+            area,
+            critical_path_ps,
+            dynamic_power_uw,
+            leakage_power_uw,
+            cells,
+        }
+    }
+}
+
+/// Nominal critical-path delay: longest accumulated nominal gate delay from
+/// any input to any output.
+pub fn critical_path_ps(netlist: &Netlist) -> f64 {
+    let mut arrival = vec![0.0f64; netlist.gates().len()];
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let input_arrival = gate
+            .fanin_nets()
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(0.0, f64::max);
+        arrival[i] = input_arrival + gate.kind.nominal_delay_ps();
+    }
+    netlist
+        .outputs()
+        .iter()
+        .map(|n| arrival[n.index()])
+        .fold(0.0, f64::max)
+}
+
+impl std::fmt::Display for SynthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} gates, depth {}, area {:.1} NAND2-eq, Tcrit {:.0} ps",
+            self.name, self.num_gates, self.logic_depth, self.area, self.critical_path_ps
+        )?;
+        write!(
+            f,
+            "  P_dyn {:.2} µW, P_leak {:.3} µW",
+            self.dynamic_power_uw, self.leakage_power_uw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components;
+
+    #[test]
+    fn report_for_alu_is_consistent() {
+        let alu = components::alu32();
+        let r = SynthReport::characterize(&alu, 0.15, 2.0);
+        assert_eq!(r.name, "alu32");
+        assert_eq!(r.num_gates, alu.num_logic_gates());
+        assert_eq!(r.logic_depth, alu.logic_depth());
+        assert!(r.area > 0.0);
+        assert!(r.critical_path_ps > 0.0);
+        assert!(r.dynamic_power_uw > 0.0);
+        assert!(r.leakage_power_uw > 0.0);
+        let histogram_total: usize = r.cells.values().sum();
+        assert_eq!(histogram_total, r.num_gates);
+        assert!(r.to_string().contains("alu32"));
+    }
+
+    #[test]
+    fn critical_path_scales_with_depth() {
+        let sel = components::issue_select32();
+        let alu = components::alu32();
+        assert!(critical_path_ps(&alu) > critical_path_ps(&sel));
+    }
+
+    #[test]
+    fn zero_activity_means_zero_dynamic_power() {
+        let fc = components::forward_check();
+        let r = SynthReport::characterize(&fc, 0.0, 2.0);
+        assert_eq!(r.dynamic_power_uw, 0.0);
+        assert!(r.leakage_power_uw > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity out of range")]
+    fn bad_activity_panics() {
+        let fc = components::forward_check();
+        let _ = SynthReport::characterize(&fc, 1.5, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn bad_freq_panics() {
+        let fc = components::forward_check();
+        let _ = SynthReport::characterize(&fc, 0.1, 0.0);
+    }
+}

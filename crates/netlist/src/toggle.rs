@@ -1,0 +1,219 @@
+//! Sensitized-path commonality estimation (paper §S1.2).
+//!
+//! For a static instruction PC, let φ be the set of gates that change state
+//! in *every* dynamic instance and ψ the set of gates that change state in
+//! *at least one* instance. The commonality of the PC is |φ| / |ψ|; the
+//! component-level figure (paper Figure 7) is the frequency-weighted average
+//! over all PCs that exercised the component.
+
+use std::collections::HashMap;
+
+/// Per-PC toggle-set accumulator.
+#[derive(Debug, Clone)]
+struct PcSets {
+    /// Instance count.
+    count: u64,
+    /// φ: bitset of gates toggled in every instance so far.
+    phi: Vec<u64>,
+    /// ψ: bitset of gates toggled in any instance so far.
+    psi: Vec<u64>,
+}
+
+/// Commonality result for one component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Commonality {
+    /// Frequency-weighted average of per-PC |φ|/|ψ|.
+    pub weighted_average: f64,
+    /// Number of distinct PCs observed (with ≥ 2 instances).
+    pub num_pcs: usize,
+    /// Total dynamic instances accumulated.
+    pub instances: u64,
+}
+
+/// Accumulates per-PC sensitized gate sets and computes the φ/ψ commonality.
+///
+/// # Example
+///
+/// ```
+/// use tv_netlist::CommonalityAnalyzer;
+///
+/// let mut an = CommonalityAnalyzer::new(128);
+/// an.record(0x1000, &[1, 2, 3]);
+/// an.record(0x1000, &[2, 3, 4]);
+/// let c = an.finish();
+/// // φ = {2, 3}, ψ = {1, 2, 3, 4} ⇒ 0.5
+/// assert!((c.weighted_average - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommonalityAnalyzer {
+    num_gates: usize,
+    words: usize,
+    sets: HashMap<u64, PcSets>,
+}
+
+impl CommonalityAnalyzer {
+    /// Creates an analyzer for a circuit with `num_gates` gates.
+    pub fn new(num_gates: usize) -> Self {
+        CommonalityAnalyzer {
+            num_gates,
+            words: num_gates.div_ceil(64),
+            sets: HashMap::new(),
+        }
+    }
+
+    /// Records one dynamic instance of `pc` whose application toggled the
+    /// given gate indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate index is out of range.
+    pub fn record(&mut self, pc: u64, toggled: &[u32]) {
+        let mut bits = vec![0u64; self.words];
+        for &g in toggled {
+            let g = g as usize;
+            assert!(g < self.num_gates, "gate index {g} out of range");
+            bits[g / 64] |= 1 << (g % 64);
+        }
+        match self.sets.get_mut(&pc) {
+            None => {
+                self.sets.insert(
+                    pc,
+                    PcSets {
+                        count: 1,
+                        phi: bits.clone(),
+                        psi: bits,
+                    },
+                );
+            }
+            Some(s) => {
+                s.count += 1;
+                for (p, b) in s.phi.iter_mut().zip(&bits) {
+                    *p &= b;
+                }
+                for (p, b) in s.psi.iter_mut().zip(&bits) {
+                    *p |= b;
+                }
+            }
+        }
+    }
+
+    /// Per-PC commonality `(pc, count, |φ|/|ψ|)` for PCs with at least two
+    /// recorded instances and a non-empty ψ.
+    pub fn per_pc(&self) -> Vec<(u64, u64, f64)> {
+        let mut v: Vec<(u64, u64, f64)> = self
+            .sets
+            .iter()
+            .filter(|(_, s)| s.count >= 2)
+            .filter_map(|(&pc, s)| {
+                let phi: u32 = s.phi.iter().map(|w| w.count_ones()).sum();
+                let psi: u32 = s.psi.iter().map(|w| w.count_ones()).sum();
+                (psi > 0).then(|| (pc, s.count, phi as f64 / psi as f64))
+            })
+            .collect();
+        v.sort_by_key(|&(pc, _, _)| pc);
+        v
+    }
+
+    /// Computes the frequency-weighted commonality over all recorded PCs.
+    ///
+    /// PCs with fewer than two instances contribute nothing (a single
+    /// instance has φ = ψ trivially, which would inflate the result).
+    pub fn finish(&self) -> Commonality {
+        let per_pc = self.per_pc();
+        let total_weight: u64 = per_pc.iter().map(|&(_, c, _)| c).sum();
+        let weighted_average = if total_weight == 0 {
+            0.0
+        } else {
+            per_pc
+                .iter()
+                .map(|&(_, c, r)| c as f64 * r)
+                .sum::<f64>()
+                / total_weight as f64
+        };
+        Commonality {
+            weighted_average,
+            num_pcs: per_pc.len(),
+            instances: self.sets.values().map(|s| s.count).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_instances_give_full_commonality() {
+        let mut an = CommonalityAnalyzer::new(64);
+        for _ in 0..10 {
+            an.record(0x10, &[5, 9, 31]);
+        }
+        let c = an.finish();
+        assert_eq!(c.num_pcs, 1);
+        assert_eq!(c.instances, 10);
+        assert!((c.weighted_average - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_instances_give_zero_commonality() {
+        let mut an = CommonalityAnalyzer::new(64);
+        an.record(0x10, &[1, 2]);
+        an.record(0x10, &[3, 4]);
+        let c = an.finish();
+        assert_eq!(c.weighted_average, 0.0);
+    }
+
+    #[test]
+    fn phi_is_subset_of_psi() {
+        let mut an = CommonalityAnalyzer::new(256);
+        an.record(7, &[10, 20, 30]);
+        an.record(7, &[20, 30, 40]);
+        an.record(7, &[30, 20, 99]);
+        for (_, _, r) in an.per_pc() {
+            assert!((0.0..=1.0).contains(&r));
+        }
+        // φ = {20, 30}, ψ = {10, 20, 30, 40, 99} ⇒ 0.4
+        let c = an.finish();
+        assert!((c.weighted_average - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighting_respects_frequency() {
+        let mut an = CommonalityAnalyzer::new(64);
+        // hot PC: perfect commonality, 8 instances
+        for _ in 0..8 {
+            an.record(1, &[3]);
+        }
+        // cold PC: zero commonality, 2 instances
+        an.record(2, &[4]);
+        an.record(2, &[5]);
+        let c = an.finish();
+        assert!((c.weighted_average - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_instance_pcs_are_excluded() {
+        let mut an = CommonalityAnalyzer::new(64);
+        an.record(1, &[2]);
+        let c = an.finish();
+        assert_eq!(c.num_pcs, 0);
+        assert_eq!(c.instances, 1);
+        assert_eq!(c.weighted_average, 0.0);
+    }
+
+    #[test]
+    fn cross_word_gate_indices() {
+        let mut an = CommonalityAnalyzer::new(200);
+        an.record(1, &[0, 63, 64, 199]);
+        an.record(1, &[0, 63, 64, 199]);
+        let c = an.finish();
+        assert!((c.weighted_average - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_gate_panics() {
+        let mut an = CommonalityAnalyzer::new(8);
+        an.record(1, &[8]);
+    }
+}

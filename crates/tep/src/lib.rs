@@ -1,0 +1,501 @@
+//! Timing Error Predictor (TEP).
+//!
+//! The paper's TEP (§2.1.1) "combines features from the Most Recent Entry
+//! (MRE) predictor proposed by Xin et al. with the Timing Violation
+//! Predictor (TVP) proposed by Roy et al.":
+//!
+//! * a table of entries indexed by "a combination of bits in the PC and the
+//!   recent branch outcomes";
+//! * each entry holds a 2-byte tag obtained from the PC, a 2-bit saturating
+//!   counter ("a non-zero value ... indicates a possible timing
+//!   violation"), and the faulty pipe stage associated with the error;
+//! * the criticality verdict of the CDL is also "store\[d\] ... with the
+//!   timing error predictor" (§3.5.2);
+//! * predictions "consider favorable conditions for timing errors through
+//!   the use of thermal and voltage sensors" — the `armed` argument of
+//!   [`Tep::predict`].
+//!
+//! The predictor is accessed in parallel with decode; the prediction is
+//! carried with the instruction's meta-data down the pipe.
+//!
+//! # Example
+//!
+//! ```
+//! use tv_tep::{Tep, TepConfig};
+//! use tv_timing::PipeStage;
+//!
+//! let mut tep = Tep::new(TepConfig::default());
+//! assert!(!tep.predict(0x1040, true).faulty); // cold
+//! tep.train_fault(0x1040, PipeStage::Issue);
+//! let p = tep.predict(0x1040, true);
+//! assert!(p.faulty);
+//! assert_eq!(p.stage, Some(PipeStage::Issue));
+//! ```
+
+use tv_timing::PipeStage;
+
+/// Geometry and behaviour of the predictor table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TepConfig {
+    /// Number of table entries (must be a power of two).
+    pub entries: usize,
+    /// Tag width in bits (paper: 2 bytes).
+    pub tag_bits: u32,
+    /// Number of recent branch outcomes folded into the index.
+    pub history_bits: u32,
+    /// Saturating-counter ceiling (paper: 2-bit ⇒ 3).
+    pub counter_max: u8,
+    /// Increment applied when a violation is observed (fast learn).
+    pub train_up: u8,
+    /// Decrement applied when a predicted instruction completes cleanly
+    /// (slow forget).
+    pub train_down: u8,
+    /// Halve all counters every this many lookups, adapting the table to
+    /// temperature/voltage epochs. `0` disables decay.
+    pub decay_interval: u64,
+}
+
+impl TepConfig {
+    /// The paper-faithful configuration: 4096 entries, 16-bit tags, one
+    /// bit of branch history folded into the index, 2-bit counters that
+    /// saturate on the first observed violation (a violation is a strong
+    /// signal — the sensitized paths of future instances are ≈90 %
+    /// identical, §S1).
+    pub fn paper_default() -> Self {
+        TepConfig {
+            entries: 4096,
+            tag_bits: 16,
+            history_bits: 1,
+            counter_max: 3,
+            train_up: 3,
+            train_down: 1,
+            decay_interval: 1 << 20,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.entries.is_power_of_two() && self.entries >= 2,
+            "entries must be a power of two ≥ 2"
+        );
+        assert!(self.tag_bits >= 1 && self.tag_bits <= 32, "tag bits out of range");
+        assert!(self.history_bits <= 16, "history bits out of range");
+        assert!(self.counter_max >= 1, "counter max must be at least 1");
+        assert!(self.train_up >= 1, "train_up must be at least 1");
+    }
+}
+
+impl Default for TepConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One prediction, produced at decode and carried with the instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Whether a timing violation is predicted.
+    pub faulty: bool,
+    /// The predicted faulty pipe stage (present iff `faulty`).
+    pub stage: Option<PipeStage>,
+    /// Whether the CDL has marked this instruction critical (used by CDS).
+    pub critical: bool,
+}
+
+impl Prediction {
+    /// A clean (no-fault) prediction.
+    pub fn clean() -> Self {
+        Prediction {
+            faulty: false,
+            stage: None,
+            critical: false,
+        }
+    }
+}
+
+/// A captured table coordinate: the index/tag pair a decode-time lookup
+/// resolved to.
+///
+/// The index mixes in the branch-history register, which keeps shifting as
+/// the instruction flows down the pipe; training through the key therefore
+/// hits exactly the entry the prediction came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LookupKey {
+    index: u32,
+    tag: u32,
+}
+
+/// Event counters for predictor introspection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TepStats {
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups that matched a live (tag-hit, non-zero-counter) entry.
+    pub hits: u64,
+    /// Lookups returning a faulty prediction.
+    pub predictions: u64,
+    /// Fault-training events.
+    pub faults_trained: u64,
+    /// Clean-training events.
+    pub cleans_trained: u64,
+    /// Entry allocations (cold or tag-conflict).
+    pub allocations: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tag: u32,
+    counter: u8,
+    stage: PipeStage,
+    critical: bool,
+}
+
+/// The Timing Error Predictor table.
+#[derive(Debug, Clone)]
+pub struct Tep {
+    config: TepConfig,
+    table: Vec<Option<Entry>>,
+    /// Shift register of recent branch outcomes (LSB = most recent).
+    history: u32,
+    stats: TepStats,
+}
+
+impl Tep {
+    /// Creates a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`TepConfig`] fields).
+    pub fn new(config: TepConfig) -> Self {
+        config.validate();
+        Tep {
+            config,
+            table: vec![None; config.entries],
+            history: 0,
+            stats: TepStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TepConfig {
+        &self.config
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> TepStats {
+        self.stats
+    }
+
+    /// Shifts a resolved branch outcome into the history register.
+    pub fn record_branch(&mut self, taken: bool) {
+        let mask = (1u32 << self.config.history_bits.max(1)) - 1;
+        self.history = ((self.history << 1) | taken as u32) & mask;
+    }
+
+    fn index_of(&self, pc: u64) -> usize {
+        let word = pc >> 2;
+        // History occupies the top index bits: nearby PCs (which are the
+        // common simultaneous-fault case) never alias through the history
+        // contribution.
+        let index_bits = self.config.entries.trailing_zeros();
+        let shift = index_bits.saturating_sub(self.config.history_bits.max(1));
+        let hashed = word ^ (word >> 13) ^ ((self.history as u64) << shift);
+        (hashed as usize) & (self.config.entries - 1)
+    }
+
+    fn tag_of(&self, pc: u64) -> u32 {
+        // Tag from bits above the index to reduce index/tag redundancy.
+        let word = pc >> 2;
+        ((word >> 7) ^ (word << 1)) as u32 & ((1u32 << self.config.tag_bits) - 1)
+    }
+
+    /// The table coordinate `pc` resolves to under the *current* branch
+    /// history; capture it at decode and train through it later.
+    pub fn lookup_key(&self, pc: u64) -> LookupKey {
+        LookupKey {
+            index: self.index_of(pc) as u32,
+            tag: self.tag_of(pc),
+        }
+    }
+
+    /// Looks up `pc` at decode. `armed` is the sensor gate: when the
+    /// thermal/voltage sensors report unfavourable-for-errors conditions
+    /// the predictor returns a clean prediction regardless of table state.
+    pub fn predict(&mut self, pc: u64, armed: bool) -> Prediction {
+        self.stats.lookups += 1;
+        if self.config.decay_interval > 0 && self.stats.lookups % self.config.decay_interval == 0 {
+            self.decay();
+        }
+        let idx = self.index_of(pc);
+        let tag = self.tag_of(pc);
+        match self.table[idx] {
+            Some(e) if e.tag == tag && e.counter > 0 => {
+                self.stats.hits += 1;
+                if armed {
+                    self.stats.predictions += 1;
+                    Prediction {
+                        faulty: true,
+                        stage: Some(e.stage),
+                        critical: e.critical,
+                    }
+                } else {
+                    Prediction::clean()
+                }
+            }
+            _ => Prediction::clean(),
+        }
+    }
+
+    /// Trains the predictor with an observed timing violation of `pc` in
+    /// `stage` (called on replay recovery or on a tolerated predicted
+    /// fault re-confirmed by the stage-level detector).
+    pub fn train_fault(&mut self, pc: u64, stage: PipeStage) {
+        let key = self.lookup_key(pc);
+        self.train_fault_at(key, stage);
+    }
+
+    /// [`train_fault`](Tep::train_fault) through a captured decode-time key.
+    pub fn train_fault_at(&mut self, key: LookupKey, stage: PipeStage) {
+        self.stats.faults_trained += 1;
+        let idx = key.index as usize & (self.config.entries - 1);
+        let tag = key.tag;
+        let cfg = self.config;
+        match &mut self.table[idx] {
+            Some(e) if e.tag == tag => {
+                e.counter = e.counter.saturating_add(cfg.train_up).min(cfg.counter_max);
+                e.stage = stage;
+            }
+            slot => {
+                // Most-recent-entry allocation: conflicting or empty slots
+                // are overwritten by the newest faulting instruction.
+                self.stats.allocations += 1;
+                *slot = Some(Entry {
+                    tag,
+                    counter: cfg.train_up.min(cfg.counter_max),
+                    stage,
+                    critical: false,
+                });
+            }
+        }
+    }
+
+    /// Trains the predictor with a clean completion of a *predicted* `pc`
+    /// (the stage-level detector saw no late transition in the padded
+    /// cycle), weakening the entry.
+    pub fn train_clean(&mut self, pc: u64) {
+        let key = self.lookup_key(pc);
+        self.train_clean_at(key);
+    }
+
+    /// [`train_clean`](Tep::train_clean) through a captured decode-time key.
+    pub fn train_clean_at(&mut self, key: LookupKey) {
+        self.stats.cleans_trained += 1;
+        let idx = key.index as usize & (self.config.entries - 1);
+        if let Some(e) = &mut self.table[idx] {
+            if e.tag == key.tag {
+                e.counter = e.counter.saturating_sub(self.config.train_down);
+            }
+        }
+    }
+
+    /// Stores the CDL criticality verdict for `pc` (paper §3.5.2: "we store
+    /// this information with the timing error predictor"). A no-op if the
+    /// PC has no live entry.
+    pub fn set_criticality(&mut self, pc: u64, critical: bool) {
+        let key = self.lookup_key(pc);
+        self.set_criticality_at(key, critical);
+    }
+
+    /// [`set_criticality`](Tep::set_criticality) through a captured key.
+    pub fn set_criticality_at(&mut self, key: LookupKey, critical: bool) {
+        let idx = key.index as usize & (self.config.entries - 1);
+        if let Some(e) = &mut self.table[idx] {
+            if e.tag == key.tag {
+                e.critical = critical;
+            }
+        }
+    }
+
+    /// Number of live (non-zero-counter) entries.
+    pub fn live_entries(&self) -> usize {
+        self.table
+            .iter()
+            .filter(|e| e.map(|e| e.counter > 0).unwrap_or(false))
+            .count()
+    }
+
+    fn decay(&mut self) {
+        for e in self.table.iter_mut().flatten() {
+            e.counter >>= 1;
+        }
+    }
+
+    /// Hardware cost of this configuration in bits (tag + counter + stage
+    /// field + criticality per entry), for the overhead accounting.
+    pub fn storage_bits(&self) -> usize {
+        // 2-bit counter modelled by counter_max, 3-bit stage code + 1-bit
+        // critical = the paper's 4-bit error-prediction field (§3.2.1).
+        let counter_bits = 8 - (self.config.counter_max.leading_zeros() as usize % 8);
+        self.config.entries * (self.config.tag_bits as usize + counter_bits + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tep() -> Tep {
+        Tep::new(TepConfig::paper_default())
+    }
+
+    #[test]
+    fn cold_predictor_predicts_clean() {
+        let mut t = tep();
+        for pc in (0x1000..0x2000).step_by(4) {
+            assert_eq!(t.predict(pc, true), Prediction::clean());
+        }
+        assert_eq!(t.stats().predictions, 0);
+        assert_eq!(t.live_entries(), 0);
+    }
+
+    #[test]
+    fn learns_after_one_fault() {
+        let mut t = tep();
+        t.train_fault(0x1040, PipeStage::Memory);
+        let p = t.predict(0x1040, true);
+        assert!(p.faulty);
+        assert_eq!(p.stage, Some(PipeStage::Memory));
+        assert_eq!(t.live_entries(), 1);
+    }
+
+    #[test]
+    fn sensor_gating_suppresses_prediction() {
+        let mut t = tep();
+        t.train_fault(0x1040, PipeStage::Issue);
+        assert!(!t.predict(0x1040, false).faulty);
+        assert!(t.predict(0x1040, true).faulty);
+        // suppressed lookups still count as hits
+        assert_eq!(t.stats().hits, 2);
+        assert_eq!(t.stats().predictions, 1);
+    }
+
+    #[test]
+    fn counter_saturates_and_weakens() {
+        let mut t = tep();
+        for _ in 0..10 {
+            t.train_fault(0x2000, PipeStage::Issue);
+        }
+        // saturated at counter_max = 3; two clean trainings (down 1 each)
+        // leave it live, a third clears it.
+        t.train_clean(0x2000);
+        t.train_clean(0x2000);
+        assert!(t.predict(0x2000, true).faulty);
+        t.train_clean(0x2000);
+        assert!(!t.predict(0x2000, true).faulty);
+    }
+
+    #[test]
+    fn criticality_round_trips() {
+        let mut t = tep();
+        t.train_fault(0x3000, PipeStage::Execute);
+        assert!(!t.predict(0x3000, true).critical);
+        t.set_criticality(0x3000, true);
+        assert!(t.predict(0x3000, true).critical);
+        t.set_criticality(0x3000, false);
+        assert!(!t.predict(0x3000, true).critical);
+    }
+
+    #[test]
+    fn history_changes_index() {
+        let cfg = TepConfig::paper_default();
+        let mut t = Tep::new(cfg);
+        let pc = 0x4444;
+        let idx0 = t.index_of(pc);
+        t.record_branch(true);
+        let idx1 = t.index_of(pc);
+        assert_ne!(idx0, idx1, "branch history must perturb the index");
+    }
+
+    #[test]
+    fn history_register_is_bounded() {
+        let mut t = tep();
+        for _ in 0..100 {
+            t.record_branch(true);
+        }
+        assert!(t.history < (1 << t.config().history_bits));
+    }
+
+    #[test]
+    fn conflicting_pc_evicts_most_recent_entry_style() {
+        let cfg = TepConfig {
+            entries: 2,
+            history_bits: 0,
+            ..TepConfig::paper_default()
+        };
+        let mut t = Tep::new(cfg);
+        // find two PCs with same index, different tags
+        let pc_a = 0x1000u64;
+        let idx_a = t.index_of(pc_a);
+        let pc_b = (0x1000..0x100000)
+            .step_by(4)
+            .find(|&pc| t.index_of(pc) == idx_a && t.tag_of(pc) != t.tag_of(pc_a))
+            .expect("conflicting pc exists");
+        t.train_fault(pc_a, PipeStage::Issue);
+        assert!(t.predict(pc_a, true).faulty);
+        t.train_fault(pc_b, PipeStage::Issue);
+        assert!(t.predict(pc_b, true).faulty, "newest entry wins the slot");
+        assert!(!t.predict(pc_a, true).faulty, "old entry evicted");
+        assert_eq!(t.stats().allocations, 2);
+    }
+
+    #[test]
+    fn decay_halves_counters() {
+        let cfg = TepConfig {
+            decay_interval: 8,
+            ..TepConfig::paper_default()
+        };
+        let mut t = Tep::new(cfg);
+        t.train_fault(0x5000, PipeStage::Issue); // counter = 2
+        // 7 lookups, the 8th triggers decay (2 -> 1), still live
+        for _ in 0..8 {
+            let _ = t.predict(0x5000, true);
+        }
+        assert!(t.predict(0x5000, true).faulty);
+        // next decay: 1 -> 0, entry dies
+        for _ in 0..8 {
+            let _ = t.predict(0x5000, true);
+        }
+        assert!(!t.predict(0x5000, true).faulty);
+    }
+
+    #[test]
+    fn storage_bits_matches_geometry() {
+        let t = tep();
+        // 4096 × (16-bit tag + 2-bit counter + 4-bit fault field)
+        assert_eq!(t.storage_bits(), 4096 * (16 + 2 + 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_entries_panics() {
+        let _ = Tep::new(TepConfig {
+            entries: 100,
+            ..TepConfig::paper_default()
+        });
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = tep();
+        t.train_fault(0x6000, PipeStage::Issue);
+        let _ = t.predict(0x6000, true);
+        let _ = t.predict(0x6004, true);
+        t.train_clean(0x6000);
+        let s = t.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.predictions, 1);
+        assert_eq!(s.faults_trained, 1);
+        assert_eq!(s.cleans_trained, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Statistical timing and fault modelling.
+//!
+//! The paper's methodology (§4.3): "To simulate timing faults, we embed gate
+//! delay information in the architectural simulation. The effect of process
+//! variation and aging on the circuit timing is obtained by our in-house
+//! statistical timing tool that uses SPICE characterized gate delay
+//! distributions. To model process variation, we assume that the transistor
+//! length, width and oxide thickness behave as Gaussian distributions with
+//! ±20% deviation across the nominal values. ... Faults are assumed to occur
+//! when the 95% confidence interval of the stage delay exceeds the cycle
+//! time (µ + 2σ)."
+//!
+//! This crate rebuilds that tool chain:
+//!
+//! * [`variation`] — Gaussian process-variation model over transistor L, W
+//!   and t_ox, mapped to per-gate delay multipliers;
+//! * [`voltage`] — alpha-power-law supply-voltage delay scaling, with the
+//!   paper's three operating points (1.10 V baseline, 1.04 V low-fault,
+//!   0.97 V high-fault);
+//! * [`sta`] — Monte-Carlo statistical static timing analysis over
+//!   [`tv_netlist`] circuits, with the µ+2σ fault criterion;
+//! * [`sensor`] — the thermal/voltage-sensor favourability signal that
+//!   gates Timing Error Predictor predictions (paper §2.1.1);
+//! * [`fault`] — the per-static-PC persistent-criticality fault model used
+//!   by the pipeline simulator, calibrated to the per-benchmark fault rates
+//!   of Table 1 and exhibiting the ≈90 % per-PC repeatability measured in
+//!   the paper's §S1 study.
+
+pub mod fault;
+pub mod sensor;
+pub mod sta;
+pub mod variation;
+pub mod voltage;
+
+pub use fault::{FaultCalibration, FaultModel, PipeStage};
+pub use sensor::SensorModel;
+pub use sta::{StaResult, StatisticalSta};
+pub use variation::ProcessVariation;
+pub use voltage::{delay_factor, Voltage, VDD_HIGH_FAULT, VDD_LOW_FAULT, VDD_NOMINAL};

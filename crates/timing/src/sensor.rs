@@ -1,0 +1,152 @@
+//! Thermal/voltage sensor favourability model.
+//!
+//! The TEP "also considers favorable conditions for timing errors through
+//! the use of thermal and voltage sensors" (paper §2.1.1). Real sensors
+//! observe slow thermal drift plus occasional supply droops. This model
+//! produces a deterministic favourability *level* in `[-1, 1]` as a
+//! function of program position: a slow sinusoid (thermal time constant)
+//! plus pseudo-random droop events (di/dt noise). Positive levels mean
+//! conditions favour timing violations (hot and/or droopy); the fault model
+//! scales its effective fault rate with the level, and the TEP arms its
+//! predictions only when the level is above the arming threshold.
+
+/// Deterministic thermal/voltage favourability signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorModel {
+    /// Amplitude of the thermal sinusoid (fraction of level budget).
+    pub thermal_amplitude: f64,
+    /// Period of the thermal sinusoid in instructions.
+    pub thermal_period: u64,
+    /// Amplitude of droop events.
+    pub droop_amplitude: f64,
+    /// Mean spacing between droop events in instructions.
+    pub droop_spacing: u64,
+    /// Droop event duration in instructions.
+    pub droop_len: u64,
+    /// Level above which the TEP arms predictions.
+    pub arming_threshold: f64,
+    /// Seed for droop-event placement.
+    pub seed: u64,
+}
+
+impl SensorModel {
+    /// A representative default: ±0.3 thermal swing over 200 k instructions
+    /// with 0.4-strength droops every ~50 k instructions lasting 2 k, and
+    /// predictions armed above level −0.8 (i.e. almost always — the paper's
+    /// predictor is gated off only in distinctly cold/quiet conditions).
+    pub fn paper_default(seed: u64) -> Self {
+        SensorModel {
+            thermal_amplitude: 0.3,
+            thermal_period: 200_000,
+            droop_amplitude: 0.4,
+            droop_spacing: 50_000,
+            droop_len: 2_000,
+            arming_threshold: -0.8,
+            seed,
+        }
+    }
+
+    /// A quiescent sensor that always reads level 0 and always arms.
+    pub fn quiescent() -> Self {
+        SensorModel {
+            thermal_amplitude: 0.0,
+            thermal_period: 1,
+            droop_amplitude: 0.0,
+            droop_spacing: u64::MAX,
+            droop_len: 0,
+            arming_threshold: -1.0,
+            seed: 0,
+        }
+    }
+
+    /// Favourability level at dynamic instruction position `seq`, in
+    /// `[-1, 1]`.
+    pub fn level(&self, seq: u64) -> f64 {
+        let mut level = 0.0;
+        if self.thermal_amplitude > 0.0 && self.thermal_period > 1 {
+            let phase = (seq % self.thermal_period) as f64 / self.thermal_period as f64;
+            level += self.thermal_amplitude * (2.0 * std::f64::consts::PI * phase).sin();
+        }
+        if self.droop_amplitude > 0.0 && self.droop_spacing != u64::MAX {
+            // Hash each droop window; a window hosts a droop event at a
+            // hashed offset within it.
+            let window = seq / self.droop_spacing.max(1);
+            let h = hash2(self.seed, window);
+            let offset = h % self.droop_spacing.max(1);
+            let start = window * self.droop_spacing + offset;
+            if seq >= start && seq < start + self.droop_len {
+                level += self.droop_amplitude;
+            }
+        }
+        level.clamp(-1.0, 1.0)
+    }
+
+    /// Whether the TEP should arm predictions at this position.
+    pub fn armed(&self, seq: u64) -> bool {
+        self.level(seq) >= self.arming_threshold
+    }
+}
+
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_sensor_is_flat_and_armed() {
+        let s = SensorModel::quiescent();
+        for seq in [0u64, 1, 1000, u64::MAX / 2] {
+            assert_eq!(s.level(seq), 0.0);
+            assert!(s.armed(seq));
+        }
+    }
+
+    #[test]
+    fn levels_bounded() {
+        let s = SensorModel::paper_default(42);
+        for seq in (0..500_000).step_by(777) {
+            let l = s.level(seq);
+            assert!((-1.0..=1.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn thermal_component_oscillates() {
+        let s = SensorModel {
+            droop_amplitude: 0.0,
+            ..SensorModel::paper_default(1)
+        };
+        let quarter = s.thermal_period / 4;
+        let three_quarter = 3 * s.thermal_period / 4;
+        assert!(s.level(quarter) > 0.25);
+        assert!(s.level(three_quarter) < -0.25);
+    }
+
+    #[test]
+    fn droops_occur() {
+        let s = SensorModel {
+            thermal_amplitude: 0.0,
+            ..SensorModel::paper_default(7)
+        };
+        let droopy = (0..400_000u64).filter(|&q| s.level(q) > 0.2).count();
+        assert!(droopy > 0, "expected droop events");
+        // droops are rare: well under 10 % of positions
+        assert!((droopy as f64) < 0.1 * 400_000.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SensorModel::paper_default(9);
+        let b = SensorModel::paper_default(9);
+        let c = SensorModel::paper_default(10);
+        let probe: Vec<u64> = (0..200_000).step_by(501).collect();
+        assert!(probe.iter().all(|&q| a.level(q) == b.level(q)));
+        assert!(probe.iter().any(|&q| a.level(q) != c.level(q)));
+    }
+}

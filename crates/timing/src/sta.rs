@@ -1,0 +1,206 @@
+//! Monte-Carlo statistical static timing analysis.
+//!
+//! Propagates per-gate delay distributions through a [`tv_netlist::Netlist`]
+//! to estimate the distribution of the component's critical-path delay under
+//! process variation and supply-voltage scaling, and applies the paper's
+//! fault criterion: a stage is faulty at a given cycle time when the 95 %
+//! confidence bound of its delay (µ + 2σ) exceeds the cycle time.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use tv_netlist::Netlist;
+
+use crate::variation::ProcessVariation;
+use crate::voltage::Voltage;
+
+/// Result of a statistical STA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaResult {
+    /// Mean critical-path delay in picoseconds.
+    pub mean_ps: f64,
+    /// Standard deviation of the critical-path delay in picoseconds.
+    pub sigma_ps: f64,
+    /// Number of Monte-Carlo samples.
+    pub samples: usize,
+    /// Raw sorted sample values (for quantile checks).
+    pub sorted_samples: Vec<f64>,
+}
+
+impl StaResult {
+    /// The paper's fault criterion bound: µ + 2σ.
+    pub fn mu_plus_two_sigma(&self) -> f64 {
+        self.mean_ps + 2.0 * self.sigma_ps
+    }
+
+    /// Whether the stage faults at `cycle_time_ps` under the µ+2σ criterion.
+    pub fn fails_at(&self, cycle_time_ps: f64) -> bool {
+        self.mu_plus_two_sigma() > cycle_time_ps
+    }
+
+    /// Empirical quantile of the sampled delay distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let idx = ((self.sorted_samples.len() - 1) as f64 * q).round() as usize;
+        self.sorted_samples[idx]
+    }
+}
+
+/// Monte-Carlo STA engine over one netlist.
+#[derive(Debug, Clone)]
+pub struct StatisticalSta<'n> {
+    netlist: &'n Netlist,
+    variation: ProcessVariation,
+    samples: usize,
+}
+
+impl<'n> StatisticalSta<'n> {
+    /// Creates an engine with the paper-default variation and 500 samples.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        StatisticalSta {
+            netlist,
+            variation: ProcessVariation::paper_default(),
+            samples: 500,
+        }
+    }
+
+    /// Overrides the variation model.
+    pub fn with_variation(mut self, variation: ProcessVariation) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Overrides the sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "sample count must be positive");
+        self.samples = samples;
+        self
+    }
+
+    /// Runs the analysis at the given supply voltage.
+    ///
+    /// Each Monte-Carlo sample models one die: every gate draws a frozen
+    /// variation multiplier, nominal delays are scaled by the voltage
+    /// factor, and the maximum arrival time over all outputs is recorded.
+    pub fn run(&self, vdd: Voltage, seed: u64) -> StaResult {
+        let vf = vdd.delay_factor();
+        let gates = self.netlist.gates();
+        let mut samples = Vec::with_capacity(self.samples);
+        let mut arrival = vec![0.0f64; gates.len()];
+
+        for die in 0..self.samples {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed ^ (die as u64).wrapping_mul(0x517c_c1b7));
+            for (i, gate) in gates.iter().enumerate() {
+                let input_arrival = gate
+                    .fanin_nets()
+                    .iter()
+                    .map(|n| arrival[n.index()])
+                    .fold(0.0, f64::max);
+                let nominal = gate.kind.nominal_delay_ps();
+                let delay = if nominal == 0.0 {
+                    0.0
+                } else {
+                    nominal * vf * self.variation.sample_multiplier(&mut rng)
+                };
+                arrival[i] = input_arrival + delay;
+            }
+            let crit = self
+                .netlist
+                .outputs()
+                .iter()
+                .map(|n| arrival[n.index()])
+                .fold(0.0, f64::max);
+            samples.push(crit);
+        }
+
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+        StaResult {
+            mean_ps: mean,
+            sigma_ps: var.sqrt(),
+            samples: self.samples,
+            sorted_samples: samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_netlist::components;
+
+    #[test]
+    fn lower_voltage_shifts_distribution_up() {
+        let agen = components::agen32();
+        let sta = StatisticalSta::new(&agen).with_samples(200);
+        let nominal = sta.run(Voltage::nominal(), 5);
+        let low = sta.run(Voltage::high_fault(), 5);
+        assert!(low.mean_ps > nominal.mean_ps);
+        assert!(low.mu_plus_two_sigma() > nominal.mu_plus_two_sigma());
+    }
+
+    #[test]
+    fn mu_plus_two_sigma_approximates_p95() {
+        // For the near-Gaussian max-of-paths distribution, µ+2σ should land
+        // beyond the 90th percentile.
+        let fc = components::forward_check();
+        let sta = StatisticalSta::new(&fc).with_samples(400);
+        let r = sta.run(Voltage::nominal(), 11);
+        assert!(r.mu_plus_two_sigma() >= r.quantile(0.90));
+        assert!(r.mu_plus_two_sigma() <= r.quantile(1.0) * 1.2);
+    }
+
+    #[test]
+    fn fault_criterion_thresholds() {
+        let sel = components::issue_select32();
+        let sta = StatisticalSta::new(&sel).with_samples(100);
+        let r = sta.run(Voltage::nominal(), 3);
+        assert!(r.fails_at(r.mu_plus_two_sigma() - 1.0));
+        assert!(!r.fails_at(r.mu_plus_two_sigma() + 1.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let agen = components::agen32();
+        let sta = StatisticalSta::new(&agen).with_samples(50);
+        let a = sta.run(Voltage::low_fault(), 7);
+        let b = sta.run(Voltage::low_fault(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deeper_components_are_slower() {
+        let alu = components::alu32();
+        let fc = components::forward_check();
+        let r_alu = StatisticalSta::new(&alu).with_samples(60).run(Voltage::nominal(), 1);
+        let r_fc = StatisticalSta::new(&fc).with_samples(60).run(Voltage::nominal(), 1);
+        assert!(r_alu.mean_ps > r_fc.mean_ps);
+    }
+
+    #[test]
+    fn zero_variation_gives_zero_sigma() {
+        let fc = components::forward_check();
+        let sta = StatisticalSta::new(&fc)
+            .with_variation(ProcessVariation::new(0.0, 0.0))
+            .with_samples(20);
+        let r = sta.run(Voltage::nominal(), 9);
+        assert!(r.sigma_ps < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count must be positive")]
+    fn zero_samples_panics() {
+        let fc = components::forward_check();
+        let _ = StatisticalSta::new(&fc).with_samples(0);
+    }
+}

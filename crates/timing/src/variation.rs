@@ -1,0 +1,144 @@
+//! Process-variation model.
+//!
+//! Per the paper (§4.3): transistor length, width and oxide thickness are
+//! Gaussian with ±20 % deviation across nominal (interpreted, as is
+//! conventional, as a 3σ band ⇒ σ = 20 %/3 ≈ 6.7 %). First-order device
+//! physics maps parameter deviations to a gate-delay multiplier:
+//! drive current rises with width and falls with channel length and oxide
+//! thickness, so `delay ∝ L · t_ox / W`.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Gaussian process-variation model over (L, W, t_ox).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessVariation {
+    /// Relative standard deviation of each parameter (default 0.2/3).
+    pub sigma: f64,
+    /// Additional systematic aging/wearout slowdown applied to every gate
+    /// (e.g. 0.02 for a 2 % NBTI-aged chip). Default 0.
+    pub aging: f64,
+}
+
+impl ProcessVariation {
+    /// The paper's variation magnitude: ±20 % treated as a 3σ band.
+    pub fn paper_default() -> Self {
+        ProcessVariation {
+            sigma: 0.20 / 3.0,
+            aging: 0.0,
+        }
+    }
+
+    /// Creates a model with the given per-parameter relative σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not in `[0, 0.25]` (larger values make the
+    /// first-order mapping meaningless) or `aging` is negative.
+    pub fn new(sigma: f64, aging: f64) -> Self {
+        assert!((0.0..=0.25).contains(&sigma), "sigma out of range");
+        assert!(aging >= 0.0, "aging must be non-negative");
+        ProcessVariation { sigma, aging }
+    }
+
+    /// Samples one gate's delay multiplier.
+    ///
+    /// The multiplier is `(1+δL)(1+δt_ox)/(1+δW) · (1+aging)`, with each δ
+    /// drawn from `N(0, σ²)` truncated at ±3σ (hard process corners).
+    pub fn sample_multiplier<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let dl = self.sample_gaussian(rng);
+        let dw = self.sample_gaussian(rng);
+        let dt = self.sample_gaussian(rng);
+        ((1.0 + dl) * (1.0 + dt) / (1.0 + dw)) * (1.0 + self.aging)
+    }
+
+    /// Deterministic per-gate multiplier: the same `(die_seed, gate_index)`
+    /// always yields the same multiplier, modelling that variation is
+    /// frozen at fabrication.
+    pub fn multiplier_for_gate(&self, die_seed: u64, gate_index: usize) -> f64 {
+        let mut rng =
+            ChaCha12Rng::seed_from_u64(die_seed ^ (gate_index as u64).wrapping_mul(0x9e37_79b9));
+        self.sample_multiplier(&mut rng)
+    }
+
+    /// Truncated Gaussian sample via Box–Muller.
+    fn sample_gaussian<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return 0.0;
+        }
+        loop {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let d = z * self.sigma;
+            if d.abs() <= 3.0 * self.sigma {
+                return d;
+            }
+        }
+    }
+}
+
+impl Default for ProcessVariation {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multipliers_center_near_one() {
+        let pv = ProcessVariation::paper_default();
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| pv.sample_multiplier(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean multiplier {mean}");
+    }
+
+    #[test]
+    fn multipliers_spread_with_sigma() {
+        let spread = |sigma: f64| {
+            let pv = ProcessVariation::new(sigma, 0.0);
+            let mut rng = ChaCha12Rng::seed_from_u64(2);
+            let n = 10_000;
+            let samples: Vec<f64> = (0..n).map(|_| pv.sample_multiplier(&mut rng)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt()
+        };
+        assert!(spread(0.10) > spread(0.02));
+        assert_eq!(spread(0.0), 0.0);
+    }
+
+    #[test]
+    fn per_gate_multiplier_is_frozen() {
+        let pv = ProcessVariation::paper_default();
+        let a = pv.multiplier_for_gate(99, 7);
+        let b = pv.multiplier_for_gate(99, 7);
+        assert_eq!(a, b);
+        let c = pv.multiplier_for_gate(99, 8);
+        assert_ne!(a, c);
+        let d = pv.multiplier_for_gate(100, 7);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn aging_slows_everything() {
+        let fresh = ProcessVariation::new(0.0, 0.0);
+        let aged = ProcessVariation::new(0.0, 0.05);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let f = fresh.sample_multiplier(&mut rng);
+        let a = aged.sample_multiplier(&mut rng);
+        assert!((f - 1.0).abs() < 1e-12);
+        assert!((a - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma out of range")]
+    fn oversized_sigma_panics() {
+        let _ = ProcessVariation::new(0.3, 0.0);
+    }
+}

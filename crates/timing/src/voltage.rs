@@ -1,0 +1,129 @@
+//! Supply-voltage delay scaling.
+//!
+//! Gate delay follows the alpha-power law `t_d ∝ V_DD / (V_DD − V_th)^α`
+//! (Sakurai & Newton), normalized so the paper's 1.10 V baseline has
+//! factor 1.0. Lowering the supply stretches every gate delay by the same
+//! multiplicative factor, which is how the paper creates its two faulty
+//! environments.
+
+/// Nominal (fault-free) supply voltage — paper §4.3: "The baseline machines
+/// have zero fault rate when executing at 1.1V supply voltage."
+pub const VDD_NOMINAL: f64 = 1.10;
+/// Low-fault-rate operating point (paper: 1.04 V).
+pub const VDD_LOW_FAULT: f64 = 1.04;
+/// High-fault-rate operating point (paper: 0.97 V).
+pub const VDD_HIGH_FAULT: f64 = 0.97;
+
+/// Threshold voltage of the 45 nm-class device model.
+pub const V_TH: f64 = 0.35;
+/// Velocity-saturation exponent of the alpha-power law.
+pub const ALPHA: f64 = 1.3;
+
+/// A validated supply-voltage value.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Voltage(f64);
+
+impl Voltage {
+    /// Creates a voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `V_th < vdd ≤ 1.5` (delay diverges at the threshold).
+    pub fn new(vdd: f64) -> Self {
+        assert!(
+            vdd > V_TH && vdd <= 1.5,
+            "supply voltage {vdd} out of the valid range ({V_TH}, 1.5]"
+        );
+        Voltage(vdd)
+    }
+
+    /// Raw volts.
+    pub fn volts(self) -> f64 {
+        self.0
+    }
+
+    /// Delay multiplier relative to the 1.10 V baseline (≥ 1 below nominal).
+    pub fn delay_factor(self) -> f64 {
+        delay_factor(self.0)
+    }
+
+    /// The paper's nominal operating point.
+    pub fn nominal() -> Self {
+        Voltage(VDD_NOMINAL)
+    }
+
+    /// The paper's low-fault-rate operating point (1.04 V).
+    pub fn low_fault() -> Self {
+        Voltage(VDD_LOW_FAULT)
+    }
+
+    /// The paper's high-fault-rate operating point (0.97 V).
+    pub fn high_fault() -> Self {
+        Voltage(VDD_HIGH_FAULT)
+    }
+}
+
+impl std::fmt::Display for Voltage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}V", self.0)
+    }
+}
+
+/// Alpha-power-law delay factor of `vdd` relative to [`VDD_NOMINAL`].
+///
+/// # Panics
+///
+/// Panics if `vdd <= V_TH`.
+pub fn delay_factor(vdd: f64) -> f64 {
+    assert!(vdd > V_TH, "supply voltage must exceed the threshold voltage");
+    let d = |v: f64| v / (v - V_TH).powf(ALPHA);
+    d(vdd) / d(VDD_NOMINAL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_factor_is_one() {
+        assert!((delay_factor(VDD_NOMINAL) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_voltage_is_slower() {
+        let f104 = delay_factor(VDD_LOW_FAULT);
+        let f097 = delay_factor(VDD_HIGH_FAULT);
+        assert!(f104 > 1.0);
+        assert!(f097 > f104);
+        // Sanity band for the alpha-power parameters chosen.
+        assert!(f104 > 1.02 && f104 < 1.10, "f(1.04) = {f104}");
+        assert!(f097 > 1.08 && f097 < 1.20, "f(0.97) = {f097}");
+    }
+
+    #[test]
+    fn factor_is_monotone_in_voltage() {
+        let mut prev = f64::INFINITY;
+        let mut v = 0.80;
+        while v <= 1.30 {
+            let f = delay_factor(v);
+            assert!(f < prev, "delay factor must fall as voltage rises");
+            prev = f;
+            v += 0.01;
+        }
+    }
+
+    #[test]
+    fn voltage_constructors() {
+        assert_eq!(Voltage::nominal().volts(), VDD_NOMINAL);
+        assert_eq!(Voltage::low_fault().volts(), VDD_LOW_FAULT);
+        assert_eq!(Voltage::high_fault().volts(), VDD_HIGH_FAULT);
+        assert_eq!(Voltage::new(1.0).to_string(), "1.00V");
+        assert!((Voltage::nominal().delay_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the valid range")]
+    fn sub_threshold_voltage_panics() {
+        let _ = Voltage::new(0.2);
+    }
+}

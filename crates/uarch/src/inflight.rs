@@ -1,0 +1,213 @@
+//! In-flight instruction state and the slab that owns it.
+
+use tv_timing::PipeStage;
+use tv_workloads::TraceInst;
+
+/// Identifier of an in-flight instruction in the [`Slab`].
+pub type SlotId = usize;
+
+/// All per-instruction state carried through the pipeline.
+#[derive(Debug, Clone)]
+pub struct InFlightInst {
+    /// The trace instruction (architectural content).
+    pub trace: TraceInst,
+    /// Timing-fault verdict from the fault model for this dynamic instance
+    /// (`None` after a replay clears it: the replayed instance runs with a
+    /// restored guard band, as in Razor).
+    pub actual_fault: Option<PipeStage>,
+    /// TEP prediction attached at decode.
+    pub predicted_fault: Option<PipeStage>,
+    /// TEP criticality bit attached at decode (used by CDS).
+    pub predicted_critical: bool,
+    /// TEP lookup key captured at decode so training hits the same entry.
+    pub tep_key: Option<tv_tep::LookupKey>,
+    /// Whether fetch detected that the branch predictor disagrees with the
+    /// resolved outcome (fetch then blocks until this branch resolves).
+    pub branch_mispredicted: bool,
+    /// 6-bit modulo-64 dispatch timestamp (the paper's ABS hardware).
+    pub timestamp: u8,
+    /// Renamed source physical registers.
+    pub src_phys: [Option<u16>; 2],
+    /// Renamed destination physical register.
+    pub dst_phys: Option<u16>,
+    /// Previous mapping of the destination architectural register (freed at
+    /// retire, restored on squash).
+    pub old_phys: Option<u16>,
+    /// Whether an in-order stall signal has already been charged for this
+    /// instruction (the stage stall applies exactly once).
+    pub in_order_charged: bool,
+    /// Cycle the instruction was dispatched into the window.
+    pub dispatch_cycle: u64,
+    /// Cycle the instruction issued (None before issue).
+    pub issue_cycle: Option<u64>,
+    /// Cycle the instruction finishes writeback and may retire.
+    pub complete_cycle: Option<u64>,
+    /// Cycle dependents may issue (result broadcast timing).
+    pub wake_cycle: Option<u64>,
+}
+
+impl InFlightInst {
+    /// Wraps a trace instruction as it enters the machine.
+    pub fn new(trace: TraceInst) -> Self {
+        InFlightInst {
+            trace,
+            actual_fault: None,
+            predicted_fault: None,
+            predicted_critical: false,
+            tep_key: None,
+            branch_mispredicted: false,
+            timestamp: 0,
+            src_phys: [None, None],
+            dst_phys: None,
+            old_phys: None,
+            in_order_charged: false,
+            dispatch_cycle: 0,
+            issue_cycle: None,
+            complete_cycle: None,
+            wake_cycle: None,
+        }
+    }
+
+    /// Global dynamic sequence number.
+    pub fn seq(&self) -> u64 {
+        self.trace.seq
+    }
+
+    /// Whether the instruction is predicted faulty in `stage`.
+    pub fn predicted_faulty_in(&self, stage: PipeStage) -> bool {
+        self.predicted_fault == Some(stage)
+    }
+
+    /// Whether the paper's VTE treats this instruction as faulty (a
+    /// prediction exists for *some* OoO stage).
+    pub fn treated_as_faulty(&self) -> bool {
+        self.predicted_fault.map(|s| s.is_ooo()).unwrap_or(false)
+    }
+}
+
+/// Slab storage for in-flight instructions; pipeline structures hold
+/// [`SlotId`]s into it.
+#[derive(Debug, Default)]
+pub struct Slab {
+    items: Vec<Option<InFlightInst>>,
+    free: Vec<SlotId>,
+}
+
+impl Slab {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab::default()
+    }
+
+    /// Inserts an instruction, returning its slot.
+    pub fn insert(&mut self, inst: InFlightInst) -> SlotId {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.items[id].is_none());
+                self.items[id] = Some(inst);
+                id
+            }
+            None => {
+                self.items.push(Some(inst));
+                self.items.len() - 1
+            }
+        }
+    }
+
+    /// Removes and returns the instruction in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant (double-free is a pipeline bug).
+    pub fn remove(&mut self, slot: SlotId) -> InFlightInst {
+        let inst = self.items[slot].take().expect("slot is occupied");
+        self.free.push(slot);
+        inst
+    }
+
+    /// Shared access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn get(&self, slot: SlotId) -> &InFlightInst {
+        self.items[slot].as_ref().expect("slot is occupied")
+    }
+
+    /// Exclusive access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn get_mut(&mut self, slot: SlotId) -> &mut InFlightInst {
+        self.items[slot].as_mut().expect("slot is occupied")
+    }
+
+    /// Number of live instructions.
+    pub fn len(&self) -> usize {
+        self.items.len() - self.free.len()
+    }
+
+    /// Whether the slab is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_workloads::{OpClass, TraceInst};
+
+    fn inst(seq: u64) -> InFlightInst {
+        InFlightInst::new(TraceInst {
+            seq,
+            pc: 0x1000 + 4 * seq,
+            op: OpClass::IntAlu,
+            srcs: [None, None],
+            dst: None,
+            mem_addr: None,
+            taken: None,
+            target: None,
+            operand_values: [0, 0],
+        })
+    }
+
+    #[test]
+    fn slab_insert_get_remove() {
+        let mut slab = Slab::new();
+        let a = slab.insert(inst(0));
+        let b = slab.insert(inst(1));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a).seq(), 0);
+        assert_eq!(slab.get(b).seq(), 1);
+        let removed = slab.remove(a);
+        assert_eq!(removed.seq(), 0);
+        assert_eq!(slab.len(), 1);
+        // slot reuse
+        let c = slab.insert(inst(2));
+        assert_eq!(c, a);
+        assert!(!slab.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot is occupied")]
+    fn double_remove_panics() {
+        let mut slab = Slab::new();
+        let a = slab.insert(inst(0));
+        let _ = slab.remove(a);
+        let _ = slab.remove(a);
+    }
+
+    #[test]
+    fn predicted_faulty_helpers() {
+        let mut i = inst(3);
+        assert!(!i.treated_as_faulty());
+        i.predicted_fault = Some(tv_timing::PipeStage::Execute);
+        assert!(i.treated_as_faulty());
+        assert!(i.predicted_faulty_in(tv_timing::PipeStage::Execute));
+        assert!(!i.predicted_faulty_in(tv_timing::PipeStage::Memory));
+        i.predicted_fault = Some(tv_timing::PipeStage::Fetch);
+        assert!(!i.treated_as_faulty(), "front-end faults are not VTE's job");
+    }
+}

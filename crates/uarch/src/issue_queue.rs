@@ -1,0 +1,169 @@
+//! Issue queue (reservation stations).
+//!
+//! Entries carry the paper's VTE additions (§3.2.1): a faulty bit plus a
+//! faulty-stage field (the 4-bit error-prediction field) and the CDL
+//! criticality bit — all stored in the [`InFlightInst`] the entry points
+//! at. The queue also implements the Criticality Detection Logic's
+//! tag-match count (§3.5.2): when a producer broadcasts its result tag,
+//! the number of waiting entries matching that tag estimates how many
+//! dependents the producer gates.
+//!
+//! [`InFlightInst`]: crate::inflight::InFlightInst
+
+use crate::inflight::{Slab, SlotId};
+
+/// The issue queue: an unordered pool of dispatched, un-issued entries.
+#[derive(Debug, Clone, Default)]
+pub struct IssueQueue {
+    entries: Vec<SlotId>,
+    capacity: usize,
+}
+
+impl IssueQueue {
+    /// Creates a queue with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "issue queue capacity must be positive");
+        IssueQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Free entries remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a dispatched instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (dispatch must check
+    /// [`free`](IssueQueue::free)).
+    pub fn push(&mut self, slot: SlotId) {
+        assert!(self.entries.len() < self.capacity, "issue queue overflow");
+        self.entries.push(slot);
+    }
+
+    /// Iterates the resident slots.
+    pub fn iter(&self) -> impl Iterator<Item = SlotId> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Removes an issued (or squashed) slot.
+    pub fn remove(&mut self, slot: SlotId) {
+        if let Some(pos) = self.entries.iter().position(|&s| s == slot) {
+            self.entries.swap_remove(pos);
+        }
+    }
+
+    /// Retains only entries satisfying `pred` (squash path).
+    pub fn retain<F: FnMut(SlotId) -> bool>(&mut self, mut pred: F) {
+        self.entries.retain_mut(|s| pred(*s));
+    }
+
+    /// Criticality Detection Logic: the number of resident entries with a
+    /// source operand matching the broadcast `tag` (paper §3.5.2 — the
+    /// tag-match count fed to the encoder and compared against CT).
+    pub fn count_dependents(&self, slab: &Slab, tag: u16) -> u32 {
+        if tag == 0 {
+            return 0;
+        }
+        self.entries
+            .iter()
+            .map(|&s| {
+                let inst = slab.get(s);
+                inst.src_phys
+                    .iter()
+                    .filter(|&&p| p == Some(tag))
+                    .count() as u32
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflight::InFlightInst;
+    use tv_workloads::{OpClass, TraceInst};
+
+    fn inst(seq: u64, srcs: [Option<u16>; 2]) -> InFlightInst {
+        let mut i = InFlightInst::new(TraceInst {
+            seq,
+            pc: 0x1000,
+            op: OpClass::IntAlu,
+            srcs: [None, None],
+            dst: None,
+            mem_addr: None,
+            taken: None,
+            target: None,
+            operand_values: [0, 0],
+        });
+        i.src_phys = srcs;
+        i
+    }
+
+    #[test]
+    fn push_remove_capacity() {
+        let mut iq = IssueQueue::new(2);
+        iq.push(5);
+        iq.push(9);
+        assert_eq!(iq.free(), 0);
+        assert_eq!(iq.len(), 2);
+        iq.remove(5);
+        assert_eq!(iq.free(), 1);
+        assert_eq!(iq.iter().collect::<Vec<_>>(), vec![9]);
+        iq.remove(42); // removing an absent slot is a no-op
+        assert_eq!(iq.len(), 1);
+        assert!(!iq.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "issue queue overflow")]
+    fn overflow_panics() {
+        let mut iq = IssueQueue::new(1);
+        iq.push(0);
+        iq.push(1);
+    }
+
+    #[test]
+    fn cdl_counts_tag_matches() {
+        let mut slab = Slab::new();
+        let a = slab.insert(inst(1, [Some(40), None]));
+        let b = slab.insert(inst(2, [Some(40), Some(40)]));
+        let c = slab.insert(inst(3, [Some(41), None]));
+        let mut iq = IssueQueue::new(8);
+        iq.push(a);
+        iq.push(b);
+        iq.push(c);
+        assert_eq!(iq.count_dependents(&slab, 40), 3);
+        assert_eq!(iq.count_dependents(&slab, 41), 1);
+        assert_eq!(iq.count_dependents(&slab, 42), 0);
+        assert_eq!(iq.count_dependents(&slab, 0), 0, "r0 never counts");
+    }
+
+    #[test]
+    fn retain_squashes() {
+        let mut iq = IssueQueue::new(4);
+        for s in [1, 2, 3, 4] {
+            iq.push(s);
+        }
+        iq.retain(|s| s <= 2);
+        assert_eq!(iq.len(), 2);
+    }
+}

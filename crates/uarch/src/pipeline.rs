@@ -1,0 +1,1491 @@
+//! The pipeline driver: fetch → decode → rename → dispatch → issue →
+//! register read → execute/memory → writeback → retire.
+//!
+//! # Modelling notes (substitutions documented in DESIGN.md)
+//!
+//! * **Trace-driven**: instructions arrive pre-resolved from
+//!   [`TraceGenerator`]. On a branch misprediction the machine does not
+//!   fetch wrong-path instructions; fetch blocks until the branch resolves
+//!   and then pays the redirect latency, reproducing the ~10-cycle
+//!   misprediction loop of the Core-1 configuration.
+//! * **Replay** (Razor-style recovery, paper §2.1.2): an unpredicted
+//!   timing violation squashes the faulty instruction and everything
+//!   younger, rolls back the rename state, and refetches from the trace.
+//!   The replayed instance runs violation-free (the recovery restores the
+//!   guard band).
+//! * **Error Padding** (paper §5, baseline of [12, 13]): a predicted
+//!   violation freezes the whole pipeline for one cycle while the faulty
+//!   stage takes its second cycle.
+//! * **Violation-aware scheduling** (the contribution, §3): the predicted
+//!   faulty instruction takes one extra cycle in its faulty stage; the lane
+//!   it occupies is frozen for one cycle (issue-slot management, FUSR,
+//!   read-port blocking, writeback-slot recirculation); and its result
+//!   broadcast is delayed so dependents are held back exactly one cycle.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use tv_tep::{Tep, TepConfig};
+use tv_timing::{FaultCalibration, FaultModel, PipeStage, SensorModel, Voltage};
+use tv_workloads::{Benchmark, OpClass, Profile, TraceGenerator, TraceInst};
+
+use crate::branch::BranchPredictor;
+use crate::cache::CacheHierarchy;
+use crate::config::{CoreConfig, LaneKind, RecoveryModel};
+use crate::exec::ExecUnits;
+use crate::inflight::{InFlightInst, Slab, SlotId};
+use crate::issue_queue::IssueQueue;
+use crate::lsq::Lsq;
+use crate::policy::{AgeBasedSelect, IssueCandidate, SelectPolicy};
+use crate::rename::RenameTable;
+use crate::rob::Rob;
+use crate::stats::SimStats;
+
+/// How the machine tolerates timing violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToleranceMode {
+    /// Golden run at nominal voltage: no faults occur.
+    FaultFree,
+    /// No prediction; every violation is corrected by instruction replay.
+    Razor,
+    /// Predicted violations stall the entire pipeline for one cycle
+    /// (the baseline scheme of [12, 13]).
+    ErrorPadding,
+    /// The paper's violation-aware scheduling (VTE + delayed broadcast +
+    /// slot freezing); selection priority comes from the [`SelectPolicy`].
+    ViolationAware,
+}
+
+impl ToleranceMode {
+    /// Whether this mode uses the TEP.
+    pub fn uses_predictor(self) -> bool {
+        matches!(self, ToleranceMode::ErrorPadding | ToleranceMode::ViolationAware)
+    }
+}
+
+/// Maximum occupancy of each inter-stage buffer.
+const FRONT_BUF: usize = 8;
+/// Deadlock guard: panic if nothing commits for this many cycles.
+const DEADLOCK_CYCLES: u64 = 500_000;
+/// Instructions profiled to calibrate the fault model's critical-PC set.
+const FAULT_CALIBRATION_PROBE: u64 = 300_000;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A mispredicted branch resolves; fetch may redirect.
+    Resolve { slot: SlotId, seq: u64 },
+    /// An unpredicted timing violation is detected; replay.
+    ReplayFault {
+        slot: SlotId,
+        seq: u64,
+        stage: PipeStage,
+    },
+}
+
+/// Configures and builds a [`Pipeline`].
+pub struct PipelineBuilder {
+    profile: Profile,
+    seed: u64,
+    cfg: CoreConfig,
+    mode: ToleranceMode,
+    vdd: Voltage,
+    policy: Option<Box<dyn SelectPolicy>>,
+    tep_config: TepConfig,
+    criticality_threshold: u32,
+    sensor: Option<SensorModel>,
+    fast_forward: u64,
+    calibration: Option<FaultCalibration>,
+}
+
+impl PipelineBuilder {
+    /// Overrides the machine configuration (default: Core-1).
+    pub fn config(mut self, cfg: CoreConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the tolerance mode (default: [`ToleranceMode::FaultFree`]).
+    pub fn tolerance(mut self, mode: ToleranceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the supply voltage (default: 1.04 V for faulty modes, nominal
+    /// for fault-free).
+    pub fn voltage(mut self, vdd: Voltage) -> Self {
+        self.vdd = vdd;
+        self
+    }
+
+    /// Sets the selection policy (default: age-based, ABS).
+    pub fn policy(mut self, policy: Box<dyn SelectPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Overrides the TEP geometry.
+    pub fn tep_config(mut self, cfg: TepConfig) -> Self {
+        self.tep_config = cfg;
+        self
+    }
+
+    /// Sets the CDL criticality threshold CT (default 8; paper §3.5.2).
+    pub fn criticality_threshold(mut self, ct: u32) -> Self {
+        self.criticality_threshold = ct;
+        self
+    }
+
+    /// Installs a thermal/voltage sensor model (default: quiescent).
+    pub fn sensor(mut self, sensor: SensorModel) -> Self {
+        self.sensor = Some(sensor);
+        self
+    }
+
+    /// Skips `n` trace instructions before simulation (SimPoint phase
+    /// start).
+    pub fn fast_forward(mut self, n: u64) -> Self {
+        self.fast_forward = n;
+        self
+    }
+
+    /// Overrides the fault calibration (default: the benchmark profile's
+    /// Table 1 rates).
+    pub fn calibration(mut self, cal: FaultCalibration) -> Self {
+        self.calibration = Some(cal);
+        self
+    }
+
+    /// Builds the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine configuration is invalid.
+    pub fn build(self) -> Pipeline {
+        self.cfg.validate();
+        let mut gen = TraceGenerator::new(self.profile.clone(), self.seed);
+        if self.fast_forward > 0 {
+            gen.fast_forward(self.fast_forward);
+        }
+        let fault_model = if self.mode == ToleranceMode::FaultFree {
+            None
+        } else {
+            let cal = self.calibration.unwrap_or_else(|| {
+                FaultCalibration::from_rates(
+                    self.profile.fault_rate_097,
+                    self.profile.fault_rate_104,
+                )
+            });
+            let sensor = self.sensor.unwrap_or_else(SensorModel::quiescent);
+            // Profile the dynamic PC frequencies once so the critical-PC
+            // set can be calibrated to the benchmark's measured fault rate
+            // (the trace is regenerated; the simulated stream is untouched).
+            let mut probe = TraceGenerator::new(self.profile.clone(), self.seed);
+            probe.fast_forward(self.fast_forward);
+            let mut weights: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
+            for _ in 0..FAULT_CALIBRATION_PROBE {
+                *weights.entry(probe.next_inst().pc).or_default() += 1;
+            }
+            Some(FaultModel::calibrated(
+                cal, self.vdd, self.seed, sensor, weights,
+            ))
+        };
+        let tep = self
+            .mode
+            .uses_predictor()
+            .then(|| Tep::new(self.tep_config));
+        let caches = CacheHierarchy::new(&self.cfg);
+        let exec = ExecUnits::new(&self.cfg);
+        Pipeline {
+            rename: RenameTable::new(self.cfg.phys_regs),
+            rob: Rob::new(self.cfg.rob_entries),
+            iq: IssueQueue::new(self.cfg.iq_entries),
+            lsq: Lsq::new(self.cfg.lsq_entries),
+            bp: BranchPredictor::default_geometry(),
+            policy: self.policy.unwrap_or_else(|| Box::new(AgeBasedSelect::new())),
+            criticality_threshold: self.criticality_threshold,
+            caches,
+            exec,
+            slab: Slab::new(),
+            gen,
+            fault_model,
+            tep,
+            mode: self.mode,
+            cfg: self.cfg,
+            cycle: 0,
+            fetch_q: VecDeque::new(),
+            decode_q: VecDeque::new(),
+            rename_q: VecDeque::new(),
+            refetch: VecDeque::new(),
+            fetch_stall_until: 0,
+            fetch_blocked_on: None,
+            pending_ep_stalls: 0,
+            pending_recovery_stalls: 0,
+            rename_stall_until: 0,
+            dispatch_stall_until: 0,
+            retire_stall_until: 0,
+            events: BTreeMap::new(),
+            next_commit_seq: self.fast_forward,
+            timestamp_counter: 0,
+            last_fetch_line: u64::MAX,
+            commit_limit: u64::MAX,
+            stats: SimStats::default(),
+            cycle_base: 0,
+            freeze_base: 0,
+            search_base: 0,
+            cache_base: Default::default(),
+        }
+    }
+}
+
+/// The cycle-level out-of-order pipeline.
+pub struct Pipeline {
+    cfg: CoreConfig,
+    mode: ToleranceMode,
+    gen: TraceGenerator,
+    fault_model: Option<FaultModel>,
+    tep: Option<Tep>,
+    policy: Box<dyn SelectPolicy>,
+    criticality_threshold: u32,
+    bp: BranchPredictor,
+    caches: CacheHierarchy,
+    rename: RenameTable,
+    rob: Rob,
+    iq: IssueQueue,
+    lsq: Lsq,
+    exec: ExecUnits,
+    slab: Slab,
+    cycle: u64,
+    /// Fetched, waiting for decode: `(ready_cycle, slot)`.
+    fetch_q: VecDeque<(u64, SlotId)>,
+    /// Decoded, waiting for rename.
+    decode_q: VecDeque<(u64, SlotId)>,
+    /// Renamed, waiting for dispatch.
+    rename_q: VecDeque<(u64, SlotId)>,
+    /// Squashed instructions awaiting refetch; `bool` = fault cleared.
+    refetch: VecDeque<(TraceInst, bool)>,
+    fetch_stall_until: u64,
+    /// Sequence number of an unresolved mispredicted branch blocking fetch.
+    fetch_blocked_on: Option<u64>,
+    /// Whole-pipeline stall cycles owed by the EP scheme.
+    pending_ep_stalls: u64,
+    /// Whole-pipeline recovery bubbles owed by in-situ replays.
+    pending_recovery_stalls: u64,
+    /// TEP-driven stall signals for in-order stages (paper §2.2): the
+    /// stage is held so a predicted-faulty instruction completes in two
+    /// cycles while the other stages' inputs recirculate.
+    rename_stall_until: u64,
+    dispatch_stall_until: u64,
+    retire_stall_until: u64,
+    events: BTreeMap<u64, Vec<Event>>,
+    next_commit_seq: u64,
+    timestamp_counter: u8,
+    last_fetch_line: u64,
+    /// Retire stops once `committed` reaches this bound (set by `run`).
+    commit_limit: u64,
+    stats: SimStats,
+    /// Measurement-window bases captured by `reset_stats`.
+    cycle_base: u64,
+    freeze_base: u64,
+    search_base: u64,
+    cache_base: (crate::cache::CacheStats, crate::cache::CacheStats),
+}
+
+impl Pipeline {
+    /// Starts a builder for one of the paper's SPEC CPU2006 benchmarks.
+    pub fn builder(bench: Benchmark, seed: u64) -> PipelineBuilder {
+        Self::builder_with_profile(bench.profile(), seed)
+    }
+
+    /// Starts a builder for an explicit workload profile.
+    pub fn builder_with_profile(profile: Profile, seed: u64) -> PipelineBuilder {
+        PipelineBuilder {
+            profile,
+            seed,
+            cfg: CoreConfig::core1(),
+            mode: ToleranceMode::FaultFree,
+            vdd: Voltage::low_fault(),
+            policy: None,
+            tep_config: TepConfig::paper_default(),
+            criticality_threshold: 8,
+            sensor: None,
+            fast_forward: 0,
+            calibration: None,
+        }
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current occupancy of (issue queue, ROB, front-end buffers) — a
+    /// bottleneck-analysis probe.
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        (
+            self.iq.len(),
+            self.rob.len(),
+            self.fetch_q.len() + self.decode_q.len() + self.rename_q.len(),
+        )
+    }
+
+    /// TEP statistics, when a predictor is configured.
+    pub fn tep_stats(&self) -> Option<tv_tep::TepStats> {
+        self.tep.as_ref().map(|t| t.stats())
+    }
+
+    /// Runs until exactly `commits` more instructions have retired, then
+    /// returns the final statistics. Retirement stops precisely at the
+    /// target so runs of different schemes commit identical work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (an internal invariant violation).
+    pub fn run(&mut self, commits: u64) -> SimStats {
+        let target = self.stats.committed + commits;
+        self.commit_limit = target;
+        let mut last_commit_cycle = self.cycle;
+        let mut last_committed = self.stats.committed;
+        while self.stats.committed < target {
+            self.step();
+            if self.stats.committed != last_committed {
+                last_committed = self.stats.committed;
+                last_commit_cycle = self.cycle;
+            }
+            assert!(
+                self.cycle - last_commit_cycle < DEADLOCK_CYCLES,
+                "pipeline deadlock: no commit since cycle {last_commit_cycle}"
+            );
+        }
+        self.finalize_stats();
+        self.stats.clone()
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.cycle - self.cycle_base;
+        self.stats.slot_freezes = self.exec.slot_freezes - self.freeze_base;
+        self.stats.activity.lsq_searches = self.lsq.searches - self.search_base;
+        let (l1d0, l20) = self.cache_base;
+        let l1d = self.caches.l1d_stats;
+        let l2 = self.caches.l2_stats;
+        let rate = |acc: u64, miss: u64| if acc == 0 { 0.0 } else { miss as f64 / acc as f64 };
+        self.stats.l1d_miss_rate = rate(l1d.accesses - l1d0.accesses, l1d.misses - l1d0.misses);
+        self.stats.l2_miss_rate = rate(l2.accesses - l20.accesses, l2.misses - l20.misses);
+        self.stats.activity.dcache_accesses = l1d.accesses - l1d0.accesses;
+        self.stats.activity.l2_accesses = l2.accesses - l20.accesses;
+        self.stats.activity.mem_accesses = l2.misses - l20.misses;
+    }
+
+    /// Warms the machine (caches, branch predictor, TEP) by running
+    /// `commits` instructions, then resets the statistics so subsequent
+    /// measurement excludes cold-start effects — the paper measures warmed
+    /// SimPoint phases.
+    pub fn warm_up(&mut self, commits: u64) {
+        if commits == 0 {
+            return;
+        }
+        let _ = self.run(commits);
+        self.reset_stats();
+    }
+
+    /// Zeroes the statistics while keeping all machine state; in-flight
+    /// instructions remain counted as fetched so the conservation
+    /// invariant (`fetched = committed + squashed + in-flight`) holds.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+        self.stats.fetched = self.slab.len() as u64;
+        self.cycle_base = self.cycle;
+        self.freeze_base = self.exec.slot_freezes;
+        self.search_base = self.lsq.searches;
+        self.cache_base = (self.caches.l1d_stats, self.caches.l2_stats);
+    }
+
+    /// Advances the machine one clock cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+        self.process_events(now);
+        if self.pending_recovery_stalls > 0 {
+            // Razor recovery bubbles: the pipeline recirculates while the
+            // faulty stage is restored.
+            self.pending_recovery_stalls -= 1;
+            self.stats.recovery_stall_cycles += 1;
+            self.apply_global_stall(now);
+            return;
+        }
+        if self.pending_ep_stalls > 0 {
+            // Error Padding: one whole-pipeline stall per predicted fault.
+            // Every latch recirculates, so everything still in flight —
+            // pending completions, result broadcasts, lane releases,
+            // front-end buffers and scheduled events — slips one cycle
+            // with the machine.
+            self.pending_ep_stalls -= 1;
+            self.stats.ep_stall_cycles += 1;
+            self.apply_global_stall(now);
+            return;
+        }
+        self.retire(now);
+        self.issue(now);
+        self.dispatch(now);
+        self.rename_stage(now);
+        self.decode(now);
+        self.fetch(now);
+    }
+
+    /// Slips every pending datapath timestamp by one cycle (the EP global
+    /// stall: all pipeline latches recirculate for a cycle).
+    fn apply_global_stall(&mut self, now: u64) {
+        let slots: Vec<SlotId> = self.rob.iter().collect();
+        for slot in slots {
+            let inst = self.slab.get_mut(slot);
+            if let Some(c) = inst.complete_cycle {
+                if c > now {
+                    inst.complete_cycle = Some(c + 1);
+                }
+            }
+            if let Some(w) = inst.wake_cycle {
+                if w > now {
+                    inst.wake_cycle = Some(w + 1);
+                }
+            }
+        }
+        self.rename.shift_pending_after(now);
+        self.exec.shift_pending_after(now);
+        for q in [&mut self.fetch_q, &mut self.decode_q, &mut self.rename_q] {
+            for (ready, _) in q.iter_mut() {
+                if *ready > now {
+                    *ready += 1;
+                }
+            }
+        }
+        if self.fetch_stall_until > now {
+            self.fetch_stall_until += 1;
+        }
+        let shifted: BTreeMap<u64, Vec<Event>> = std::mem::take(&mut self.events)
+            .into_iter()
+            .map(|(t, evs)| (if t > now { t + 1 } else { t }, evs))
+            .collect();
+        self.events = shifted;
+    }
+
+    // --- events ------------------------------------------------------------
+
+    fn process_events(&mut self, now: u64) {
+        let Some(events) = self.events.remove(&now) else {
+            return;
+        };
+        for ev in events {
+            match ev {
+                Event::Resolve { slot, seq } => self.on_branch_resolve(now, slot, seq),
+                Event::ReplayFault { slot, seq, stage } => {
+                    self.on_replay_fault(now, slot, seq, stage)
+                }
+            }
+        }
+    }
+
+    fn slot_is_live(&self, slot: SlotId, seq: u64) -> bool {
+        // A squash may have freed (and reused) the slot; verify identity.
+        self.rob.iter().any(|s| s == slot) && self.slab.get(slot).seq() == seq
+    }
+
+    fn on_branch_resolve(&mut self, now: u64, slot: SlotId, seq: u64) {
+        if !self.slot_is_live(slot, seq) {
+            return;
+        }
+        if self.fetch_blocked_on == Some(seq) {
+            self.fetch_blocked_on = None;
+            self.fetch_stall_until = self
+                .fetch_stall_until
+                .max(now + self.cfg.redirect_latency);
+        }
+    }
+
+    fn on_replay_fault(&mut self, now: u64, slot: SlotId, seq: u64, stage: PipeStage) {
+        if !self.slot_is_live(slot, seq) {
+            return;
+        }
+        self.stats.replays += 1;
+        self.stats.record_fault(stage, false);
+        if let (Some(tep), Some(key)) = (self.tep.as_mut(), self.slab.get(slot).tep_key) {
+            tep.train_fault_at(key, stage);
+        }
+        match self.cfg.recovery {
+            RecoveryModel::InSitu => {
+                // Razor-style in-situ replay: the instruction re-executes
+                // with a restored guard band; recovery bubbles stall the
+                // pipeline while the stage recovers. Younger independent
+                // work is preserved.
+                let penalty = self.cfg.replay_penalty;
+                let dst;
+                {
+                    let inst = self.slab.get_mut(slot);
+                    inst.actual_fault = None; // corrected by the replay
+                    let complete = inst.complete_cycle.map(|c| c.max(now) + penalty);
+                    inst.complete_cycle = complete;
+                    let wake = inst.wake_cycle.map(|w| w.max(now) + penalty);
+                    inst.wake_cycle = wake;
+                    dst = inst.dst_phys.zip(wake);
+                }
+                if let Some((d, wake)) = dst {
+                    self.rename.set_ready_cycle(d, wake, false);
+                }
+                self.pending_recovery_stalls += self.cfg.replay_latency;
+            }
+            RecoveryModel::Flush => {
+                self.squash_from(seq);
+                self.fetch_stall_until =
+                    self.fetch_stall_until.max(now + self.cfg.replay_latency);
+            }
+        }
+    }
+
+    /// Squashes every in-flight instruction with `seq >= seq_min` and
+    /// queues them for refetch; the instruction `seq_min` itself is
+    /// refetched with its fault cleared (the replay succeeds).
+    fn squash_from(&mut self, seq_min: u64) {
+        // 1. Front-end queues, youngest stage first. Only rename_q entries
+        //    have rename state to roll back, and they are all younger than
+        //    anything in the ROB, so rolling back in this order is
+        //    youngest-first overall.
+        let mut rolled: Vec<SlotId> = Vec::new();
+
+        let drain_frontend = |q: &mut VecDeque<(u64, SlotId)>, slab: &Slab| {
+            let mut drained = Vec::new();
+            while let Some(&(_, slot)) = q.back() {
+                if slab.get(slot).seq() >= seq_min {
+                    drained.push(slot);
+                    q.pop_back();
+                } else {
+                    break;
+                }
+            }
+            drained
+        };
+
+        // rename_q is youngest-first from the back.
+        let renamed_squashed = drain_frontend(&mut self.rename_q, &self.slab);
+        for &slot in &renamed_squashed {
+            rolled.push(slot);
+        }
+        let decoded_squashed = drain_frontend(&mut self.decode_q, &self.slab);
+        let fetched_squashed = drain_frontend(&mut self.fetch_q, &self.slab);
+
+        // 2. ROB tail: youngest first.
+        let slab_ref = &self.slab;
+        let rob_squashed = self
+            .rob
+            .drain_youngest_while(|slot| slab_ref.get(slot).seq() >= seq_min);
+
+        // Roll back rename state youngest-first: rename_q first (younger),
+        // then ROB tail entries.
+        for &slot in rolled.iter().chain(rob_squashed.iter()) {
+            let inst = self.slab.get(slot);
+            if let (Some(dst), Some(new_phys), Some(old_phys)) =
+                (inst.trace.dst, inst.dst_phys, inst.old_phys)
+            {
+                self.rename.rollback(
+                    dst,
+                    crate::rename::Renamed {
+                        new_phys,
+                        old_phys,
+                    },
+                );
+            }
+        }
+
+        // Release window resources for ROB-resident squashed instructions.
+        for &slot in &rob_squashed {
+            let inst = self.slab.get(slot);
+            self.iq.remove(slot);
+            match inst.trace.op {
+                OpClass::Load => self.lsq.release_load(),
+                OpClass::Store => { /* squash_stores_after handles stores */ }
+                _ => {}
+            }
+            if inst.issue_cycle.is_some() {
+                self.stats.activity.wasted_issues += 1;
+            }
+        }
+        self.lsq.squash_stores_after(seq_min.saturating_sub(1));
+
+        // If fetch was blocked on a branch that just got squashed, unblock:
+        // the branch will be refetched and re-predicted.
+        if let Some(b) = self.fetch_blocked_on {
+            if b >= seq_min {
+                self.fetch_blocked_on = None;
+            }
+        }
+
+        // 3. Collect trace instructions in ascending seq order:
+        //    ROB part (drained youngest-first → reverse), then frontend
+        //    queues (renamed < decoded? No: rename_q holds OLDER
+        //    instructions than decode_q, which is older than fetch_q).
+        let mut ordered: Vec<SlotId> = rob_squashed.into_iter().rev().collect();
+        ordered.extend(renamed_squashed.into_iter().rev());
+        ordered.extend(decoded_squashed.into_iter().rev());
+        ordered.extend(fetched_squashed.into_iter().rev());
+
+        self.stats.squashed += ordered.len() as u64;
+        // Anything still pending in the refetch queue (left over from an
+        // earlier squash) is younger than every in-flight instruction, so
+        // the newly squashed batch is prepended, oldest ending up first.
+        for (i, slot) in ordered.iter().enumerate().rev() {
+            let inst = self.slab.remove(*slot);
+            debug_assert_eq!(
+                inst.seq(),
+                seq_min + i as u64,
+                "squashed instructions must be contiguous"
+            );
+            let cleared = inst.seq() == seq_min;
+            self.refetch.push_front((inst.trace, cleared));
+        }
+        debug_assert!(
+            self.refetch
+                .iter()
+                .zip(self.refetch.iter().skip(1))
+                .all(|(a, b)| a.0.seq < b.0.seq),
+            "refetch queue out of order"
+        );
+    }
+
+    /// Handles a predicted or actual in-order-engine fault for the
+    /// instruction in `slot` as it occupies `stage` (rename, dispatch or
+    /// retire — paper §2.2). Returns `true` when the stage must stall one
+    /// cycle (predicted fault: the stall signal gives the stage its second
+    /// cycle).
+    fn handle_in_order_stage(&mut self, now: u64, slot: SlotId, stage: PipeStage) -> bool {
+        let (predicted_here, actual, key) = {
+            let inst = self.slab.get(slot);
+            (
+                self.mode.uses_predictor()
+                    && !inst.in_order_charged
+                    && inst.predicted_fault == Some(stage),
+                inst.actual_fault,
+                inst.tep_key,
+            )
+        };
+        let mut stall = false;
+        if predicted_here {
+            self.slab.get_mut(slot).in_order_charged = true;
+            // TEP-driven stall signal: the faulty stage completes in two
+            // clock cycles (paper §2.2).
+            stall = true;
+            self.stats.in_order_stalls += 1;
+            if actual == Some(stage) {
+                self.stats.record_fault(stage, true);
+                self.slab.get_mut(slot).actual_fault = None;
+                if let (Some(tep), Some(key)) = (self.tep.as_mut(), key) {
+                    tep.train_fault_at(key, stage);
+                }
+            } else if actual.is_none() {
+                self.stats.false_positives += 1;
+                if let (Some(tep), Some(key)) = (self.tep.as_mut(), key) {
+                    tep.train_clean_at(key);
+                }
+            }
+        } else if actual == Some(stage) {
+            // Unpredicted violation in an in-order stage: replay.
+            self.replay_in_place(now, slot, stage);
+        }
+        stall
+    }
+
+    /// Razor-style synchronous replay for faults detected before the
+    /// instruction enters the window (front-end and in-order stages).
+    fn replay_in_place(&mut self, _now: u64, slot: SlotId, stage: PipeStage) {
+        self.stats.replays += 1;
+        self.stats.record_fault(stage, false);
+        let key = {
+            let inst = self.slab.get_mut(slot);
+            inst.actual_fault = None; // corrected by the replay
+            inst.tep_key
+        };
+        if let (Some(tep), Some(key)) = (self.tep.as_mut(), key) {
+            tep.train_fault_at(key, stage);
+        }
+        self.pending_recovery_stalls += self.cfg.replay_latency;
+    }
+
+    // --- retire -------------------------------------------------------------
+
+    fn retire(&mut self, now: u64) {
+        if now < self.retire_stall_until {
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            if self.stats.committed >= self.commit_limit {
+                break;
+            }
+            let Some(slot) = self.rob.head() else { break };
+            let inst = self.slab.get(slot);
+            match inst.complete_cycle {
+                Some(c) if c <= now => {}
+                _ => break,
+            }
+            if self.handle_in_order_stage(now, slot, PipeStage::Retire) {
+                self.retire_stall_until = now + 2;
+                break;
+            }
+            let slot = self.rob.pop_head().expect("head exists");
+            let inst = self.slab.remove(slot);
+            self.iq.remove(slot); // issued entries are already gone; safety
+            assert_eq!(
+                inst.seq(),
+                self.next_commit_seq,
+                "out-of-order or lost commit"
+            );
+            self.next_commit_seq += 1;
+            self.stats.committed += 1;
+            self.stats.activity.retires += 1;
+
+            match inst.trace.op {
+                OpClass::Store => {
+                    // Write-through of the store buffer at retire.
+                    let addr = inst.trace.mem_addr.expect("stores have addresses");
+                    let _ = self.caches.access_data(addr);
+                    self.lsq.retire_store(inst.seq());
+                }
+                OpClass::Load => self.lsq.release_load(),
+                OpClass::CondBranch => {
+                    self.stats.branches += 1;
+                    if inst.branch_mispredicted {
+                        self.stats.branch_mispredicts += 1;
+                    }
+                }
+                OpClass::Jump => {
+                    if inst.branch_mispredicted {
+                        self.stats.branch_mispredicts += 1;
+                    }
+                }
+                _ => {}
+            }
+            if let Some(old) = inst.old_phys {
+                self.rename.retire_free(old);
+            }
+
+            // Predictor training with the stage-level detector's verdict.
+            let predicted = inst.predicted_fault.filter(|s| s.is_ooo());
+            let actual = inst.actual_fault.filter(|s| s.is_ooo());
+            match (predicted, actual) {
+                (Some(_), Some(stage)) => {
+                    self.stats.record_fault(stage, true);
+                    if let (Some(tep), Some(key)) = (self.tep.as_mut(), inst.tep_key) {
+                        tep.train_fault_at(key, stage);
+                    }
+                }
+                (Some(_), None) => {
+                    self.stats.false_positives += 1;
+                    if let (Some(tep), Some(key)) = (self.tep.as_mut(), inst.tep_key) {
+                        tep.train_clean_at(key);
+                    }
+                }
+                (None, Some(_)) => {
+                    unreachable!("unpredicted faults are cleared by replay before retire")
+                }
+                (None, None) => {}
+            }
+        }
+    }
+
+    // --- issue (wakeup/select + downstream timing) ---------------------------
+
+    fn issue(&mut self, now: u64) {
+        // Wakeup: gather operand-ready candidates.
+        let mut candidates: Vec<IssueCandidate> = Vec::new();
+        for slot in self.iq.iter() {
+            let inst = self.slab.get(slot);
+            let ready = inst
+                .src_phys
+                .iter()
+                .flatten()
+                .all(|&p| self.rename.is_ready(p, now, inst.dispatch_cycle));
+            if ready {
+                candidates.push(IssueCandidate {
+                    slot,
+                    seq: inst.seq(),
+                    timestamp: inst.timestamp,
+                    faulty: inst.treated_as_faulty(),
+                    critical: inst.predicted_critical,
+                    op: inst.trace.op,
+                });
+            }
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        let before: u64 = candidates.iter().map(|c| c.seq).sum();
+        self.policy.prioritize(&mut candidates);
+        let after: u64 = candidates.iter().map(|c| c.seq).sum();
+        debug_assert_eq!(before, after, "policy must permute, not alter");
+
+        // Select: greedy lane assignment in priority order.
+        let mut blocked = vec![false; self.exec.len()];
+        let mut issued = 0usize;
+        for cand in candidates {
+            if issued == self.cfg.width {
+                break;
+            }
+            let Some(lane) = self.exec.find_lane(cand.op, now, &blocked) else {
+                continue;
+            };
+            blocked[lane] = true;
+            issued += 1;
+            self.issue_one(now, cand.slot, lane);
+        }
+    }
+
+    fn issue_one(&mut self, now: u64, slot: SlotId, lane: usize) {
+        self.iq.remove(slot);
+
+        // Criticality Detection Logic: count dependents waiting on this
+        // result tag at broadcast (paper §3.5.2), then store the verdict
+        // with the TEP so future instances of the PC carry it.
+        let (dst_phys, tep_key) = {
+            let inst = self.slab.get(slot);
+            (inst.dst_phys, inst.tep_key)
+        };
+        if self.criticality_threshold > 0 {
+            if let Some(dst) = dst_phys.filter(|&d| d != 0) {
+                let dependents = self.iq.count_dependents(&self.slab, dst);
+                let critical = dependents >= self.criticality_threshold;
+                if let (Some(tep), Some(key)) = (self.tep.as_mut(), tep_key) {
+                    tep.set_criticality_at(key, critical);
+                }
+            }
+        }
+
+        let inst = self.slab.get(slot);
+        let op = inst.trace.op;
+        let seq = inst.seq();
+        let treated_faulty = self.mode.uses_predictor() && inst.treated_as_faulty();
+        let predicted_stage = inst.predicted_fault;
+        let actual = inst.actual_fault.filter(|s| s.is_ooo());
+        let mem_addr = inst.trace.mem_addr;
+        let mispredicted = inst.branch_mispredicted;
+
+        // Memory timing: AGEN at now+2, then LSQ search / cache access.
+        let exec_lat = self.cfg.exec_latency(op);
+        let mut mem_lat = 0;
+        if op == OpClass::Load {
+            let addr = mem_addr.expect("loads have addresses");
+            let agen_done = now + 2;
+            let search = self.lsq.search_for_load(seq, addr, agen_done);
+            mem_lat = if search.forwarded {
+                1
+            } else {
+                self.caches.access_data(addr)
+            };
+        } else if op == OpClass::Store {
+            let addr = mem_addr.expect("stores have addresses");
+            self.lsq.resolve_store(seq, addr, now + 2);
+        }
+
+        // The paper's padding: one extra cycle in the predicted faulty
+        // stage. Which timelines slip depends on the stage (§3.3):
+        // * Issue (wakeup/select): the broadcast into the wakeup lane is
+        //   held steady for two cycles, so *dependents* wake a cycle late
+        //   and the issue slot freezes, but the instruction's own
+        //   execution is not delayed.
+        // * RegRead / Execute / Memory: the instruction occupies the stage
+        //   one extra cycle — both its result broadcast and its completion
+        //   slip by one.
+        // * Writeback: completion slips; the result was already bypassed,
+        //   so dependents are unaffected.
+        // Under Error Padding the global stall itself provides the faulty
+        // stage's second cycle — everything (the instruction, its
+        // dependents, the rest of the machine) slips together, so no
+        // relative padding is applied on top.
+        let pad = u64::from(treated_faulty && self.mode == ToleranceMode::ViolationAware);
+        let wake_pad = match predicted_stage {
+            // Writeback: result already bypassed. Issue: the broadcast
+            // delay applies only to already-waiting consumers, handled via
+            // the delayed-broadcast flag on the physical register below.
+            Some(PipeStage::Writeback) | Some(PipeStage::Issue) => 0,
+            _ => pad,
+        };
+        let complete_pad = match predicted_stage {
+            Some(PipeStage::Issue) => 0,
+            _ => pad,
+        };
+        let exec_total = exec_lat + mem_lat;
+        let wake = now + exec_total + wake_pad;
+        let complete = now + 1 + exec_total + complete_pad;
+
+        // Unpredicted fault ⇒ detection + replay at the stage's latch.
+        if let Some(stage) = actual {
+            let covered = treated_faulty && predicted_stage == Some(stage);
+            if !covered {
+                let detect = match stage {
+                    PipeStage::Issue => now + 1,
+                    PipeStage::RegRead => now + 2,
+                    PipeStage::Execute => now + 1 + exec_lat,
+                    PipeStage::Memory => now + 2 + mem_lat.max(1),
+                    _ => complete,
+                }
+                .min(complete);
+                self.events
+                    .entry(detect)
+                    .or_default()
+                    .push(Event::ReplayFault { slot, seq, stage });
+            }
+        }
+
+        // Lane occupancy: FUSR + issue-slot freeze semantics.
+        let unpipelined_busy = if op == OpClass::IntDiv {
+            self.cfg.div_latency.saturating_sub(1)
+        } else {
+            0
+        };
+        let faulty_hold = self.mode == ToleranceMode::ViolationAware && treated_faulty;
+        self.exec.occupy(lane, now, unpipelined_busy, faulty_hold);
+
+        // Error Padding: one whole-pipeline stall per predicted fault.
+        if self.mode == ToleranceMode::ErrorPadding && treated_faulty {
+            self.pending_ep_stalls += 1;
+        }
+
+        // Branch resolution event (to unblock fetch after mispredicts).
+        if op.is_branch() && mispredicted {
+            self.events
+                .entry(complete)
+                .or_default()
+                .push(Event::Resolve { slot, seq });
+        }
+
+        // Result broadcast. For RegRead/Execute/Memory faults the result
+        // itself is late (wake already padded); for Issue faults only the
+        // broadcast into the wakeup CAM is held, so consumers already
+        // waiting pay one cycle while later arrivals do not (§3.3.1).
+        if let Some(dst) = dst_phys {
+            let delayed_broadcast = self.mode == ToleranceMode::ViolationAware
+                && treated_faulty
+                && predicted_stage == Some(PipeStage::Issue);
+            self.rename.set_ready_cycle(dst, wake, delayed_broadcast);
+            if dst != 0 {
+                self.stats.activity.broadcasts += 1;
+            }
+        }
+
+        let inst = self.slab.get_mut(slot);
+        inst.issue_cycle = Some(now);
+        inst.wake_cycle = Some(wake);
+        inst.complete_cycle = Some(complete);
+
+        // Activity accounting.
+        self.stats.activity.issues += 1;
+        self.stats.activity.regreads += 1;
+        match self.exec.kind(lane) {
+            LaneKind::SimpleAlu | LaneKind::SimpleAluBranch => {
+                self.stats.activity.fu_simple += 1
+            }
+            LaneKind::Complex => self.stats.activity.fu_complex += 1,
+            LaneKind::Mem => self.stats.activity.fu_mem += 1,
+        }
+    }
+
+    // --- dispatch -------------------------------------------------------------
+
+    fn dispatch(&mut self, now: u64) {
+        if now < self.dispatch_stall_until {
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            let Some(&(ready, slot)) = self.rename_q.front() else { break };
+            if ready > now || self.rob.free() == 0 || self.iq.free() == 0 {
+                break;
+            }
+            if self.handle_in_order_stage(now, slot, PipeStage::Dispatch) {
+                self.dispatch_stall_until = now + 2;
+            }
+            let op = self.slab.get(slot).trace.op;
+            let seq = self.slab.get(slot).seq();
+            match op {
+                OpClass::Load => {
+                    if !self.lsq.alloc_load() {
+                        break;
+                    }
+                }
+                OpClass::Store => {
+                    if !self.lsq.alloc_store(seq) {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            self.rename_q.pop_front();
+            let ts = self.timestamp_counter;
+            self.timestamp_counter = (self.timestamp_counter + 1) & 63;
+            let inst = self.slab.get_mut(slot);
+            inst.timestamp = ts;
+            inst.dispatch_cycle = now;
+            self.rob.push(slot);
+            self.iq.push(slot);
+            self.stats.activity.dispatches += 1;
+        }
+    }
+
+    // --- rename ----------------------------------------------------------------
+
+    fn rename_stage(&mut self, now: u64) {
+        if now < self.rename_stall_until {
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            let Some(&(ready, slot)) = self.decode_q.front() else { break };
+            if ready > now || self.rename_q.len() >= FRONT_BUF {
+                break;
+            }
+            if self.handle_in_order_stage(now, slot, PipeStage::Rename) {
+                self.rename_stall_until = now + 2;
+            }
+            // Source lookups first (read-before-write within the group is
+            // handled by processing instructions in order).
+            let trace = self.slab.get(slot).trace;
+            let mut src_phys = [None, None];
+            for (i, src) in trace.srcs.iter().enumerate() {
+                if let Some(r) = src {
+                    src_phys[i] = Some(self.rename.lookup(*r));
+                }
+            }
+            let mut dst_phys = None;
+            let mut old_phys = None;
+            if let Some(dst) = trace.dst {
+                match self.rename.rename_dst(dst) {
+                    Some(renamed) => {
+                        dst_phys = Some(renamed.new_phys);
+                        old_phys = Some(renamed.old_phys);
+                        self.stats.activity.renames += 1;
+                    }
+                    None => break, // no free physical register: stall
+                }
+            }
+            self.decode_q.pop_front();
+            let inst = self.slab.get_mut(slot);
+            inst.src_phys = src_phys;
+            inst.dst_phys = dst_phys;
+            inst.old_phys = old_phys;
+            self.rename_q
+                .push_back((now + self.cfg.rename_latency, slot));
+        }
+    }
+
+    // --- decode (TEP access in parallel) -----------------------------------------
+
+    fn decode(&mut self, now: u64) {
+        for _ in 0..self.cfg.width {
+            let Some(&(ready, slot)) = self.fetch_q.front() else { break };
+            if ready > now || self.decode_q.len() >= FRONT_BUF {
+                break;
+            }
+            self.fetch_q.pop_front();
+            self.stats.activity.decodes += 1;
+            // Fetch/decode violations cannot be mitigated by the TEP —
+            // "any violations in these two stages are mitigated using
+            // instruction replay" (paper §2.2).
+            let front_fault = self
+                .slab
+                .get(slot)
+                .actual_fault
+                .filter(|s| s.is_replay_only());
+            if let Some(stage) = front_fault {
+                self.replay_in_place(now, slot, stage);
+            }
+
+            let (pc, op, taken, seq) = {
+                let t = &self.slab.get(slot).trace;
+                (t.pc, t.op, t.taken, t.seq)
+            };
+            if let Some(tep) = self.tep.as_mut() {
+                let armed = self
+                    .fault_model
+                    .as_ref()
+                    .map(|fm| fm.sensor().armed(seq))
+                    .unwrap_or(true);
+                let key = tep.lookup_key(pc);
+                let pred = tep.predict(pc, armed);
+                let inst = self.slab.get_mut(slot);
+                inst.tep_key = Some(key);
+                if pred.faulty {
+                    inst.predicted_fault = pred.stage;
+                    inst.predicted_critical = pred.critical;
+                }
+                if op == OpClass::CondBranch {
+                    if let Some(t) = taken {
+                        self.tep.as_mut().expect("checked above").record_branch(t);
+                    }
+                }
+            }
+            self.decode_q.push_back((now + 1, slot));
+        }
+    }
+
+    // --- fetch ---------------------------------------------------------------------
+
+    fn fetch(&mut self, now: u64) {
+        if self.fetch_blocked_on.is_some() {
+            self.stats.activity.fetch_blocked_cycles += 1;
+            return;
+        }
+        if now < self.fetch_stall_until {
+            self.stats.activity.fetch_stall_cycles += 1;
+            return;
+        }
+        if self.fetch_q.len() >= FRONT_BUF {
+            self.stats.activity.fetch_full_cycles += 1;
+        }
+        let mut fetched_group = false;
+        for _ in 0..self.cfg.width {
+            if self.fetch_q.len() >= FRONT_BUF {
+                break;
+            }
+            let (trace, cleared) = match self.refetch.pop_front() {
+                Some(entry) => entry,
+                None => (self.gen.next_inst(), false),
+            };
+            let mut inst = InFlightInst::new(trace);
+            if !cleared {
+                if let Some(fm) = &self.fault_model {
+                    inst.actual_fault =
+                        fm.decide(trace.pc, trace.op.is_mem(), trace.seq);
+                }
+            }
+
+            // I-cache: one access per line per group.
+            let line = trace.pc / self.cfg.line_bytes as u64;
+            let icache_extra = if line != self.last_fetch_line {
+                self.last_fetch_line = line;
+                if !fetched_group {
+                    self.stats.activity.fetch_groups += 1;
+                    fetched_group = true;
+                }
+                self.caches.access_inst(trace.pc).saturating_sub(1)
+            } else {
+                0
+            };
+            let ready = now + self.cfg.frontend_latency + icache_extra;
+
+            // Branch prediction against the resolved trace outcome.
+            let mut ends_group = false;
+            let mut blocks_fetch = false;
+            match trace.op {
+                OpClass::CondBranch => {
+                    let actual_taken = trace.taken.expect("branches carry outcomes");
+                    let pred = self.bp.predict_cond(trace.pc);
+                    let mispred = pred.taken != actual_taken
+                        || (actual_taken && pred.target != trace.target);
+                    self.bp.update(trace.pc, actual_taken, trace.target);
+                    inst.branch_mispredicted = mispred;
+                    blocks_fetch = mispred;
+                    ends_group = actual_taken;
+                }
+                OpClass::Jump => {
+                    let pred = self.bp.predict_jump(trace.pc);
+                    let mispred = pred.target != trace.target;
+                    self.bp.update(trace.pc, true, trace.target);
+                    inst.branch_mispredicted = mispred;
+                    blocks_fetch = mispred;
+                    ends_group = true;
+                }
+                _ => {}
+            }
+
+            let seq = inst.seq();
+            let slot = self.slab.insert(inst);
+            self.fetch_q.push_back((ready, slot));
+            self.stats.fetched += 1;
+            self.stats.activity.fetches += 1;
+
+            if blocks_fetch {
+                self.fetch_blocked_on = Some(seq);
+                break;
+            }
+            if ends_group {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_bench(
+        bench: Benchmark,
+        mode: ToleranceMode,
+        vdd: Voltage,
+        commits: u64,
+    ) -> SimStats {
+        Pipeline::builder(bench, 7)
+            .tolerance(mode)
+            .voltage(vdd)
+            .build()
+            .run(commits)
+    }
+
+    #[test]
+    fn fault_free_run_commits_everything() {
+        let stats = run_bench(
+            Benchmark::Gcc,
+            ToleranceMode::FaultFree,
+            Voltage::nominal(),
+            20_000,
+        );
+        assert_eq!(stats.committed, 20_000);
+        assert_eq!(stats.faults_total(), 0);
+        assert_eq!(stats.replays, 0);
+        assert_eq!(stats.squashed, 0);
+        assert!(stats.ipc() > 0.3, "ipc = {}", stats.ipc());
+        assert!(stats.ipc() <= 4.0);
+    }
+
+    #[test]
+    fn ipc_orders_across_benchmarks() {
+        // The memory-bound benchmark must be slower than the ILP-rich one.
+        let mcf = run_bench(
+            Benchmark::Mcf,
+            ToleranceMode::FaultFree,
+            Voltage::nominal(),
+            30_000,
+        );
+        let sjeng = run_bench(
+            Benchmark::Sjeng,
+            ToleranceMode::FaultFree,
+            Voltage::nominal(),
+            30_000,
+        );
+        assert!(
+            sjeng.ipc() > 1.5 * mcf.ipc(),
+            "sjeng {} vs mcf {}",
+            sjeng.ipc(),
+            mcf.ipc()
+        );
+    }
+
+    #[test]
+    fn razor_pays_for_faults() {
+        let clean = run_bench(
+            Benchmark::Astar,
+            ToleranceMode::FaultFree,
+            Voltage::nominal(),
+            30_000,
+        );
+        let razor = run_bench(
+            Benchmark::Astar,
+            ToleranceMode::Razor,
+            Voltage::high_fault(),
+            30_000,
+        );
+        assert!(razor.faults_total() > 0);
+        assert_eq!(razor.faults_predicted, 0, "razor never predicts");
+        assert_eq!(razor.replays, razor.faults_total());
+        assert!(razor.recovery_stall_cycles > 0, "in-situ recovery inserts bubbles");
+        assert_eq!(razor.squashed, 0, "in-situ recovery preserves younger work");
+        assert!(
+            razor.ipc() < clean.ipc(),
+            "razor {} must lose to clean {}",
+            razor.ipc(),
+            clean.ipc()
+        );
+    }
+
+    #[test]
+    fn violation_aware_mostly_predicts() {
+        let stats = run_bench(
+            Benchmark::Astar,
+            ToleranceMode::ViolationAware,
+            Voltage::high_fault(),
+            50_000,
+        );
+        assert!(stats.faults_total() > 1_000, "faults = {}", stats.faults_total());
+        let predicted_share =
+            stats.faults_predicted as f64 / stats.faults_total() as f64;
+        assert!(
+            predicted_share > 0.8,
+            "TEP should catch most faults, got {predicted_share:.2}"
+        );
+        assert!(stats.slot_freezes > 0);
+    }
+
+    #[test]
+    fn scheme_ordering_matches_paper() {
+        // Razor ≫ EP > VTE in overhead; all lose to fault-free.
+        let commits = 60_000;
+        let clean = run_bench(
+            Benchmark::Bzip2,
+            ToleranceMode::FaultFree,
+            Voltage::nominal(),
+            commits,
+        );
+        let razor = run_bench(
+            Benchmark::Bzip2,
+            ToleranceMode::Razor,
+            Voltage::high_fault(),
+            commits,
+        );
+        let ep = run_bench(
+            Benchmark::Bzip2,
+            ToleranceMode::ErrorPadding,
+            Voltage::high_fault(),
+            commits,
+        );
+        let vte = run_bench(
+            Benchmark::Bzip2,
+            ToleranceMode::ViolationAware,
+            Voltage::high_fault(),
+            commits,
+        );
+        assert!(razor.ipc() < ep.ipc(), "razor {} !< ep {}", razor.ipc(), ep.ipc());
+        assert!(ep.ipc() < vte.ipc(), "ep {} !< vte {}", ep.ipc(), vte.ipc());
+        assert!(vte.ipc() <= clean.ipc() * 1.001);
+        assert!(ep.ep_stall_cycles > 0);
+        assert_eq!(vte.ep_stall_cycles, 0);
+    }
+
+    #[test]
+    fn fault_rate_tracks_voltage() {
+        let lo = run_bench(
+            Benchmark::Sjeng,
+            ToleranceMode::ViolationAware,
+            Voltage::low_fault(),
+            40_000,
+        );
+        let hi = run_bench(
+            Benchmark::Sjeng,
+            ToleranceMode::ViolationAware,
+            Voltage::high_fault(),
+            40_000,
+        );
+        assert!(
+            hi.fault_rate() > 2.0 * lo.fault_rate(),
+            "hi {} vs lo {}",
+            hi.fault_rate(),
+            lo.fault_rate()
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_bench(
+            Benchmark::Gobmk,
+            ToleranceMode::ViolationAware,
+            Voltage::low_fault(),
+            15_000,
+        );
+        let b = run_bench(
+            Benchmark::Gobmk,
+            ToleranceMode::ViolationAware,
+            Voltage::low_fault(),
+            15_000,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branches_are_predicted_reasonably() {
+        let stats = run_bench(
+            Benchmark::Povray,
+            ToleranceMode::FaultFree,
+            Voltage::nominal(),
+            40_000,
+        );
+        assert!(stats.branches > 1_000);
+        assert!(
+            stats.mispredict_rate() < 0.25,
+            "mispredict rate {}",
+            stats.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn in_order_faults_are_stalled_when_predicted() {
+        // All fault mass in the in-order engine: rename/dispatch/retire
+        // are tolerated by stall signals, fetch/decode by replay.
+        let cal = tv_timing::FaultCalibration {
+            in_order_share: 0.999,
+            ..tv_timing::FaultCalibration::from_rates(8.0, 8.0)
+        };
+        let stats = Pipeline::builder(Benchmark::Gcc, 11)
+            .tolerance(ToleranceMode::ViolationAware)
+            .voltage(Voltage::high_fault())
+            .calibration(cal)
+            .build()
+            .run(40_000);
+        assert!(stats.in_order_stalls > 0, "stall signals must fire");
+        assert!(
+            stats.faults_in(PipeStage::Rename)
+                + stats.faults_in(PipeStage::Dispatch)
+                + stats.faults_in(PipeStage::Retire)
+                > 0,
+            "in-order faults must occur"
+        );
+        assert!(
+            stats.faults_in(PipeStage::Fetch) + stats.faults_in(PipeStage::Decode) > 0,
+            "front-end faults must occur"
+        );
+        // Every fetch/decode violation is replay-corrected.
+        assert!(stats.replays > 0);
+        // The machine still makes good progress.
+        assert!(stats.ipc() > 0.3, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn in_order_faults_all_replay_under_razor() {
+        let cal = tv_timing::FaultCalibration {
+            in_order_share: 0.999,
+            ..tv_timing::FaultCalibration::from_rates(4.0, 4.0)
+        };
+        let stats = Pipeline::builder(Benchmark::Gcc, 11)
+            .tolerance(ToleranceMode::Razor)
+            .voltage(Voltage::high_fault())
+            .calibration(cal)
+            .build()
+            .run(30_000);
+        assert_eq!(stats.in_order_stalls, 0, "razor has no predictor");
+        assert_eq!(stats.replays, stats.faults_total());
+    }
+
+    #[test]
+    fn flush_recovery_squashes_and_refetches() {
+        let cfg = CoreConfig {
+            recovery: crate::config::RecoveryModel::Flush,
+            replay_latency: 6,
+            ..CoreConfig::core1()
+        };
+        let stats = Pipeline::builder(Benchmark::Astar, 7)
+            .config(cfg)
+            .tolerance(ToleranceMode::Razor)
+            .voltage(Voltage::high_fault())
+            .build()
+            .run(30_000);
+        assert!(stats.replays > 0);
+        assert!(stats.squashed > 0, "flush recovery squashes younger work");
+        assert!(stats.activity.wasted_issues > 0);
+    }
+
+    #[test]
+    fn accounting_is_conserved() {
+        let mut pipe = Pipeline::builder(Benchmark::Xalancbmk, 3)
+            .tolerance(ToleranceMode::Razor)
+            .voltage(Voltage::high_fault())
+            .build();
+        let stats = pipe.run(25_000);
+        // fetched = committed + squashed + still-in-flight
+        let in_flight = pipe.slab.len() as u64;
+        assert_eq!(stats.fetched, stats.committed + stats.squashed + in_flight);
+    }
+
+    #[test]
+    fn fast_forward_offsets_commit_stream() {
+        let stats = Pipeline::builder(Benchmark::Gcc, 9)
+            .fast_forward(5_000)
+            .build()
+            .run(1_000);
+        assert_eq!(stats.committed, 1_000);
+    }
+}

@@ -1,0 +1,218 @@
+//! Register renaming: architectural→physical map table plus free list.
+//!
+//! Physical register 0 is pinned to architectural `r0` (hard-wired zero)
+//! and is always ready. Recovery from a replay squash walks the squashed
+//! instructions youngest-first, restoring each destination's previous
+//! mapping — the standard ROB-walk recovery.
+
+use std::collections::VecDeque;
+
+use tv_workloads::ArchReg;
+
+/// Rename result for one destination register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Renamed {
+    /// Newly allocated physical register.
+    pub new_phys: u16,
+    /// Previous mapping of the architectural destination.
+    pub old_phys: u16,
+}
+
+/// The rename table and physical-register state.
+#[derive(Debug, Clone)]
+pub struct RenameTable {
+    rat: [u16; 32],
+    free: VecDeque<u16>,
+    /// Cycle at which each physical register's value becomes available to
+    /// consumers (u64::MAX = producer not yet issued).
+    ready_cycle: Vec<u64>,
+    /// Whether the producer's tag broadcast was held for an extra cycle by
+    /// an issue-stage fault: consumers already waiting in the issue queue
+    /// wake one cycle late, while consumers dispatched after the broadcast
+    /// read the settled ready bit and pay nothing (paper §3.3.1).
+    delayed_broadcast: Vec<bool>,
+}
+
+impl RenameTable {
+    /// Creates a table with `phys_regs` physical registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_regs < 33`.
+    pub fn new(phys_regs: usize) -> Self {
+        assert!(phys_regs >= 33, "need at least 33 physical registers");
+        let mut rat = [0u16; 32];
+        for (i, slot) in rat.iter_mut().enumerate() {
+            *slot = i as u16;
+        }
+        RenameTable {
+            rat,
+            free: (32..phys_regs as u16).collect(),
+            ready_cycle: vec![0; phys_regs],
+            delayed_broadcast: vec![false; phys_regs],
+        }
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Current physical mapping of `reg`.
+    pub fn lookup(&self, reg: ArchReg) -> u16 {
+        self.rat[reg.index() as usize]
+    }
+
+    /// Renames a destination register, allocating a fresh physical register.
+    /// Returns `None` if the free list is empty (rename must stall).
+    ///
+    /// Writing `r0` never allocates: the zero register is not renamed.
+    pub fn rename_dst(&mut self, reg: ArchReg) -> Option<Renamed> {
+        if reg.is_zero() {
+            return Some(Renamed {
+                new_phys: 0,
+                old_phys: 0,
+            });
+        }
+        let new_phys = self.free.pop_front()?;
+        let old_phys = self.rat[reg.index() as usize];
+        self.rat[reg.index() as usize] = new_phys;
+        self.ready_cycle[new_phys as usize] = u64::MAX;
+        self.delayed_broadcast[new_phys as usize] = false;
+        Some(Renamed { new_phys, old_phys })
+    }
+
+    /// Frees the *previous* mapping at retire.
+    pub fn retire_free(&mut self, old_phys: u16) {
+        if old_phys != 0 {
+            self.free.push_back(old_phys);
+        }
+    }
+
+    /// Rolls back one squashed rename (call youngest-first).
+    pub fn rollback(&mut self, reg: ArchReg, renamed: Renamed) {
+        if reg.is_zero() {
+            return;
+        }
+        debug_assert_eq!(self.rat[reg.index() as usize], renamed.new_phys);
+        self.rat[reg.index() as usize] = renamed.old_phys;
+        self.free.push_front(renamed.new_phys);
+    }
+
+    /// Marks `phys` ready at `cycle` (producer issued; broadcast timing).
+    /// `delayed_broadcast` marks an issue-stage-faulty producer whose tag
+    /// broadcast is held one extra cycle for waiting consumers.
+    pub fn set_ready_cycle(&mut self, phys: u16, cycle: u64, delayed_broadcast: bool) {
+        if phys != 0 {
+            self.ready_cycle[phys as usize] = cycle;
+            self.delayed_broadcast[phys as usize] = delayed_broadcast;
+        }
+    }
+
+    /// The cycle `phys` becomes available (0 for r0 / retired values).
+    pub fn ready_cycle(&self, phys: u16) -> u64 {
+        self.ready_cycle[phys as usize]
+    }
+
+    /// Whether `phys` is available at `cycle` to a consumer dispatched at
+    /// `consumer_dispatch`. A consumer that was already waiting when a
+    /// delayed broadcast fired wakes one cycle late; one dispatched after
+    /// the (settled) broadcast does not.
+    pub fn is_ready(&self, phys: u16, cycle: u64, consumer_dispatch: u64) -> bool {
+        let rc = self.ready_cycle[phys as usize];
+        let effective = if self.delayed_broadcast[phys as usize] && consumer_dispatch < rc {
+            rc.saturating_add(1)
+        } else {
+            rc
+        };
+        effective <= cycle
+    }
+
+    /// Pushes every still-pending readiness one cycle later (a whole-
+    /// pipeline recirculation stall: in-flight results slip with the
+    /// machine).
+    pub fn shift_pending_after(&mut self, now: u64) {
+        for rc in &mut self.ready_cycle {
+            if *rc > now && *rc != u64::MAX {
+                *rc += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rename_allocates_and_remaps() {
+        let mut rt = RenameTable::new(40);
+        let r5 = ArchReg::new(5);
+        assert_eq!(rt.lookup(r5), 5);
+        let ren = rt.rename_dst(r5).unwrap();
+        assert_eq!(ren.old_phys, 5);
+        assert_eq!(ren.new_phys, 32);
+        assert_eq!(rt.lookup(r5), 32);
+        assert_eq!(rt.free_count(), 7);
+    }
+
+    #[test]
+    fn zero_register_is_not_renamed() {
+        let mut rt = RenameTable::new(40);
+        let ren = rt.rename_dst(ArchReg::ZERO).unwrap();
+        assert_eq!(ren.new_phys, 0);
+        assert_eq!(rt.free_count(), 8);
+        assert!(rt.is_ready(0, 0, 0));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rt = RenameTable::new(34);
+        assert!(rt.rename_dst(ArchReg::new(1)).is_some());
+        assert!(rt.rename_dst(ArchReg::new(2)).is_some());
+        assert!(rt.rename_dst(ArchReg::new(3)).is_none());
+    }
+
+    #[test]
+    fn retire_free_recycles() {
+        let mut rt = RenameTable::new(34);
+        let a = rt.rename_dst(ArchReg::new(1)).unwrap();
+        let _b = rt.rename_dst(ArchReg::new(1)).unwrap();
+        // retire the first rename: old mapping (phys 1) freed
+        rt.retire_free(a.old_phys);
+        assert_eq!(rt.free_count(), 1);
+        let c = rt.rename_dst(ArchReg::new(2)).unwrap();
+        assert_eq!(c.new_phys, 1, "recycled physical register");
+    }
+
+    #[test]
+    fn rollback_restores_mapping_youngest_first() {
+        let mut rt = RenameTable::new(40);
+        let r7 = ArchReg::new(7);
+        let first = rt.rename_dst(r7).unwrap();
+        let second = rt.rename_dst(r7).unwrap();
+        assert_eq!(rt.lookup(r7), second.new_phys);
+        rt.rollback(r7, second);
+        assert_eq!(rt.lookup(r7), first.new_phys);
+        rt.rollback(r7, first);
+        assert_eq!(rt.lookup(r7), 7);
+        assert_eq!(rt.free_count(), 8, "all allocations returned");
+    }
+
+    #[test]
+    fn ready_cycle_tracking() {
+        let mut rt = RenameTable::new(40);
+        let ren = rt.rename_dst(ArchReg::new(3)).unwrap();
+        assert!(!rt.is_ready(ren.new_phys, 1_000_000, 0));
+        rt.set_ready_cycle(ren.new_phys, 10, false);
+        assert!(!rt.is_ready(ren.new_phys, 9, 0));
+        assert!(rt.is_ready(ren.new_phys, 10, 0));
+        assert_eq!(rt.ready_cycle(ren.new_phys), 10);
+        // delayed broadcast: early consumers wait one extra cycle,
+        // late-dispatched consumers do not
+        rt.set_ready_cycle(ren.new_phys, 20, true);
+        assert!(!rt.is_ready(ren.new_phys, 20, 5));
+        assert!(rt.is_ready(ren.new_phys, 21, 5));
+        assert!(rt.is_ready(ren.new_phys, 20, 25));
+    }
+}

@@ -1,0 +1,121 @@
+//! Reorder buffer: in-order window of dispatched instructions.
+
+use std::collections::VecDeque;
+
+use crate::inflight::SlotId;
+
+/// The reorder buffer holds [`SlotId`]s in dispatch (= program) order.
+#[derive(Debug, Clone)]
+pub struct Rob {
+    entries: VecDeque<SlotId>,
+    capacity: usize,
+}
+
+impl Rob {
+    /// Creates a ROB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB capacity must be positive");
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Free entries remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ROB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full (the dispatch stage must check
+    /// [`free`](Rob::free) first).
+    pub fn push(&mut self, slot: SlotId) {
+        assert!(self.entries.len() < self.capacity, "ROB overflow");
+        self.entries.push_back(slot);
+    }
+
+    /// The head (oldest) entry.
+    pub fn head(&self) -> Option<SlotId> {
+        self.entries.front().copied()
+    }
+
+    /// Pops the head at retire.
+    pub fn pop_head(&mut self) -> Option<SlotId> {
+        self.entries.pop_front()
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = SlotId> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Removes and returns all entries from the tail while `pred` holds,
+    /// youngest first (squash path).
+    pub fn drain_youngest_while<F: Fn(SlotId) -> bool>(&mut self, pred: F) -> Vec<SlotId> {
+        let mut drained = Vec::new();
+        while let Some(&tail) = self.entries.back() {
+            if pred(tail) {
+                drained.push(tail);
+                self.entries.pop_back();
+            } else {
+                break;
+            }
+        }
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut rob = Rob::new(4);
+        rob.push(10);
+        rob.push(11);
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.free(), 2);
+        assert_eq!(rob.head(), Some(10));
+        assert_eq!(rob.pop_head(), Some(10));
+        assert_eq!(rob.head(), Some(11));
+        assert!(!rob.is_empty());
+    }
+
+    #[test]
+    fn drain_youngest() {
+        let mut rob = Rob::new(8);
+        for s in [1, 2, 3, 4, 5] {
+            rob.push(s);
+        }
+        let drained = rob.drain_youngest_while(|s| s >= 4);
+        assert_eq!(drained, vec![5, 4]);
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(0);
+        rob.push(1);
+    }
+}

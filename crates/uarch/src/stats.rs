@@ -1,0 +1,198 @@
+//! Simulation statistics and activity counters.
+
+use tv_timing::PipeStage;
+
+/// Per-structure activity counts consumed by the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Activity {
+    /// Fetch groups formed (I-cache reads).
+    pub fetch_groups: u64,
+    /// Instructions fetched.
+    pub fetches: u64,
+    /// Instructions decoded (TEP lookups ride along).
+    pub decodes: u64,
+    /// Destination renames performed.
+    pub renames: u64,
+    /// Instructions dispatched into the window.
+    pub dispatches: u64,
+    /// Instructions issued (wakeup/select activations).
+    pub issues: u64,
+    /// Register-read port activations.
+    pub regreads: u64,
+    /// Simple-ALU executions.
+    pub fu_simple: u64,
+    /// Complex-unit executions (mul/div/FP).
+    pub fu_complex: u64,
+    /// Memory-port executions (AGEN + access).
+    pub fu_mem: u64,
+    /// Load/store-queue CAM searches.
+    pub lsq_searches: u64,
+    /// L1 data-cache accesses.
+    pub dcache_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// Main-memory accesses.
+    pub mem_accesses: u64,
+    /// Result-tag broadcasts into the issue queue.
+    pub broadcasts: u64,
+    /// Instructions retired.
+    pub retires: u64,
+    /// Cycles fetch idled waiting for a mispredicted branch to resolve.
+    pub fetch_blocked_cycles: u64,
+    /// Cycles fetch idled on redirect/replay stall.
+    pub fetch_stall_cycles: u64,
+    /// Cycles fetch idled because the fetch buffer was full.
+    pub fetch_full_cycles: u64,
+    /// Issued work thrown away by replay squashes (re-executed later).
+    pub wasted_issues: u64,
+}
+
+/// Top-level simulation statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Scheme label (filled by the experiment driver).
+    pub label: String,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions fetched (including refetches after squashes).
+    pub fetched: u64,
+    /// Instructions squashed by replays.
+    pub squashed: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted branches (detected at fetch against the trace).
+    pub branch_mispredicts: u64,
+    /// Timing violations that actually occurred, by pipe stage.
+    pub faults_by_stage: [u64; 10],
+    /// Violations predicted by the TEP ahead of time (tolerated in place).
+    pub faults_predicted: u64,
+    /// Violations without early prediction (corrected by replay).
+    pub faults_unpredicted: u64,
+    /// Predicted-faulty instructions that completed cleanly (harmless
+    /// padding; the cost of a stale predictor entry).
+    pub false_positives: u64,
+    /// Replay recoveries triggered.
+    pub replays: u64,
+    /// Whole-pipeline stall cycles inserted by the EP scheme.
+    pub ep_stall_cycles: u64,
+    /// Whole-pipeline recovery bubbles inserted by in-situ replays.
+    pub recovery_stall_cycles: u64,
+    /// Stall signals raised for predicted in-order-engine faults (§2.2).
+    pub in_order_stalls: u64,
+    /// Issue-slot freezes applied by the VTE (one extra-cycle hold each).
+    pub slot_freezes: u64,
+    /// L1-D miss rate observed.
+    pub l1d_miss_rate: f64,
+    /// L2 miss rate observed.
+    pub l2_miss_rate: f64,
+    /// Activity counters for the energy model.
+    pub activity: Activity,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.committed as f64
+        }
+    }
+
+    /// Total timing violations that occurred.
+    pub fn faults_total(&self) -> u64 {
+        self.faults_by_stage.iter().sum()
+    }
+
+    /// Observed fault rate: violations per committed instruction.
+    pub fn fault_rate(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.faults_total() as f64 / self.committed as f64
+        }
+    }
+
+    /// Records one occurred fault.
+    pub fn record_fault(&mut self, stage: PipeStage, predicted: bool) {
+        let idx = PipeStage::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("stage is in ALL");
+        self.faults_by_stage[idx] += 1;
+        if predicted {
+            self.faults_predicted += 1;
+        } else {
+            self.faults_unpredicted += 1;
+        }
+    }
+
+    /// Faults that occurred in `stage`.
+    pub fn faults_in(&self, stage: PipeStage) -> u64 {
+        let idx = PipeStage::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("stage is in ALL");
+        self.faults_by_stage[idx]
+    }
+
+    /// Branch misprediction rate per committed branch.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.fault_rate(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn fault_recording() {
+        let mut s = SimStats::default();
+        s.committed = 100;
+        s.record_fault(PipeStage::Issue, true);
+        s.record_fault(PipeStage::Issue, false);
+        s.record_fault(PipeStage::Memory, true);
+        assert_eq!(s.faults_total(), 3);
+        assert_eq!(s.faults_in(PipeStage::Issue), 2);
+        assert_eq!(s.faults_in(PipeStage::Memory), 1);
+        assert_eq!(s.faults_predicted, 2);
+        assert_eq!(s.faults_unpredicted, 1);
+        assert!((s.fault_rate() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_cpi_inverse() {
+        let s = SimStats {
+            cycles: 200,
+            committed: 100,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.cpi() - 2.0).abs() < 1e-12);
+    }
+}

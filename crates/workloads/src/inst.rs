@@ -1,0 +1,236 @@
+//! Dynamic trace instruction representation.
+//!
+//! The microarchitectural simulator consumes a stream of [`TraceInst`]s, each
+//! carrying everything the pipeline needs: a static PC (the key the Timing
+//! Error Predictor is indexed by), an operation class, architectural register
+//! operands, an effective address for memory operations, and the resolved
+//! outcome for control transfers.
+
+use std::fmt;
+
+/// Number of architectural integer registers in the synthetic ISA.
+///
+/// Register 0 is a hard-wired zero (writes to it are discarded), mirroring
+/// RISC conventions; the remaining 31 registers are general purpose.
+pub const NUM_ARCH_REGS: u8 = 32;
+
+/// An architectural register identifier (`r0`–`r31`).
+///
+/// `r0` always reads as zero and is never renamed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// The hard-wired zero register.
+    pub const ZERO: ArchReg = ArchReg(0);
+
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            index < NUM_ARCH_REGS,
+            "architectural register index {index} out of range"
+        );
+        ArchReg(index)
+    }
+
+    /// Raw register index in `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Operation class of an instruction.
+///
+/// The classes map onto the functional units of the Fabscalar-like Core-1
+/// configuration the paper simulates: single-cycle simple ALUs, a multi-cycle
+/// complex unit (multiply/divide), a memory port (address generation followed
+/// by cache access), and branch resolution on a simple-ALU lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (add, sub, logical, compare, shift).
+    IntAlu,
+    /// Multi-cycle pipelined integer multiply.
+    IntMul,
+    /// Multi-cycle *unpipelined* integer divide.
+    IntDiv,
+    /// Memory load (address generation + data cache access).
+    Load,
+    /// Memory store (address generation; data written at retire).
+    Store,
+    /// Conditional branch, resolved in execute.
+    CondBranch,
+    /// Unconditional jump / call / return.
+    Jump,
+    /// Floating-point add/sub/convert (multi-cycle pipelined).
+    FpAlu,
+    /// Floating-point multiply (multi-cycle pipelined).
+    FpMul,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order (useful for histograms).
+    pub const ALL: [OpClass; 9] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::CondBranch,
+        OpClass::Jump,
+        OpClass::FpAlu,
+        OpClass::FpMul,
+    ];
+
+    /// Whether the instruction accesses data memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether the instruction is a control transfer.
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::CondBranch | OpClass::Jump)
+    }
+
+    /// Whether the instruction produces a register result.
+    pub fn writes_register(self) -> bool {
+        !matches!(self, OpClass::Store | OpClass::CondBranch | OpClass::Jump)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMul => "mul",
+            OpClass::IntDiv => "div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::CondBranch => "br",
+            OpClass::Jump => "jmp",
+            OpClass::FpAlu => "fadd",
+            OpClass::FpMul => "fmul",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic instruction instance in the trace.
+///
+/// A trace instruction is fully resolved: the generator has already decided
+/// the effective address of memory operations and the outcome of branches.
+/// The pipeline model *predicts* branches and compares against [`taken`] /
+/// [`target`] to detect mispredictions.
+///
+/// [`taken`]: TraceInst::taken
+/// [`target`]: TraceInst::target
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceInst {
+    /// Global dynamic sequence number (0-based, monotonically increasing).
+    pub seq: u64,
+    /// Static program counter of this instruction.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Up to two source registers (`None` slots are unused).
+    pub srcs: [Option<ArchReg>; 2],
+    /// Destination register, if the instruction writes one.
+    pub dst: Option<ArchReg>,
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Resolved direction for conditional branches (`Some(true)` = taken);
+    /// `Some(true)` for unconditional jumps; `None` otherwise.
+    pub taken: Option<bool>,
+    /// Resolved target PC for taken control transfers.
+    pub target: Option<u64>,
+    /// Two source operand *values*, used by the gate-level sensitization
+    /// study and for value-dependent timing (the pipeline itself does not
+    /// need architecturally correct values).
+    pub operand_values: [u64; 2],
+}
+
+impl TraceInst {
+    /// Sequential fall-through PC (instructions are 4 bytes).
+    pub fn next_pc(&self) -> u64 {
+        self.pc + 4
+    }
+
+    /// Number of valid source operands.
+    pub fn num_srcs(&self) -> usize {
+        self.srcs.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_reg_bounds() {
+        let r = ArchReg::new(31);
+        assert_eq!(r.index(), 31);
+        assert!(!r.is_zero());
+        assert!(ArchReg::ZERO.is_zero());
+        assert_eq!(ArchReg::new(5).to_string(), "r5");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_out_of_range_panics() {
+        let _ = ArchReg::new(32);
+    }
+
+    #[test]
+    fn op_class_predicates() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::CondBranch.is_branch());
+        assert!(OpClass::Jump.is_branch());
+        assert!(!OpClass::Load.is_branch());
+        assert!(OpClass::Load.writes_register());
+        assert!(!OpClass::Store.writes_register());
+        assert!(!OpClass::CondBranch.writes_register());
+        assert!(OpClass::IntMul.writes_register());
+    }
+
+    #[test]
+    fn all_classes_distinct() {
+        for (i, a) in OpClass::ALL.iter().enumerate() {
+            for b in &OpClass::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_inst_next_pc() {
+        let inst = TraceInst {
+            seq: 0,
+            pc: 0x1000,
+            op: OpClass::IntAlu,
+            srcs: [Some(ArchReg::new(1)), None],
+            dst: Some(ArchReg::new(2)),
+            mem_addr: None,
+            taken: None,
+            target: None,
+            operand_values: [0, 0],
+        };
+        assert_eq!(inst.next_pc(), 0x1004);
+        assert_eq!(inst.num_srcs(), 1);
+    }
+}

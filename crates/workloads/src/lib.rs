@@ -1,0 +1,45 @@
+//! Synthetic SPEC-like workload generation for the timing-violation study.
+//!
+//! The paper evaluates on SPEC CPU2006 phases (extracted with SimPoint) run
+//! under WindRiver Simics, plus SPEC2000-int inputs for the gate-level
+//! path-sensitization study. Neither benchmark suite nor simulator is
+//! redistributable, so this crate rebuilds the *workload* layer from scratch:
+//!
+//! * [`profile`] — per-benchmark parameter sets (instruction mix, dependence
+//!   distance, working-set shape, branch bias) tuned so that the observable
+//!   characteristics the paper reports (fault-free IPC, data-stall proneness,
+//!   inherent ILP) are preserved;
+//! * [`program`] — a deterministic *static program*: weighted basic blocks of
+//!   typed instructions with architectural register dependences, connected by
+//!   a Markov control-flow graph. Recurring static PCs are the property the
+//!   Timing Error Predictor exploits, so the program is finite and looped;
+//! * [`generate`] — walks the static program to emit a dynamic instruction
+//!   trace ([`TraceInst`]);
+//! * [`simpoint`] — basic-block-vector clustering in the style of Sherwood et
+//!   al. (PACT 2001) to pick representative execution phases;
+//! * [`values`] — per-PC operand value streams with benchmark-specific value
+//!   locality, feeding the gate-level sensitization study (paper §S1).
+//!
+//! # Example
+//!
+//! ```
+//! use tv_workloads::{Benchmark, TraceGenerator};
+//!
+//! let mut gen = TraceGenerator::for_benchmark(Benchmark::Astar, 42);
+//! let inst = gen.next_inst();
+//! assert!(inst.pc >= 0x1000);
+//! ```
+
+pub mod generate;
+pub mod inst;
+pub mod profile;
+pub mod program;
+pub mod simpoint;
+pub mod values;
+
+pub use generate::TraceGenerator;
+pub use inst::{ArchReg, OpClass, TraceInst};
+pub use profile::{Benchmark, Profile, Spec2000};
+pub use program::{BasicBlock, StaticInst, StaticProgram};
+pub use simpoint::{Phase, SimPoint};
+pub use values::{ValueSample, ValueStream};

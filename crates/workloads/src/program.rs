@@ -1,0 +1,613 @@
+//! Static program construction.
+//!
+//! A [`StaticProgram`] is a fixed set of basic blocks containing typed
+//! instructions with architectural register dependences, connected by a
+//! Markov control-flow graph. Walking the graph (see
+//! [`crate::generate::TraceGenerator`]) produces a dynamic instruction trace
+//! in which the same static PCs recur over and over — exactly the property
+//! (paper §S1) that makes PC-indexed timing-error prediction work.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::inst::{ArchReg, OpClass};
+use crate::profile::Profile;
+
+/// Base address of the synthetic text segment.
+pub const TEXT_BASE: u64 = 0x1000;
+/// Base address of the hot data region.
+pub const HOT_BASE: u64 = 0x1000_0000;
+/// Base address of the cold data region.
+pub const COLD_BASE: u64 = 0x8000_0000;
+
+/// Memory access pattern of one static load or store.
+///
+/// The pattern is structural (strided vs random vs pointer-chasing); which
+/// *region* (hot or cold) a given dynamic access touches is decided by the
+/// generator per access, so the dynamic cold share tracks the profile's
+/// `cold_frac` exactly regardless of which static instructions end up in
+/// hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemPattern {
+    /// Sequentially strided within its region (else pseudo-random).
+    pub strided: bool,
+    /// Stride in bytes for strided accesses within the hot region (cold
+    /// strides are scaled up to at least a cache line).
+    pub stride: u64,
+    /// Load address depends on the previous load in a chase chain.
+    pub pointer_chase: bool,
+}
+
+/// One static instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticInst {
+    /// Program counter (unique, 4-byte spaced).
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register.
+    pub dst: Option<ArchReg>,
+    /// Source registers.
+    pub srcs: [Option<ArchReg>; 2],
+    /// Memory behaviour for loads/stores.
+    pub mem: Option<MemPattern>,
+}
+
+/// Control-flow behaviour at the end of a basic block.
+///
+/// The block's final instruction is the branch/jump itself when the
+/// terminator is [`Terminator::Cond`] or [`Terminator::Jump`]; a
+/// [`Terminator::Fall`] block ends with an ordinary instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Fall through to the next block.
+    Fall { next: usize },
+    /// Conditional branch.
+    Cond {
+        /// Block index when taken.
+        taken: usize,
+        /// Block index when not taken.
+        fall: usize,
+        /// Probability of being taken (used when `pattern` is `None`).
+        bias: f64,
+        /// Optional short repeating taken/not-taken pattern; when present
+        /// the branch is deterministic and history-predictable.
+        pattern: Option<Vec<bool>>,
+    },
+    /// Unconditional jump.
+    Jump { target: usize },
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Index of this block within the program.
+    pub id: usize,
+    /// Instructions (the last one is the branch for `Cond`/`Jump` blocks).
+    pub insts: Vec<StaticInst>,
+    /// Control flow out of this block.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// PC of the first instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty (the builder never produces one).
+    pub fn start_pc(&self) -> u64 {
+        self.insts.first().expect("basic block is never empty").pc
+    }
+}
+
+/// A complete static program for one benchmark profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticProgram {
+    blocks: Vec<BasicBlock>,
+    num_insts: usize,
+}
+
+impl StaticProgram {
+    /// Generates the static program for `profile`, deterministically from
+    /// `seed`.
+    ///
+    /// The same `(profile, seed)` pair always yields an identical program;
+    /// experiments are reproducible bit-for-bit.
+    pub fn generate(profile: &Profile, seed: u64) -> Self {
+        Builder::new(profile, seed).build()
+    }
+
+    /// The basic blocks of the program.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Total number of static instructions.
+    pub fn num_insts(&self) -> usize {
+        self.num_insts
+    }
+
+    /// Looks up a static instruction by PC.
+    pub fn inst_at(&self, pc: u64) -> Option<&StaticInst> {
+        // PCs are laid out contiguously per block; binary search the block,
+        // then index within it.
+        let idx = self
+            .blocks
+            .partition_point(|b| b.start_pc() <= pc)
+            .checked_sub(1)?;
+        let block = &self.blocks[idx];
+        let offset = pc.checked_sub(block.start_pc())? / 4;
+        block.insts.get(offset as usize).filter(|i| i.pc == pc)
+    }
+}
+
+/// Planned terminator role of one block (see [`Builder::build`]).
+#[derive(Debug, Clone, Copy)]
+enum BlockPlan {
+    /// Forward if-skip inside a loop body ending at `end`.
+    Interior { end: usize },
+    /// Loop back-edge to `start`.
+    BackEdge { start: usize },
+    /// Connector: jump to a uniform target.
+    Connector,
+}
+
+/// Internal program builder.
+struct Builder<'p> {
+    profile: &'p Profile,
+    rng: ChaCha12Rng,
+    next_pc: u64,
+    /// Ring of recently written destination registers, used to realize the
+    /// profile's dependence-distance distribution.
+    recent_dsts: Vec<ArchReg>,
+    /// Destination register rotation (r1..r31; r0 is hard-wired zero).
+    next_dst: u8,
+    /// Most recent load destination, for pointer-chase chains.
+    last_load_dst: Option<ArchReg>,
+    /// The current block's hub value (its first result); sources reuse it
+    /// with the profile's `fanout_reuse` probability, creating
+    /// high-fan-out producers.
+    hub: Option<ArchReg>,
+    /// Destinations written in the current block so far.
+    block_writes: usize,
+}
+
+impl<'p> Builder<'p> {
+    fn new(profile: &'p Profile, seed: u64) -> Self {
+        Builder {
+            profile,
+            rng: ChaCha12Rng::seed_from_u64(seed ^ 0x5757_4c4f_4144_5347),
+            next_pc: TEXT_BASE,
+            recent_dsts: Vec::with_capacity(64),
+            next_dst: 1,
+            last_load_dst: None,
+            hub: None,
+            block_writes: 0,
+        }
+    }
+
+    /// Builds the program as a chain of bounded loops.
+    ///
+    /// Real programs are loop nests, not arbitrary Markov graphs: an
+    /// unstructured random CFG concentrates its stationary distribution on
+    /// a handful of absorbing blocks, so one hot random branch would
+    /// dominate the whole benchmark's behaviour. Instead, blocks are
+    /// partitioned into small loop bodies. Interior blocks end with
+    /// forward if-skips (bias/pattern per profile); each body's last block
+    /// carries the loop back-edge with a bounded trip count (a highly
+    /// predictable, mostly-taken branch, as in real loop code); connector
+    /// blocks between loops jump to uniformly random targets, which keeps
+    /// the walk mixing over the entire program.
+    fn build(mut self) -> StaticProgram {
+        let n = self.profile.num_blocks;
+        let mix = &self.profile.mix;
+        let jump_share =
+            (mix.jump / (mix.jump + mix.cond_branch).max(1e-9)).clamp(0.0, 0.9);
+
+        // Plan the terminator of every block first.
+        let mut plan = vec![BlockPlan::Connector; n];
+        let mut id = 0;
+        while id < n - 1 {
+            if id > 0 && self.rng.gen_bool(jump_share) {
+                plan[id] = BlockPlan::Connector;
+                id += 1;
+                continue;
+            }
+            let body = 1 + self.sample_geometric(1.5).min(5);
+            let end = (id + body - 1).min(n - 2);
+            for b in id..end {
+                plan[b] = BlockPlan::Interior { end };
+            }
+            plan[end] = BlockPlan::BackEdge { start: id };
+            id = end + 1;
+        }
+        plan[n - 1] = BlockPlan::Connector; // final wrap handled below
+
+        let mut blocks = Vec::with_capacity(n);
+        for (id, p) in plan.iter().enumerate() {
+            blocks.push(self.build_block(id, n, *p));
+        }
+        let num_insts = blocks.iter().map(|b| b.insts.len()).sum();
+        StaticProgram { blocks, num_insts }
+    }
+
+    fn build_block(
+        &mut self,
+        id: usize,
+        num_blocks: usize,
+        plan: BlockPlan,
+    ) -> BasicBlock {
+        // Block length: geometric-ish around the profile mean, at least 2
+        // (one body instruction plus the terminator).
+        let mean = self.profile.mean_block_len.max(2.0);
+        let len = 2 + self.sample_geometric(mean - 2.0).min(24);
+
+        self.block_writes = 0;
+        let mut insts = Vec::with_capacity(len + 1);
+        for _ in 0..len.saturating_sub(1) {
+            insts.push(self.build_body_inst());
+        }
+
+        let last_block = id + 1 == num_blocks;
+        let terminator = if last_block {
+            insts.push(self.build_ctrl_inst(OpClass::Jump));
+            Terminator::Jump { target: 0 }
+        } else {
+            match plan {
+                BlockPlan::Connector => {
+                    insts.push(self.build_ctrl_inst(OpClass::Jump));
+                    Terminator::Jump {
+                        target: self.pick_jump_target(id, num_blocks),
+                    }
+                }
+                BlockPlan::Interior { end } => {
+                    insts.push(self.build_ctrl_inst(OpClass::CondBranch));
+                    // Forward skip within the loop body (taken jumps over
+                    // one or more body blocks, never out of the loop).
+                    let skip = 1 + self.sample_geometric(1.0);
+                    let taken = (id + 1 + skip).min(end);
+                    let bias = self.sample_bias();
+                    // If-skips in real code are the *not-taken*-biased
+                    // side; flip the profile bias so falling through
+                    // (executing the body) is the common case.
+                    let bias = 1.0 - bias;
+                    let pattern = if self.rng.gen_bool(self.profile.branch_patterned) {
+                        Some(self.sample_pattern(bias))
+                    } else {
+                        None
+                    };
+                    Terminator::Cond {
+                        taken,
+                        fall: id + 1,
+                        bias,
+                        pattern,
+                    }
+                }
+                BlockPlan::BackEdge { start } => {
+                    insts.push(self.build_ctrl_inst(OpClass::CondBranch));
+                    // Trip count: taken (loop again) T-1 times, then exit.
+                    let trips = 3 + self.sample_geometric(5.0).min(13);
+                    let bias = 1.0 - 1.0 / trips as f64;
+                    let pattern = if self.rng.gen_bool(self.profile.branch_patterned) {
+                        let mut p = vec![true; trips];
+                        p[trips - 1] = false;
+                        Some(p)
+                    } else {
+                        None
+                    };
+                    Terminator::Cond {
+                        taken: start,
+                        fall: id + 1,
+                        bias,
+                        pattern,
+                    }
+                }
+            }
+        };
+
+        BasicBlock {
+            id,
+            insts,
+            terminator,
+        }
+    }
+
+    /// Samples a non-branch instruction according to the renormalized mix.
+    fn build_body_inst(&mut self) -> StaticInst {
+        let mix = &self.profile.mix;
+        let body_classes = [
+            (OpClass::IntAlu, mix.int_alu),
+            (OpClass::IntMul, mix.int_mul),
+            (OpClass::IntDiv, mix.int_div),
+            (OpClass::Load, mix.load),
+            (OpClass::Store, mix.store),
+            (OpClass::FpAlu, mix.fp_alu),
+            (OpClass::FpMul, mix.fp_mul),
+        ];
+        let total: f64 = body_classes.iter().map(|(_, w)| w).sum();
+        let mut x = self.rng.gen_range(0.0..total);
+        let mut op = OpClass::IntAlu;
+        for (class, w) in body_classes {
+            if x < w {
+                op = class;
+                break;
+            }
+            x -= w;
+        }
+
+        let pc = self.alloc_pc();
+        match op {
+            OpClass::Load => self.build_load(pc),
+            OpClass::Store => self.build_store(pc),
+            _ => {
+                let srcs = [Some(self.pick_src()), Some(self.pick_src())];
+                let dst = Some(self.alloc_dst());
+                StaticInst {
+                    pc,
+                    op,
+                    dst,
+                    srcs,
+                    mem: None,
+                }
+            }
+        }
+    }
+
+    fn build_load(&mut self, pc: u64) -> StaticInst {
+        let mem = self.sample_mem_pattern(true);
+        // A pointer-chase load's address register is the destination of the
+        // previous load in the chain, serializing the chain through the
+        // register dependence the pipeline actually sees.
+        let addr_src = if mem.pointer_chase {
+            self.last_load_dst.unwrap_or_else(|| self.pick_src())
+        } else {
+            self.pick_src()
+        };
+        let dst = self.alloc_dst();
+        self.last_load_dst = Some(dst);
+        StaticInst {
+            pc,
+            op: OpClass::Load,
+            dst: Some(dst),
+            srcs: [Some(addr_src), None],
+            mem: Some(mem),
+        }
+    }
+
+    fn build_store(&mut self, pc: u64) -> StaticInst {
+        let mem = self.sample_mem_pattern(false);
+        StaticInst {
+            pc,
+            op: OpClass::Store,
+            dst: None,
+            srcs: [Some(self.pick_src()), Some(self.pick_src())],
+            mem: Some(mem),
+        }
+    }
+
+    fn build_ctrl_inst(&mut self, op: OpClass) -> StaticInst {
+        let pc = self.alloc_pc();
+        let srcs = match op {
+            OpClass::CondBranch => [Some(self.pick_src()), Some(self.pick_src())],
+            _ => [None, None],
+        };
+        StaticInst {
+            pc,
+            op,
+            dst: None,
+            srcs,
+            mem: None,
+        }
+    }
+
+    fn sample_mem_pattern(&mut self, is_load: bool) -> MemPattern {
+        let m = &self.profile.memory;
+        let pointer_chase =
+            is_load && self.rng.gen_bool(m.pointer_chase_frac.clamp(0.0, 1.0));
+        let strided = !pointer_chase && self.rng.gen_bool(m.stride_frac.clamp(0.0, 1.0));
+        let stride = 8 << self.rng.gen_range(0..3); // 8, 16, or 32 bytes
+        MemPattern {
+            strided,
+            stride,
+            pointer_chase,
+        }
+    }
+
+    fn alloc_pc(&mut self) -> u64 {
+        let pc = self.next_pc;
+        self.next_pc += 4;
+        pc
+    }
+
+    /// Rotates destination registers through r1..r31.
+    fn alloc_dst(&mut self) -> ArchReg {
+        let r = ArchReg::new(self.next_dst);
+        self.next_dst = if self.next_dst >= 31 { 1 } else { self.next_dst + 1 };
+        self.recent_dsts.push(r);
+        if self.recent_dsts.len() > 64 {
+            self.recent_dsts.remove(0);
+        }
+        if self.block_writes == 0 {
+            self.hub = Some(r);
+        }
+        self.block_writes += 1;
+        r
+    }
+
+    /// Picks a source register at a geometric dependence distance back,
+    /// or the block hub (high-fan-out reuse) per the profile.
+    fn pick_src(&mut self) -> ArchReg {
+        if let Some(hub) = self.hub {
+            if self.block_writes > 0 && self.rng.gen_bool(self.profile.fanout_reuse.clamp(0.0, 1.0))
+            {
+                return hub;
+            }
+        }
+        if self.recent_dsts.is_empty() {
+            return ArchReg::new(self.rng.gen_range(1..32));
+        }
+        let d = 1 + self.sample_geometric(self.profile.mean_dep_distance - 1.0);
+        let idx = self.recent_dsts.len().saturating_sub(d.min(self.recent_dsts.len()));
+        self.recent_dsts[idx]
+    }
+
+    /// Geometric sample with the given mean (mean 0 ⇒ always 0).
+    fn sample_geometric(&mut self, mean: f64) -> usize {
+        if mean <= 0.0 {
+            return 0;
+        }
+        let p = 1.0 / (1.0 + mean);
+        let mut k = 0;
+        while k < 64 && !self.rng.gen_bool(p) {
+            k += 1;
+        }
+        k
+    }
+
+    fn sample_bias(&mut self) -> f64 {
+        let b = self.profile.branch_bias + self.rng.gen_range(-0.08..0.08);
+        b.clamp(0.52, 0.98)
+    }
+
+    /// A short repeating pattern whose taken-rate approximates `bias`.
+    fn sample_pattern(&mut self, bias: f64) -> Vec<bool> {
+        let period = self.rng.gen_range(2..=8usize);
+        let takens = ((period as f64) * bias).round() as usize;
+        let takens = takens.clamp(1, period);
+        let mut pat = vec![false; period];
+        for slot in pat.iter_mut().take(takens) {
+            *slot = true;
+        }
+        // Deterministic shuffle so the pattern is not trivially a run.
+        for i in (1..period).rev() {
+            let j = self.rng.gen_range(0..=i);
+            pat.swap(i, j);
+        }
+        pat
+    }
+
+    fn pick_jump_target(&mut self, id: usize, n: usize) -> usize {
+        // Call-like: jump uniformly anywhere else. Uniform targets keep the
+        // Markov walk mixing over the whole program — a biased choice can
+        // create absorbing jump cycles that trap the dynamic stream in a
+        // few blocks and destroy the intended instruction mix.
+        let t = self.rng.gen_range(0..n);
+        if t == id {
+            (t + 1) % n
+        } else {
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Benchmark;
+
+    fn program() -> StaticProgram {
+        StaticProgram::generate(&Benchmark::Gcc.profile(), 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = Benchmark::Astar.profile();
+        let a = StaticProgram::generate(&p, 42);
+        let b = StaticProgram::generate(&p, 42);
+        assert_eq!(a, b);
+        let c = StaticProgram::generate(&p, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pcs_are_unique_and_contiguous() {
+        let prog = program();
+        let mut expect = TEXT_BASE;
+        for block in prog.blocks() {
+            for inst in &block.insts {
+                assert_eq!(inst.pc, expect);
+                expect += 4;
+            }
+        }
+        assert_eq!(
+            prog.num_insts(),
+            ((expect - TEXT_BASE) / 4) as usize
+        );
+    }
+
+    #[test]
+    fn inst_at_finds_every_pc() {
+        let prog = program();
+        for block in prog.blocks() {
+            for inst in &block.insts {
+                assert_eq!(prog.inst_at(inst.pc), Some(inst));
+            }
+        }
+        assert_eq!(prog.inst_at(TEXT_BASE - 4), None);
+        let last_pc = TEXT_BASE + 4 * (prog.num_insts() as u64 - 1);
+        assert_eq!(prog.inst_at(last_pc + 4), None);
+    }
+
+    #[test]
+    fn terminator_targets_in_range() {
+        let prog = program();
+        let n = prog.blocks().len();
+        for block in prog.blocks() {
+            match &block.terminator {
+                Terminator::Fall { next } => assert!(*next < n),
+                Terminator::Jump { target } => assert!(*target < n),
+                Terminator::Cond {
+                    taken,
+                    fall,
+                    bias,
+                    pattern,
+                } => {
+                    assert!(*taken < n && *fall < n);
+                    assert!((0.0..1.0).contains(bias), "bias {bias}");
+                    if let Some(p) = pattern {
+                        assert!(!p.is_empty() && p.len() <= 16, "pattern length {}", p.len());
+                        assert!(p.iter().any(|&t| t), "pattern never taken");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_blocks_end_in_branch_instruction() {
+        let prog = program();
+        for block in prog.blocks() {
+            let last = block.insts.last().unwrap();
+            match &block.terminator {
+                Terminator::Cond { .. } => assert_eq!(last.op, OpClass::CondBranch),
+                Terminator::Jump { .. } => assert_eq!(last.op, OpClass::Jump),
+                Terminator::Fall { .. } => assert!(!last.op.is_branch()),
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_chase_loads_present_in_mcf() {
+        let prog = StaticProgram::generate(&Benchmark::Mcf.profile(), 1);
+        let chases = prog
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| i.mem.map(|m| m.pointer_chase).unwrap_or(false))
+            .count();
+        assert!(chases > 0, "mcf should contain pointer-chase loads");
+    }
+
+    #[test]
+    fn loads_use_r0_never_as_dst() {
+        let prog = program();
+        for block in prog.blocks() {
+            for inst in &block.insts {
+                if let Some(d) = inst.dst {
+                    assert!(!d.is_zero());
+                }
+            }
+        }
+    }
+}

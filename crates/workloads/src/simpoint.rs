@@ -1,0 +1,238 @@
+//! SimPoint-style representative phase selection.
+//!
+//! The paper focuses its architectural simulation "on representative phases
+//! extracted using the SimPoint toolset" (§4.2), each phase corresponding to
+//! 1 million committed instructions. This module reimplements the core of
+//! that methodology (Sherwood, Perelman & Calder, PACT 2001): execution is
+//! sliced into fixed-length intervals, each summarized by a normalized
+//! *basic-block vector* (BBV); the BBVs are clustered with k-means; and the
+//! interval closest to each centroid becomes that cluster's representative
+//! phase, weighted by cluster population.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::generate::TraceGenerator;
+
+/// A representative execution phase chosen by [`SimPoint::analyze`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Index of the representative interval.
+    pub interval: usize,
+    /// First dynamic instruction of the interval.
+    pub start_seq: u64,
+    /// Fraction of all intervals assigned to this phase's cluster.
+    pub weight: f64,
+}
+
+/// Result of a SimPoint analysis over a trace prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPoint {
+    phases: Vec<Phase>,
+    interval_len: u64,
+}
+
+impl SimPoint {
+    /// Slices the first `num_intervals * interval_len` instructions of the
+    /// generator's stream into intervals, clusters their basic-block vectors
+    /// into `k` clusters, and returns one representative phase per non-empty
+    /// cluster.
+    ///
+    /// The generator is consumed from its current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_intervals == 0`, `interval_len == 0`, or `k == 0`.
+    pub fn analyze(
+        gen: &mut TraceGenerator,
+        num_intervals: usize,
+        interval_len: u64,
+        k: usize,
+        seed: u64,
+    ) -> SimPoint {
+        assert!(num_intervals > 0, "num_intervals must be positive");
+        assert!(interval_len > 0, "interval_len must be positive");
+        assert!(k > 0, "k must be positive");
+
+        // Gather one normalized BBV per interval.
+        let base_seq = gen.emitted();
+        let _ = gen.take_block_counts(); // reset any counts from warm-up
+        let mut bbvs = Vec::with_capacity(num_intervals);
+        for _ in 0..num_intervals {
+            for _ in 0..interval_len {
+                let _ = gen.next_inst();
+            }
+            bbvs.push(normalize(gen.take_block_counts()));
+        }
+
+        let k = k.min(num_intervals);
+        let assignment = kmeans(&bbvs, k, seed);
+
+        // One representative per non-empty cluster: the member closest to
+        // the centroid.
+        let mut phases = Vec::new();
+        for cluster in 0..k {
+            let members: Vec<usize> = (0..num_intervals)
+                .filter(|&i| assignment[i] == cluster)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let centroid = centroid_of(&bbvs, &members);
+            let rep = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    dist2(&bbvs[a], &centroid)
+                        .partial_cmp(&dist2(&bbvs[b], &centroid))
+                        .expect("distances are finite")
+                })
+                .expect("cluster is non-empty");
+            phases.push(Phase {
+                interval: rep,
+                start_seq: base_seq + rep as u64 * interval_len,
+                weight: members.len() as f64 / num_intervals as f64,
+            });
+        }
+        phases.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("weights are finite"));
+        SimPoint {
+            phases,
+            interval_len,
+        }
+    }
+
+    /// The representative phases, heaviest first.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Interval length the analysis used.
+    pub fn interval_len(&self) -> u64 {
+        self.interval_len
+    }
+
+    /// The single most representative phase.
+    pub fn dominant(&self) -> Phase {
+        self.phases[0]
+    }
+}
+
+fn normalize(counts: Vec<u64>) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    let total = total.max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / total).collect()
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn centroid_of(bbvs: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
+    let dim = bbvs[0].len();
+    let mut c = vec![0.0; dim];
+    for &m in members {
+        for (ci, v) in c.iter_mut().zip(&bbvs[m]) {
+            *ci += v;
+        }
+    }
+    for ci in &mut c {
+        *ci /= members.len() as f64;
+    }
+    c
+}
+
+/// Standard Lloyd's k-means with random initial centers; returns the cluster
+/// assignment of each point.
+fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x5349_4d50_4f49_4e54);
+    let n = points.len();
+    let mut centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| points[rng.gen_range(0..n)].clone())
+        .collect();
+    let mut assignment = vec![0usize; n];
+    for _iter in 0..50 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centers[a])
+                        .partial_cmp(&dist2(p, &centers[b]))
+                        .expect("distances are finite")
+                })
+                .expect("k > 0");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        for (c, center) in centers.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
+            if !members.is_empty() {
+                *center = centroid_of(points, &members);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Benchmark;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut gen = TraceGenerator::for_benchmark(Benchmark::Gcc, 3);
+        let sp = SimPoint::analyze(&mut gen, 12, 2_000, 3, 99);
+        let total: f64 = sp.phases().iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(!sp.phases().is_empty());
+        assert_eq!(sp.interval_len(), 2_000);
+    }
+
+    #[test]
+    fn dominant_is_heaviest() {
+        let mut gen = TraceGenerator::for_benchmark(Benchmark::Astar, 4);
+        let sp = SimPoint::analyze(&mut gen, 10, 1_000, 4, 1);
+        let d = sp.dominant();
+        assert!(sp.phases().iter().all(|p| p.weight <= d.weight));
+    }
+
+    #[test]
+    fn phase_start_seqs_are_interval_aligned() {
+        let mut gen = TraceGenerator::for_benchmark(Benchmark::Mcf, 5);
+        gen.fast_forward(500); // non-zero base
+        let sp = SimPoint::analyze(&mut gen, 8, 1_000, 2, 7);
+        for p in sp.phases() {
+            assert_eq!((p.start_seq - 500) % 1_000, 0);
+            assert!(p.interval < 8);
+        }
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let run = || {
+            let mut gen = TraceGenerator::for_benchmark(Benchmark::Sjeng, 8);
+            SimPoint::analyze(&mut gen, 10, 1_000, 3, 5)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn k_larger_than_intervals_is_clamped() {
+        let mut gen = TraceGenerator::for_benchmark(Benchmark::Gcc, 1);
+        let sp = SimPoint::analyze(&mut gen, 3, 500, 10, 0);
+        assert!(sp.phases().len() <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let mut gen = TraceGenerator::for_benchmark(Benchmark::Gcc, 1);
+        let _ = SimPoint::analyze(&mut gen, 3, 500, 0, 0);
+    }
+}

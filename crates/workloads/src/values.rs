@@ -1,0 +1,245 @@
+//! Per-PC operand value streams for the gate-level sensitization study.
+//!
+//! The paper's supplemental study (§S1) feeds "inputs corresponding to
+//! specific instructions" from six SPEC2000-int benchmarks into synthesized
+//! processor components and measures how similar the sensitized gate sets of
+//! repeated dynamic instances of one static PC are. The decisive workload
+//! property is *value locality*: many dynamic instances of a PC present
+//! identical or nearly identical operands (e.g. an AGEN walking an array
+//! sees addresses differing in one low bit).
+//!
+//! [`ValueStream`] reproduces that property: a fixed population of static
+//! PCs with Zipf-like execution frequencies, each carrying its own operand
+//! state that repeats, strides, or refreshes according to the benchmark's
+//! [`ValueProfile`](crate::profile::ValueProfile).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::profile::Spec2000;
+
+/// One operand sample: the static PC that produced it and its two source
+/// operand values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueSample {
+    /// Static PC of the instruction.
+    pub pc: u64,
+    /// Two source operand values.
+    pub operands: [u64; 2],
+    /// Operand values of the *preceding* instruction, which set the
+    /// component's internal logic state before this instance evaluates
+    /// (paper §S1.2: "we also identify the preceding instruction PC that
+    /// sets the internal logic state"). The predecessor recurs per PC just
+    /// like the instance itself — code paths recur.
+    pub predecessor: [u64; 2],
+    /// A request-vector view of the machine state accompanying this
+    /// instance (used by the issue-queue-select component study): bit *i*
+    /// set means issue-queue entry *i* is requesting issue.
+    pub request_vector: u32,
+}
+
+/// A deterministic stream of per-PC operand samples for one SPEC2000
+/// benchmark.
+///
+/// # Example
+///
+/// ```
+/// use tv_workloads::{Spec2000, ValueStream};
+///
+/// let mut vs = ValueStream::new(Spec2000::Vortex, 64, 7);
+/// let s = vs.next_sample();
+/// assert!(s.pc >= 0x1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueStream {
+    rng: ChaCha12Rng,
+    profile: crate::profile::ValueProfile,
+    /// Static-instruction population: `(pc, cumulative_weight)`.
+    pcs: Vec<(u64, f64)>,
+    total_weight: f64,
+    /// Per-PC operand state.
+    state: Vec<[u64; 2]>,
+    /// Per-PC predecessor operand state.
+    pred_state: Vec<[u64; 2]>,
+    /// Per-PC request-vector state (machine context recurs per PC too).
+    req_state: Vec<u32>,
+    value_mask: u64,
+}
+
+impl ValueStream {
+    /// Creates a stream over `num_pcs` static instructions for `bench`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pcs == 0`.
+    pub fn new(bench: Spec2000, num_pcs: usize, seed: u64) -> Self {
+        assert!(num_pcs > 0, "num_pcs must be positive");
+        let profile = bench.value_profile();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x5641_4c53_5452_4d00);
+        let value_mask = (1u64 << profile.value_bits) - 1;
+
+        // Zipf-ish frequency weights: weight(i) = 1 / (i + 1).
+        let mut pcs = Vec::with_capacity(num_pcs);
+        let mut cum = 0.0;
+        for i in 0..num_pcs {
+            cum += 1.0 / (i as f64 + 1.0);
+            pcs.push((0x1000 + 4 * i as u64, cum));
+        }
+        let total_weight = cum;
+
+        let state: Vec<[u64; 2]> = (0..num_pcs)
+            .map(|_| [rng.gen::<u64>() & value_mask, rng.gen::<u64>() & value_mask])
+            .collect();
+        let pred_state = (0..num_pcs)
+            .map(|_| [rng.gen::<u64>() & value_mask, rng.gen::<u64>() & value_mask])
+            .collect();
+        let req_state = (0..num_pcs).map(|_| rng.gen::<u32>()).collect();
+
+        ValueStream {
+            rng,
+            profile,
+            pcs,
+            total_weight,
+            state,
+            pred_state,
+            req_state,
+            value_mask,
+        }
+    }
+
+    /// Number of distinct static PCs in the population.
+    pub fn num_pcs(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Produces the next sample.
+    pub fn next_sample(&mut self) -> ValueSample {
+        // Pick a PC by Zipf weight.
+        let x = self.rng.gen_range(0.0..self.total_weight);
+        let idx = self.pcs.partition_point(|&(_, c)| c <= x);
+        let idx = idx.min(self.pcs.len() - 1);
+        let pc = self.pcs[idx].0;
+
+        // Evolve the per-PC operand state. One roll drives both the
+        // instance and its predecessor: a loop iteration advances the
+        // whole code path together (the array walk strides every value by
+        // the same amount), so the predecessor→instance *transition* — and
+        // with it the sensitized path — recurs even as absolute values
+        // move. Fresh draws (a new code context) refresh both.
+        let roll: f64 = self.rng.gen();
+        let st = &mut self.state[idx];
+        let ps = &mut self.pred_state[idx];
+        if roll < self.profile.repeat_prob {
+            // exact repeat: leave both untouched
+        } else if roll < self.profile.repeat_prob + self.profile.stride_prob {
+            // small stride on operand 0 of both (array-walk pattern)
+            st[0] = st[0].wrapping_add(8) & self.value_mask;
+            ps[0] = ps[0].wrapping_add(8) & self.value_mask;
+        } else {
+            st[0] = self.rng.gen::<u64>() & self.value_mask;
+            st[1] = self.rng.gen::<u64>() & self.value_mask;
+            ps[0] = self.rng.gen::<u64>() & self.value_mask;
+            ps[1] = self.rng.gen::<u64>() & self.value_mask;
+        }
+        let operands = *st;
+        let predecessor = *ps;
+
+        // Request vector: the scheduling context recurs with the code
+        // path ("frequently repeated patterns in instruction selection",
+        // §S1.2.2) — it changes only when the value regime does.
+        let req = &mut self.req_state[idx];
+        if roll >= self.profile.repeat_prob + self.profile.stride_prob {
+            *req = self.rng.gen::<u32>();
+        } else if self.rng.gen_bool(0.05) {
+            *req ^= 1 << self.rng.gen_range(0..32);
+        }
+        let request_vector = *req;
+
+        ValueSample {
+            pc,
+            operands,
+            predecessor,
+            request_vector,
+        }
+    }
+}
+
+impl Iterator for ValueStream {
+    type Item = ValueSample;
+
+    fn next(&mut self) -> Option<ValueSample> {
+        Some(self.next_sample())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = ValueStream::new(Spec2000::Gzip, 32, 5);
+        let mut b = ValueStream::new(Spec2000::Gzip, 32, 5);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_sample(), b.next_sample());
+        }
+    }
+
+    #[test]
+    fn values_respect_bit_width() {
+        let mut vs = ValueStream::new(Spec2000::Vortex, 16, 9);
+        let bits = Spec2000::Vortex.value_profile().value_bits;
+        for _ in 0..2_000 {
+            let s = vs.next_sample();
+            assert!(s.operands[0] < (1 << bits));
+            assert!(s.operands[1] < (1 << bits));
+        }
+    }
+
+    #[test]
+    fn pc_population_is_zipf_skewed() {
+        let mut vs = ValueStream::new(Spec2000::Bzip, 64, 3);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(vs.next_sample().pc).or_default() += 1;
+        }
+        let first = counts.get(&0x1000).copied().unwrap_or(0);
+        let median_pc = 0x1000 + 4 * 32;
+        let mid = counts.get(&median_pc).copied().unwrap_or(0);
+        assert!(
+            first > mid * 3,
+            "hot PC ({first}) should dominate mid-rank PC ({mid})"
+        );
+    }
+
+    #[test]
+    fn vortex_repeats_more_than_mcf() {
+        // vortex's higher repeat probability must show up as more exact
+        // operand repeats per PC.
+        let repeat_rate = |bench: Spec2000| {
+            let mut vs = ValueStream::new(bench, 8, 11);
+            let mut last: HashMap<u64, [u64; 2]> = HashMap::new();
+            let mut repeats = 0usize;
+            let mut total = 0usize;
+            for _ in 0..30_000 {
+                let s = vs.next_sample();
+                if let Some(prev) = last.insert(s.pc, s.operands) {
+                    total += 1;
+                    if prev == s.operands {
+                        repeats += 1;
+                    }
+                }
+            }
+            repeats as f64 / total.max(1) as f64
+        };
+        assert!(repeat_rate(Spec2000::Vortex) > repeat_rate(Spec2000::Mcf));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_pcs must be positive")]
+    fn zero_pcs_panics() {
+        let _ = ValueStream::new(Spec2000::Gap, 0, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: simulate one benchmark under every comparative scheme and
+//! print the headline comparison the paper makes.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark]
+//! ```
+
+use std::error::Error;
+
+use tv_sched::core::{Experiment, RunConfig, Scheme};
+use tv_sched::timing::Voltage;
+use tv_sched::workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let bench = std::env::args()
+        .nth(1)
+        .map(|name| {
+            Benchmark::ALL
+                .into_iter()
+                .find(|b| b.name() == name)
+                .ok_or(format!("unknown benchmark {name}"))
+        })
+        .transpose()?
+        .unwrap_or(Benchmark::Astar);
+
+    let config = RunConfig {
+        commits: 200_000,
+        warmup: 100_000,
+        ..RunConfig::quick()
+    };
+    println!(
+        "{}: {} committed instructions per scheme at V_DD = 0.97 V\n",
+        bench,
+        config.commits
+    );
+
+    let eval = Experiment::new(bench, Voltage::high_fault(), config).run_all();
+    println!(
+        "{:<10} {:>7} {:>8} {:>9} {:>10} {:>12}",
+        "scheme", "IPC", "faults", "replays", "overhead%", "ED-overhead%"
+    );
+    for result in eval.results() {
+        let s = result.scheme;
+        let overhead = eval.overhead(s);
+        println!(
+            "{:<10} {:>7.3} {:>8} {:>9} {:>10.2} {:>12.2}",
+            s.name(),
+            result.stats.ipc(),
+            result.stats.faults_total(),
+            result.stats.replays,
+            overhead.perf_pct,
+            overhead.ed_pct,
+        );
+    }
+
+    for s in Scheme::PROPOSED {
+        println!(
+            "\n{} removes {:.0}% of Error Padding's performance overhead",
+            s.name(),
+            (1.0 - eval.relative_perf_overhead(s)) * 100.0
+        );
+    }
+    Ok(())
+}

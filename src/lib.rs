@@ -1,0 +1,48 @@
+//! # tv-sched — violation-aware instruction scheduling
+//!
+//! A from-scratch Rust reproduction of *"Efficiently Tolerating Timing
+//! Violations in Pipelined Microprocessors"* (Chakraborty, Cozzens, Roy,
+//! Ancajas — DAC 2013): a timing-error-tolerant out-of-order pipeline in
+//! which predicted timing violations are absorbed by **violation-aware
+//! instruction scheduling** — the faulty instruction takes one extra cycle
+//! in its faulty stage, the resource it occupies is frozen for a cycle,
+//! and dependents are held back through delayed tag broadcast — instead of
+//! stalling the whole pipeline (Error Padding) or replaying (Razor).
+//!
+//! This facade crate re-exports the seven component crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`workloads`] | synthetic SPEC-like trace generation, SimPoint phases |
+//! | [`netlist`] | gate-level components, logic simulation, φ/ψ commonality |
+//! | [`timing`] | process variation, voltage scaling, statistical STA, fault model |
+//! | [`tep`] | the Timing Error Predictor |
+//! | [`uarch`] | the 4-wide out-of-order pipeline simulator |
+//! | [`core`] | scheduling policies, schemes, the experiment driver |
+//! | [`energy`] | energy/ED accounting and the VTE hardware-cost analysis |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tv_sched::core::{Experiment, RunConfig, Scheme};
+//! use tv_sched::timing::Voltage;
+//! use tv_sched::workloads::Benchmark;
+//!
+//! let config = RunConfig {
+//!     commits: 20_000,
+//!     warmup: 10_000,
+//!     ..RunConfig::quick()
+//! };
+//! let eval = Experiment::new(Benchmark::Astar, Voltage::low_fault(), config)
+//!     .run_schemes(&[Scheme::ErrorPadding, Scheme::Abs]);
+//! // The violation-aware scheduler recovers most of Error Padding's loss:
+//! assert!(eval.relative_perf_overhead(Scheme::Abs) < 1.0);
+//! ```
+
+pub use tv_core as core;
+pub use tv_energy as energy;
+pub use tv_netlist as netlist;
+pub use tv_tep as tep;
+pub use tv_timing as timing;
+pub use tv_uarch as uarch;
+pub use tv_workloads as workloads;

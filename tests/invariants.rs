@@ -1,0 +1,186 @@
+//! Property-based tests of the system's cross-crate invariants.
+
+use proptest::prelude::*;
+
+use tv_sched::core::Scheme;
+use tv_sched::netlist::{Builder, CommonalityAnalyzer, Simulator};
+use tv_sched::tep::{Tep, TepConfig};
+use tv_sched::timing::{delay_factor, FaultCalibration, FaultModel, PipeStage, Voltage};
+use tv_sched::workloads::{Benchmark, TraceGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Control flow in generated traces is always self-consistent: a
+    /// not-taken branch falls through, a taken branch lands on its target.
+    #[test]
+    fn trace_control_flow_is_consistent(seed in 0u64..1_000, bench_idx in 0usize..12) {
+        let bench = Benchmark::ALL[bench_idx];
+        let mut gen = TraceGenerator::for_benchmark(bench, seed);
+        let mut prev: Option<tv_sched::workloads::TraceInst> = None;
+        for _ in 0..3_000 {
+            let inst = gen.next_inst();
+            if let Some(p) = prev {
+                let expect = match p.taken {
+                    Some(true) => p.target.expect("taken needs target"),
+                    _ => p.next_pc(),
+                };
+                prop_assert_eq!(inst.pc, expect);
+            }
+            prev = Some(inst);
+        }
+    }
+
+    /// The fault model's verdicts are deterministic, voltage-monotone in
+    /// aggregate, and only strike OoO stages.
+    #[test]
+    fn fault_model_verdicts_are_sane(seed in 0u64..500, pc_base in 0x1000u64..0x4000) {
+        let cal = FaultCalibration::from_rates(9.0, 2.0);
+        let hi = FaultModel::new(cal, Voltage::high_fault(), seed);
+        let lo = FaultModel::new(cal, Voltage::low_fault(), seed);
+        let mut hi_faults = 0u32;
+        let mut lo_faults = 0u32;
+        for i in 0..4_000u64 {
+            let pc = pc_base + 4 * (i % 200);
+            let a = hi.decide(pc, i % 3 == 0, i);
+            prop_assert_eq!(a, hi.decide(pc, i % 3 == 0, i), "determinism");
+            if let Some(stage) = a {
+                prop_assert!(stage.is_ooo());
+                hi_faults += 1;
+            }
+            if lo.decide(pc, i % 3 == 0, i).is_some() {
+                lo_faults += 1;
+            }
+        }
+        prop_assert!(hi_faults >= lo_faults, "{} < {}", hi_faults, lo_faults);
+    }
+
+    /// Alpha-power delay scaling is strictly monotone.
+    #[test]
+    fn delay_factor_monotone(a in 0.70f64..1.45, b in 0.70f64..1.45) {
+        if a < b {
+            prop_assert!(delay_factor(a) > delay_factor(b));
+        }
+    }
+
+    /// A generated ripple adder always agrees with u64 addition.
+    #[test]
+    fn netlist_adder_matches_reference(x in any::<u32>(), y in any::<u32>(), width in 4usize..24) {
+        let mask = (1u64 << width) - 1;
+        let mut b = Builder::new("prop_adder");
+        let aw = b.input_word("a", width);
+        let bw = b.input_word("b", width);
+        let cin = b.constant(false);
+        let (sum, carry) = b.adder(&aw, &bw, cin);
+        b.output_word("sum", &sum);
+        b.output("carry", &[carry]);
+        let netlist = b.finish();
+        let mut sim = Simulator::new(&netlist);
+        let v = sim.input_vector(&[("a", x as u64 & mask), ("b", y as u64 & mask)]);
+        sim.apply(&v);
+        let want = (x as u64 & mask) + (y as u64 & mask);
+        prop_assert_eq!(sim.port_value("sum"), want & mask);
+        prop_assert_eq!(sim.port_value("carry"), want >> width);
+    }
+
+    /// A generated barrel shifter always agrees with the `<<`/`>>`
+    /// operators.
+    #[test]
+    fn netlist_shifter_matches_reference(x in any::<u16>(), amt in 0u64..16, left in any::<bool>()) {
+        let mut b = Builder::new("prop_shift");
+        let aw = b.input_word("a", 16);
+        let amt_w = b.input_word("amt", 4);
+        let out = b.barrel_shift(&aw, &amt_w, left);
+        b.output_word("out", &out);
+        let netlist = b.finish();
+        let mut sim = Simulator::new(&netlist);
+        let v = sim.input_vector(&[("a", x as u64), ("amt", amt)]);
+        sim.apply(&v);
+        let want = if left {
+            ((x as u64) << amt) & 0xffff
+        } else {
+            (x as u64) >> amt
+        };
+        prop_assert_eq!(sim.port_value("out"), want);
+    }
+
+    /// The carry-select adder agrees with the ripple adder for every block
+    /// size (they are different structures computing the same function).
+    #[test]
+    fn carry_select_matches_ripple(x in any::<u32>(), y in any::<u32>(), block in 1usize..9) {
+        let build = |select: bool| {
+            let mut b = Builder::new("prop_csa");
+            let aw = b.input_word("a", 32);
+            let bw = b.input_word("b", 32);
+            let cin = b.constant(false);
+            let (sum, carry) = if select {
+                b.carry_select_adder(&aw, &bw, cin, block)
+            } else {
+                b.adder(&aw, &bw, cin)
+            };
+            b.output_word("sum", &sum);
+            b.output("carry", &[carry]);
+            b.finish()
+        };
+        let eval = |netlist: &tv_sched::netlist::Netlist| {
+            let mut sim = Simulator::new(netlist);
+            let v = sim.input_vector(&[("a", x as u64), ("b", y as u64)]);
+            sim.apply(&v);
+            (sim.port_value("sum"), sim.port_value("carry"))
+        };
+        prop_assert_eq!(eval(&build(true)), eval(&build(false)));
+    }
+
+    /// φ ⊆ ψ: per-PC commonality is always within [0, 1] no matter what
+    /// toggle sets are recorded.
+    #[test]
+    fn commonality_bounded(sets in prop::collection::vec(
+        prop::collection::vec(0u32..256, 0..20), 1..12)
+    ) {
+        let mut an = CommonalityAnalyzer::new(256);
+        for (i, s) in sets.iter().enumerate() {
+            an.record(0x1000 + (i as u64 % 3) * 4, s);
+        }
+        let c = an.finish();
+        prop_assert!((0.0..=1.0).contains(&c.weighted_average));
+        for (_, count, ratio) in an.per_pc() {
+            prop_assert!(count >= 2);
+            prop_assert!((0.0..=1.0).contains(&ratio));
+        }
+    }
+
+    /// TEP counters never escape their saturating range and predictions
+    /// always carry a stage.
+    #[test]
+    fn tep_state_machine_is_safe(ops in prop::collection::vec((0u64..64, 0u8..3), 1..300)) {
+        let mut tep = Tep::new(TepConfig::paper_default());
+        for (pc_idx, op) in ops {
+            let pc = 0x1000 + pc_idx * 4;
+            match op {
+                0 => tep.train_fault(pc, PipeStage::Issue),
+                1 => tep.train_clean(pc),
+                _ => {
+                    let p = tep.predict(pc, true);
+                    prop_assert_eq!(p.faulty, p.stage.is_some());
+                }
+            }
+        }
+        prop_assert!(tep.live_entries() <= tep.config().entries);
+    }
+}
+
+/// A pipeline run under each scheme commits exactly what was asked and
+/// never loses instructions (the run would panic internally otherwise).
+#[test]
+fn pipeline_conserves_instructions_across_schemes() {
+    for scheme in Scheme::ALL {
+        for seed in [1u64, 99] {
+            let stats = scheme
+                .pipeline_builder(Benchmark::Astar, seed, Voltage::high_fault())
+                .build()
+                .run(15_000);
+            assert_eq!(stats.committed, 15_000, "{scheme} seed {seed}");
+            assert!(stats.fetched >= stats.committed);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end checks that the reproduction preserves the paper's headline
+//! shape: scheme ordering, fault-rate calibration, and the magnitude of
+//! the violation-aware schemes' advantage.
+
+use tv_sched::core::{Experiment, RunConfig, Scheme};
+use tv_sched::timing::Voltage;
+use tv_sched::workloads::Benchmark;
+
+fn config() -> RunConfig {
+    RunConfig {
+        commits: 60_000,
+        warmup: 60_000,
+        ..RunConfig::quick()
+    }
+}
+
+/// Razor ≫ EP > {ABS, FFS, CDS} at both faulty operating points.
+#[test]
+fn scheme_ordering_holds_at_both_voltages() {
+    for vdd in [Voltage::low_fault(), Voltage::high_fault()] {
+        let eval = Experiment::new(Benchmark::Gcc, vdd, config()).run_all();
+        let razor = eval.overhead(Scheme::Razor).perf_pct;
+        let ep = eval.overhead(Scheme::ErrorPadding).perf_pct;
+        assert!(razor > ep, "{vdd}: razor {razor:.2} !> ep {ep:.2}");
+        for s in Scheme::PROPOSED {
+            let ours = eval.overhead(s).perf_pct;
+            assert!(ours < ep, "{vdd}: {s} {ours:.2} !< ep {ep:.2}");
+        }
+    }
+}
+
+/// Observed fault rates track the Table 1 calibration targets.
+#[test]
+fn fault_rates_match_table1_targets() {
+    for bench in [Benchmark::Astar, Benchmark::Sjeng, Benchmark::Libquantum] {
+        let profile = bench.profile();
+        for (vdd, target) in [
+            (Voltage::high_fault(), profile.fault_rate_097),
+            (Voltage::low_fault(), profile.fault_rate_104),
+        ] {
+            let eval =
+                Experiment::new(bench, vdd, config()).run_schemes(&[Scheme::Razor]);
+            let fr = eval.fault_rate_pct(Scheme::Razor);
+            assert!(
+                (fr - target).abs() < target * 0.35 + 0.4,
+                "{bench} at {vdd}: fault rate {fr:.2}% vs target {target:.2}%"
+            );
+        }
+    }
+}
+
+/// The paper's headline: the proposed schemes remove most of EP's
+/// performance overhead (64–97 % across benchmarks in the paper).
+#[test]
+fn violation_aware_schemes_remove_most_of_ep_overhead() {
+    let mut reductions = Vec::new();
+    for bench in [Benchmark::Sjeng, Benchmark::Bzip2, Benchmark::Gobmk] {
+        let eval = Experiment::new(bench, Voltage::low_fault(), config())
+            .run_schemes(&[Scheme::ErrorPadding, Scheme::Abs]);
+        let rel = eval.relative_perf_overhead(Scheme::Abs);
+        reductions.push(1.0 - rel);
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    assert!(
+        avg > 0.5,
+        "average reduction {avg:.2} should be well over half (paper: 0.87)"
+    );
+}
+
+/// ED overhead always exceeds performance overhead (extra cycles burn
+/// leakage *and* the wasted activity costs energy) — the consistent
+/// pattern of Table 1.
+#[test]
+fn ed_overhead_exceeds_perf_overhead() {
+    let eval =
+        Experiment::new(Benchmark::Perlbench, Voltage::high_fault(), config()).run_all();
+    for s in [Scheme::Razor, Scheme::ErrorPadding, Scheme::Abs] {
+        let o = eval.overhead(s);
+        assert!(
+            o.ed_pct >= o.perf_pct,
+            "{s}: ED {:.2} < perf {:.2}",
+            o.ed_pct,
+            o.perf_pct
+        );
+    }
+}
+
+/// Every scheme commits the identical instruction stream — overheads are
+/// timing-only (the architectural-equivalence invariant).
+#[test]
+fn schemes_commit_identical_work() {
+    let eval =
+        Experiment::new(Benchmark::Xalancbmk, Voltage::high_fault(), config()).run_all();
+    let commits: Vec<u64> = eval
+        .results()
+        .iter()
+        .map(|r| r.stats.committed)
+        .collect();
+    assert!(commits.windows(2).all(|w| w[0] == w[1]), "{commits:?}");
+}
