@@ -1,11 +1,11 @@
-//! Criterion bench of the gate-level logic simulator (the Figure 7 kernel).
+//! Bench of the gate-level logic simulator (the Figure 7 kernel).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tv_bench::harness::Harness;
 use tv_netlist::components::{alu_inputs, study_components, AluOp};
 use tv_netlist::Simulator;
 
-fn logic_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("logic_sim");
+fn main() {
+    let h = Harness::new("logic_sim");
     for netlist in study_components() {
         let inputs: Vec<Vec<bool>> = (0..64u32)
             .map(|i| {
@@ -16,24 +16,14 @@ fn logic_sim(c: &mut Criterion) {
                     .collect()
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("apply_64_vectors", netlist.name()),
-            &netlist,
-            |b, netlist| {
-                b.iter(|| {
-                    let mut sim = Simulator::new(netlist);
-                    let mut toggles = 0usize;
-                    for v in &inputs {
-                        sim.apply(v);
-                        toggles += sim.toggled().len();
-                    }
-                    toggles
-                })
-            },
-        );
+        h.bench(&format!("apply_64_vectors/{}", netlist.name()), || {
+            let mut sim = Simulator::new(&netlist);
+            let mut toggles = 0usize;
+            for v in &inputs {
+                sim.apply(v);
+                toggles += sim.toggled().len();
+            }
+            toggles
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, logic_sim);
-criterion_main!(benches);

@@ -1,31 +1,24 @@
-//! Criterion bench of the hot simulation kernel: cycles simulated per
-//! second for each tolerance scheme (the inner loop behind every table
-//! and figure).
+//! Bench of the hot simulation kernel: cycles simulated per second for
+//! each tolerance scheme (the inner loop behind every table and figure).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tv_bench::harness::Harness;
 use tv_core::Scheme;
 use tv_timing::Voltage;
 use tv_workloads::Benchmark;
 
-fn pipeline_kernel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_kernel");
-    group.sample_size(10);
-    for scheme in [Scheme::FaultFree, Scheme::Razor, Scheme::ErrorPadding, Scheme::Cds] {
-        group.bench_with_input(
-            BenchmarkId::new("simulate_20k", scheme.name()),
-            &scheme,
-            |b, &scheme| {
-                b.iter(|| {
-                    scheme
-                        .pipeline_builder(Benchmark::Gcc, 42, Voltage::high_fault())
-                        .build()
-                        .run(20_000)
-                })
-            },
-        );
+fn main() {
+    let h = Harness::new("pipeline_kernel");
+    for scheme in [
+        Scheme::FaultFree,
+        Scheme::Razor,
+        Scheme::ErrorPadding,
+        Scheme::Cds,
+    ] {
+        h.bench(&format!("simulate_20k/{}", scheme.name()), || {
+            scheme
+                .pipeline_builder(Benchmark::Gcc, 42, Voltage::high_fault())
+                .build()
+                .run(20_000)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, pipeline_kernel);
-criterion_main!(benches);

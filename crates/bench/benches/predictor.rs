@@ -1,30 +1,26 @@
-//! Criterion bench of the Timing Error Predictor's lookup/train loop.
+//! Bench of the Timing Error Predictor's lookup/train loop.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tv_bench::harness::Harness;
 use tv_tep::{Tep, TepConfig};
 use tv_timing::PipeStage;
 
-fn predictor(c: &mut Criterion) {
-    c.bench_function("tep_lookup_train_10k", |b| {
-        b.iter(|| {
-            let mut tep = Tep::new(TepConfig::paper_default());
-            let mut predicted = 0u64;
-            for i in 0..10_000u64 {
-                let pc = 0x1000 + 4 * (i % 512);
-                if tep.predict(pc, true).faulty {
-                    predicted += 1;
-                }
-                if i % 7 == 0 {
-                    tep.train_fault(pc, PipeStage::Issue);
-                }
-                if i % 13 == 0 {
-                    tep.record_branch(i % 2 == 0);
-                }
+fn main() {
+    let h = Harness::new("predictor");
+    h.bench("tep_lookup_train_10k", || {
+        let mut tep = Tep::new(TepConfig::paper_default());
+        let mut predicted = 0u64;
+        for i in 0..10_000u64 {
+            let pc = 0x1000 + 4 * (i % 512);
+            if tep.predict(pc, true).faulty {
+                predicted += 1;
             }
-            predicted
-        })
+            if i % 7 == 0 {
+                tep.train_fault(pc, PipeStage::Issue);
+            }
+            if i % 13 == 0 {
+                tep.record_branch(i % 2 == 0);
+            }
+        }
+        predicted
     });
 }
-
-criterion_group!(benches, predictor);
-criterion_main!(benches);

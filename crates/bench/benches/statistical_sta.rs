@@ -1,28 +1,17 @@
-//! Criterion bench of the Monte-Carlo statistical STA engine.
+//! Bench of the Monte-Carlo statistical STA engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tv_bench::harness::Harness;
 use tv_netlist::components::{agen32, forward_check};
 use tv_timing::{StatisticalSta, Voltage};
 
-fn statistical_sta(c: &mut Criterion) {
-    let mut group = c.benchmark_group("statistical_sta");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::new("statistical_sta");
     for (name, netlist) in [("agen32", agen32()), ("forward_check", forward_check())] {
-        group.bench_with_input(
-            BenchmarkId::new("mc100", name),
-            &netlist,
-            |b, netlist| {
-                b.iter(|| {
-                    StatisticalSta::new(netlist)
-                        .with_samples(100)
-                        .run(Voltage::high_fault(), 7)
-                        .mu_plus_two_sigma()
-                })
-            },
-        );
+        h.bench(&format!("mc100/{name}"), || {
+            StatisticalSta::new(&netlist)
+                .with_samples(100)
+                .run(Voltage::high_fault(), 7)
+                .mu_plus_two_sigma()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, statistical_sta);
-criterion_main!(benches);

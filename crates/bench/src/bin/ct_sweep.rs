@@ -3,7 +3,7 @@
 //! relative performance overhead at each setting.
 
 use tv_bench::{write_csv, HarnessArgs};
-use tv_core::{Experiment, RunConfig, Scheme};
+use tv_core::{run_evaluations, Experiment, RunConfig, Scheme};
 use tv_timing::Voltage;
 use tv_workloads::Benchmark;
 
@@ -27,17 +27,29 @@ fn main() {
     }
     println!();
 
+    // One flat job bag: benchmark × threshold × {baseline, EP, CDS}.
+    let specs: Vec<_> = BENCHES
+        .into_iter()
+        .flat_map(|bench| {
+            THRESHOLDS.map(|ct| {
+                let config = RunConfig {
+                    criticality_threshold: ct,
+                    ..args.config
+                };
+                (
+                    Experiment::new(bench, Voltage::low_fault(), config),
+                    vec![Scheme::ErrorPadding, Scheme::Cds],
+                )
+            })
+        })
+        .collect();
+    let (evals, stats) = run_evaluations(&args.fleet(), &specs);
+
     let mut csv = Vec::new();
-    for bench in BENCHES {
+    for (bench, sweep) in BENCHES.iter().zip(evals.chunks(THRESHOLDS.len())) {
         print!("{:<12}", bench.name());
         let mut line = bench.name().to_string();
-        for ct in THRESHOLDS {
-            let config = RunConfig {
-                criticality_threshold: ct,
-                ..args.config
-            };
-            let eval = Experiment::new(bench, Voltage::low_fault(), config)
-                .run_schemes(&[Scheme::ErrorPadding, Scheme::Cds]);
+        for eval in sweep {
             let rel = eval.relative_perf_overhead(Scheme::Cds);
             print!(" {rel:>8.3}");
             line.push_str(&format!(",{rel:.4}"));
@@ -50,4 +62,5 @@ fn main() {
         "bench,ct2,ct4,ct8,ct16,ct24",
         &csv,
     );
+    args.record_timing("ct_sweep", &stats);
 }

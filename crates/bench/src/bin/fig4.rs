@@ -8,7 +8,7 @@ fn main() {
     let args = HarnessArgs::parse();
     println!("Figure 4 — relative performance overhead vs EP at 1.04 V (lower is better) ({} commits/run)\n", args.config.commits);
     println!("{:<12} {:>6} {:>6} {:>6}", "bench", "ABS", "FFS", "CDS");
-    let rows = run_relative_figure(args.config, Voltage::low_fault(), FigureRow::perf);
+    let rows = run_relative_figure(&args, "fig4", Voltage::low_fault(), FigureRow::perf);
     let avg = rows.last().expect("average row exists");
     println!(
         "\naverage overhead reduction vs EP: {:.1}% (paper reports the same figure)",

@@ -8,7 +8,7 @@ fn main() {
     let args = HarnessArgs::parse();
     println!("Figure 5 — relative ED overhead vs EP at 1.04 V (lower is better) ({} commits/run)\n", args.config.commits);
     println!("{:<12} {:>6} {:>6} {:>6}", "bench", "ABS", "FFS", "CDS");
-    let rows = run_relative_figure(args.config, Voltage::low_fault(), FigureRow::ed);
+    let rows = run_relative_figure(&args, "fig5", Voltage::low_fault(), FigureRow::ed);
     let avg = rows.last().expect("average row exists");
     println!(
         "\naverage overhead reduction vs EP: {:.1}% (paper reports the same figure)",

@@ -8,7 +8,7 @@ fn main() {
     let args = HarnessArgs::parse();
     println!("Figure 8 — relative performance overhead vs EP at 0.97 V (lower is better) ({} commits/run)\n", args.config.commits);
     println!("{:<12} {:>6} {:>6} {:>6}", "bench", "ABS", "FFS", "CDS");
-    let rows = run_relative_figure(args.config, Voltage::high_fault(), FigureRow::perf);
+    let rows = run_relative_figure(&args, "fig8", Voltage::high_fault(), FigureRow::perf);
     let avg = rows.last().expect("average row exists");
     println!(
         "\naverage overhead reduction vs EP: {:.1}% (paper reports the same figure)",

@@ -27,22 +27,27 @@ fn main() {
     );
 
     let profile = bench.profile();
-    let mut csv = Vec::new();
-    for share in SHARES {
+    // One fleet job per share × scheme pair.
+    let items: Vec<(f64, Scheme)> = SHARES
+        .iter()
+        .flat_map(|&share| [(share, Scheme::FaultFree), (share, Scheme::Abs)])
+        .collect();
+    let run = args.fleet().map(items, |&(share, scheme)| {
         let cal = FaultCalibration {
             in_order_share: share,
             ..FaultCalibration::from_rates(profile.fault_rate_097, profile.fault_rate_104)
         };
-        let run = |scheme: Scheme| {
-            let mut pipe = scheme
-                .pipeline_builder(bench, args.config.seed, Voltage::high_fault())
-                .calibration(cal)
-                .build();
-            pipe.warm_up(args.config.warmup);
-            pipe.run(args.config.commits)
-        };
-        let base = run(Scheme::FaultFree);
-        let abs = run(Scheme::Abs);
+        let mut pipe = scheme
+            .pipeline_builder(bench, args.config.seed, Voltage::high_fault())
+            .calibration(cal)
+            .build();
+        pipe.warm_up(args.config.warmup);
+        pipe.run(args.config.commits)
+    });
+
+    let mut csv = Vec::new();
+    for (share, pair) in SHARES.iter().zip(run.results.chunks(2)) {
+        let (base, abs) = (&pair[0], &pair[1]);
         let overhead = (abs.cycles as f64 / base.cycles as f64 - 1.0) * 100.0;
         println!(
             "{:<14.2} {:>10.2} {:>12} {:>9} {:>11}",
@@ -65,4 +70,5 @@ fn main() {
         "in_order_share,abs_overhead_pct,stall_signals,replays,faults",
         &csv,
     );
+    args.record_timing("in_order_faults", &run.stats);
 }

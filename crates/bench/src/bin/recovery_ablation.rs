@@ -28,27 +28,42 @@ fn main() {
         "bench", "in-situ%", "flush%", "ratio"
     );
 
+    // One fleet job per bench × recovery × scheme; results come back in
+    // submission order, so chunks of four reassemble each bench's row.
+    let items: Vec<(Benchmark, RecoveryModel, Scheme)> = BENCHES
+        .iter()
+        .flat_map(|&bench| {
+            [RecoveryModel::InSitu, RecoveryModel::Flush].into_iter().flat_map(
+                move |recovery| {
+                    [
+                        (bench, recovery, Scheme::FaultFree),
+                        (bench, recovery, Scheme::Razor),
+                    ]
+                },
+            )
+        })
+        .collect();
+    let run = args.fleet().map(items, |&(bench, recovery, scheme)| {
+        let cfg = CoreConfig {
+            recovery,
+            replay_latency: if recovery == RecoveryModel::Flush { 6 } else { 3 },
+            ..CoreConfig::core1()
+        };
+        let mut pipe = scheme
+            .pipeline_builder(bench, args.config.seed, Voltage::high_fault())
+            .config(cfg)
+            .build();
+        pipe.warm_up(args.config.warmup);
+        pipe.run(args.config.commits).cycles
+    });
+
     let mut csv = Vec::new();
-    for bench in BENCHES {
-        let mut overheads = Vec::new();
-        for recovery in [RecoveryModel::InSitu, RecoveryModel::Flush] {
-            let cfg = CoreConfig {
-                recovery,
-                replay_latency: if recovery == RecoveryModel::Flush { 6 } else { 3 },
-                ..CoreConfig::core1()
-            };
-            let run = |scheme: Scheme| {
-                let mut pipe = scheme
-                    .pipeline_builder(bench, args.config.seed, Voltage::high_fault())
-                    .config(cfg.clone())
-                    .build();
-                pipe.warm_up(args.config.warmup);
-                pipe.run(args.config.commits).cycles
-            };
-            let base = run(Scheme::FaultFree);
-            let razor = run(Scheme::Razor);
-            overheads.push((razor as f64 / base as f64 - 1.0) * 100.0);
-        }
+    for (bench, group) in BENCHES.iter().zip(run.results.chunks(4)) {
+        // group = [insitu base, insitu razor, flush base, flush razor]
+        let overheads: Vec<f64> = group
+            .chunks(2)
+            .map(|pair| (pair[1] as f64 / pair[0] as f64 - 1.0) * 100.0)
+            .collect();
         let ratio = overheads[1] / overheads[0].max(1e-9);
         println!(
             "{:<12} {:>10.2} {:>10.2} {:>9.1}x",
@@ -70,4 +85,5 @@ fn main() {
         "bench,insitu_pct,flush_pct,ratio",
         &csv,
     );
+    args.record_timing("recovery_ablation", &run.stats);
 }

@@ -36,18 +36,23 @@ fn main() {
         ),
     ];
 
+    // One fleet job per sensor × scheme pair.
+    let items: Vec<(SensorModel, Scheme)> = configs
+        .iter()
+        .flat_map(|&(_, sensor)| [(sensor, Scheme::FaultFree), (sensor, Scheme::Abs)])
+        .collect();
+    let run = args.fleet().map(items, |&(sensor, scheme)| {
+        let mut pipe = scheme
+            .pipeline_builder(bench, args.config.seed, Voltage::high_fault())
+            .sensor(sensor)
+            .build();
+        pipe.warm_up(args.config.warmup);
+        pipe.run(args.config.commits)
+    });
+
     let mut csv = Vec::new();
-    for (label, sensor) in configs {
-        let run = |scheme: Scheme| {
-            let mut pipe = scheme
-                .pipeline_builder(bench, args.config.seed, Voltage::high_fault())
-                .sensor(sensor)
-                .build();
-            pipe.warm_up(args.config.warmup);
-            pipe.run(args.config.commits)
-        };
-        let base = run(Scheme::FaultFree);
-        let abs = run(Scheme::Abs);
+    for ((label, _), pair) in configs.iter().zip(run.results.chunks(2)) {
+        let (base, abs) = (&pair[0], &pair[1]);
         let fr = abs.fault_rate() * 100.0;
         let pred = 100.0 * abs.faults_predicted as f64 / abs.faults_total().max(1) as f64;
         let ov = (abs.cycles as f64 / base.cycles as f64 - 1.0) * 100.0;
@@ -66,4 +71,5 @@ fn main() {
         "sensor,fault_rate_pct,predicted_pct,replays,abs_overhead_pct",
         &csv,
     );
+    args.record_timing("sensor_gating", &run.stats);
 }

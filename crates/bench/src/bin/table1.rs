@@ -3,7 +3,7 @@
 //! Razor and Error Padding schemes at both voltages.
 
 use tv_bench::{write_csv, HarnessArgs};
-use tv_core::{Experiment, Scheme, Table1Row};
+use tv_core::{run_evaluations, Experiment, Scheme, Table1Row};
 use tv_timing::Voltage;
 use tv_workloads::Benchmark;
 
@@ -25,12 +25,22 @@ fn main() {
         "EP@1.04"
     );
 
-    let schemes = [Scheme::Razor, Scheme::ErrorPadding];
+    // One flat job bag: benchmark × voltage × {baseline, Razor, EP}.
+    let schemes = vec![Scheme::Razor, Scheme::ErrorPadding];
+    let specs: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|bench| {
+            [Voltage::high_fault(), Voltage::low_fault()].map(|vdd| {
+                (Experiment::new(bench, vdd, args.config), schemes.clone())
+            })
+        })
+        .collect();
+    let (evals, stats) = run_evaluations(&args.fleet(), &specs);
+
     let mut csv = Vec::new();
-    for bench in Benchmark::ALL {
-        let hi = Experiment::new(bench, Voltage::high_fault(), args.config).run_schemes(&schemes);
-        let lo = Experiment::new(bench, Voltage::low_fault(), args.config).run_schemes(&schemes);
-        let row = Table1Row::from_evaluations(&hi, &lo);
+    for pair in evals.chunks(2) {
+        let (hi, lo) = (&pair[0], &pair[1]);
+        let row = Table1Row::from_evaluations(hi, lo);
         println!("{row}");
         csv.push(format!(
             "{},{:.3},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
@@ -54,4 +64,5 @@ fn main() {
          fr_104,razor_perf_104,razor_ed_104,ep_perf_104,ep_ed_104",
         &csv,
     );
+    args.record_timing("table1", &stats);
 }

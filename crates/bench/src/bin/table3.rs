@@ -21,12 +21,17 @@ fn main() {
         "{:<16} {:>7} {:>7} {:>9} {:>10} {:>11} | {:>11} {:>11}",
         "module", "gates", "depth", "area", "Tcrit(ps)", "Pdyn(µW)", "paper gates", "paper depth"
     );
+    // Characterization is independent per component — fan it out.
+    let run = args
+        .fleet()
+        .map(study_components(), |netlist| {
+            SynthReport::characterize(netlist, 0.15, 2.0)
+        });
     let mut csv = Vec::new();
-    for netlist in study_components() {
-        let r = SynthReport::characterize(&netlist, 0.15, 2.0);
+    for r in &run.results {
         let (pg, pd) = PAPER
             .iter()
-            .find(|(n, _, _)| *n == netlist.name())
+            .find(|(n, _, _)| *n == r.name)
             .map(|&(_, g, d)| (g, d))
             .expect("paper row exists");
         println!(
@@ -43,4 +48,5 @@ fn main() {
         "module,gates,depth,area_nand2,tcrit_ps,pdyn_uw,paper_gates,paper_depth",
         &csv,
     );
+    args.record_timing("table3", &run.stats);
 }

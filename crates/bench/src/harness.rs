@@ -1,0 +1,123 @@
+//! Minimal in-tree micro-benchmark harness.
+//!
+//! Replaces the `criterion` dev-dependency (unavailable in offline
+//! builds) for the `benches/` targets. It keeps the parts these benches
+//! actually used: named benchmarks, automatic iteration-count calibration,
+//! and a stable one-line report of the per-iteration time.
+//!
+//! ```text
+//! pipeline_kernel/simulate_20k/CDS   time: 12.41 ms/iter  (5 samples x 3 iters)
+//! ```
+//!
+//! Timings come from `std::time::Instant`; results are reported as the
+//! median of the per-sample means, which is robust to a stray slow sample
+//! on a shared host.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark used to calibrate iteration counts.
+const TARGET_SAMPLE: Duration = Duration::from_millis(300);
+/// Samples taken per benchmark (median reported).
+const SAMPLES: usize = 5;
+
+/// A named group of benchmarks (mirrors the `criterion` group concept).
+pub struct Harness {
+    group: &'static str,
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Creates a harness for one bench target.
+    ///
+    /// Accepts and ignores the arguments `cargo bench` forwards
+    /// (`--bench`, and an optional name filter which is honored).
+    pub fn new(group: &'static str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--"));
+        Harness { group, filter }
+    }
+
+    /// Runs one benchmark: calibrates an iteration count so a sample
+    /// lasts roughly [`TARGET_SAMPLE`], takes [`SAMPLES`] samples and
+    /// reports the median per-iteration time.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        let full = format!("{}/{}", self.group, name);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibration: one untimed warmup, then measure a single call.
+        black_box(f());
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_secs_f64() / f64::from(iters)
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = per_iter[SAMPLES / 2];
+        println!(
+            "{full:<48} time: {:>12}  ({SAMPLES} samples x {iters} iters)",
+            humanize(median)
+        );
+    }
+}
+
+/// Formats seconds-per-iteration with an adaptive unit.
+fn humanize(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.2} us/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn humanize_picks_sane_units() {
+        assert!(humanize(2.5).ends_with("s/iter"));
+        assert!(humanize(2.5e-3).contains("ms"));
+        assert!(humanize(2.5e-6).contains("us"));
+        assert!(humanize(2.5e-9).contains("ns"));
+    }
+
+    #[test]
+    fn bench_runs_each_closure() {
+        let h = Harness {
+            group: "test",
+            filter: None,
+        };
+        let mut calls = 0u32;
+        h.bench("counting", || calls += 1);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let h = Harness {
+            group: "test",
+            filter: Some("nomatch".into()),
+        };
+        let mut calls = 0u32;
+        h.bench("other", || calls += 1);
+        assert_eq!(calls, 0);
+    }
+}

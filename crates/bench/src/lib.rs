@@ -9,16 +9,24 @@
 //! --warmup N    warm-up commits before measurement   (default 200 000)
 //! --seed N      workload/die seed                    (default 42)
 //! --out DIR     result directory                     (default bench_results)
+//! --workers N   fleet worker threads (default: TV_WORKERS, else all cores)
 //! --quick       shorthand for --commits 100000 --warmup 50000
 //! ```
+//!
+//! Simulation jobs are fanned across threads by the [`Fleet`] engine in
+//! `tv-core`; results are bit-identical to a serial run at any worker
+//! count, and each binary appends its wall-clock accounting to
+//! `runner_timing.csv` in the output directory.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use tv_core::{Experiment, FigureRow, RunConfig, Scheme};
+use tv_core::{run_evaluations, Experiment, FigureRow, Fleet, FleetStats, RunConfig, Scheme};
 use tv_timing::Voltage;
 use tv_workloads::Benchmark;
+
+pub mod harness;
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -27,6 +35,8 @@ pub struct HarnessArgs {
     pub config: RunConfig,
     /// Output directory for `.csv`/`.txt` artifacts.
     pub out: PathBuf,
+    /// Fleet worker-thread override (`--workers`).
+    pub workers: Option<usize>,
 }
 
 impl HarnessArgs {
@@ -38,6 +48,7 @@ impl HarnessArgs {
     pub fn parse() -> Self {
         let mut config = RunConfig::paper();
         let mut out = PathBuf::from("bench_results");
+        let mut workers = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             let mut value = |name: &str| {
@@ -53,16 +64,66 @@ impl HarnessArgs {
                 }
                 "--seed" => config.seed = value("--seed").parse().expect("--seed: integer"),
                 "--out" => out = PathBuf::from(value("--out")),
+                "--workers" => {
+                    workers = Some(value("--workers").parse().expect("--workers: integer"))
+                }
                 "--quick" => {
                     config.commits = 100_000;
                     config.warmup = 50_000;
                 }
                 other => panic!(
-                    "unknown argument {other}; supported: --commits --warmup --seed --out --quick"
+                    "unknown argument {other}; supported: \
+                     --commits --warmup --seed --out --workers --quick"
                 ),
             }
         }
-        HarnessArgs { config, out }
+        HarnessArgs {
+            config,
+            out,
+            workers,
+        }
+    }
+
+    /// Builds the experiment engine: `--workers` wins, then `TV_WORKERS`,
+    /// then every available core. Progress lines go to stderr.
+    pub fn fleet(&self) -> Fleet {
+        match self.workers {
+            Some(n) => Fleet::new(n),
+            None => Fleet::auto(),
+        }
+        .with_progress(true)
+    }
+
+    /// Appends this run's engine accounting to `runner_timing.csv` in the
+    /// output directory (header written on first use) and prints the
+    /// summary line.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors.
+    pub fn record_timing(&self, figure: &str, stats: &FleetStats) {
+        println!("fleet: {}", stats.summary());
+        let path = self.out_path("runner_timing.csv");
+        let new = !path.exists();
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open runner_timing.csv");
+        if new {
+            writeln!(f, "figure,jobs,workers,elapsed_s,serial_equivalent_s,speedup")
+                .expect("write runner_timing.csv");
+        }
+        writeln!(
+            f,
+            "{figure},{},{},{:.3},{:.3},{:.3}",
+            stats.jobs,
+            stats.workers,
+            stats.elapsed.as_secs_f64(),
+            stats.serial_equivalent.as_secs_f64(),
+            stats.speedup()
+        )
+        .expect("write runner_timing.csv");
     }
 
     /// Ensures the output directory exists and returns the path of `name`
@@ -93,27 +154,35 @@ pub fn write_csv(path: &Path, header: &str, rows: &[String]) {
 
 /// Runs one EP-normalized figure (4, 5, 8 or 9): per-benchmark relative
 /// overheads of ABS/FFS/CDS at `vdd`, using `metric` to extract either the
-/// performance or the ED variant. Returns the rows plus the AVERAGE row.
+/// performance or the ED variant. All benchmark × scheme jobs go through
+/// the fleet as one bag; rows come back in benchmark order, plus the
+/// AVERAGE row. Timing is appended to `runner_timing.csv` under `figure`.
 pub fn run_relative_figure(
-    config: RunConfig,
+    args: &HarnessArgs,
+    figure: &str,
     vdd: Voltage,
     metric: fn(&tv_core::Evaluation) -> FigureRow,
 ) -> Vec<FigureRow> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let eval = Experiment::new(bench, vdd, config).run_schemes(&[
-            Scheme::ErrorPadding,
-            Scheme::Abs,
-            Scheme::Ffs,
-            Scheme::Cds,
-        ]);
-        let row = metric(&eval);
+    let specs: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .map(|bench| {
+            (
+                Experiment::new(bench, vdd, args.config),
+                vec![Scheme::ErrorPadding, Scheme::Abs, Scheme::Ffs, Scheme::Cds],
+            )
+        })
+        .collect();
+    let (evals, stats) = run_evaluations(&args.fleet(), &specs);
+    let mut rows = Vec::with_capacity(evals.len() + 1);
+    for eval in &evals {
+        let row = metric(eval);
         println!("{row}");
         rows.push(row);
     }
     let avg = tv_core::average_row(&rows);
     println!("{avg}");
     rows.push(avg);
+    args.record_timing(figure, &stats);
     rows
 }
 

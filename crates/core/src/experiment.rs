@@ -11,6 +11,7 @@ use tv_timing::Voltage;
 use tv_uarch::SimStats;
 use tv_workloads::Benchmark;
 
+use crate::fleet::{Fleet, FleetStats, Job};
 use crate::schemes::Scheme;
 
 /// Measurement parameters shared by every run of an experiment.
@@ -97,6 +98,11 @@ impl Experiment {
         self.vdd
     }
 
+    /// The measurement parameters.
+    pub fn config(&self) -> RunConfig {
+        self.config
+    }
+
     /// Runs a single scheme.
     pub fn run_scheme(&self, scheme: Scheme) -> SchemeResult {
         let mut builder = scheme
@@ -163,21 +169,75 @@ impl Experiment {
     }
 
     /// Runs a subset of schemes (the fault-free baseline is always added —
-    /// every overhead is measured against it).
+    /// every overhead is measured against it). Jobs are submitted through
+    /// an [`Fleet::auto`] engine; results are bit-identical to a serial
+    /// loop over [`run_scheme`](Self::run_scheme).
     pub fn run_schemes(&self, schemes: &[Scheme]) -> Evaluation {
-        let mut results = Vec::with_capacity(schemes.len() + 1);
-        if !schemes.contains(&Scheme::FaultFree) {
-            results.push(self.run_scheme(Scheme::FaultFree));
-        }
-        for &s in schemes {
-            results.push(self.run_scheme(s));
-        }
+        self.run_schemes_on(&Fleet::auto(), schemes)
+    }
+
+    /// Runs all six schemes on the given engine.
+    pub fn run_all_on(&self, fleet: &Fleet) -> Evaluation {
+        self.run_schemes_on(fleet, &Scheme::ALL)
+    }
+
+    /// Runs a subset of schemes on the given engine (the fault-free
+    /// baseline is always added).
+    pub fn run_schemes_on(&self, fleet: &Fleet, schemes: &[Scheme]) -> Evaluation {
+        let jobs: Vec<Job> = with_baseline(schemes)
+            .into_iter()
+            .map(|s| Job::new(self.bench, self.vdd, s, self.config))
+            .collect();
+        let run = fleet.run_jobs(jobs);
         Evaluation {
             bench: self.bench,
             vdd: self.vdd,
-            results,
+            results: run.results,
         }
     }
+}
+
+/// Prepends the fault-free baseline to a scheme list when absent.
+fn with_baseline(schemes: &[Scheme]) -> Vec<Scheme> {
+    let mut list = Vec::with_capacity(schemes.len() + 1);
+    if !schemes.contains(&Scheme::FaultFree) {
+        list.push(Scheme::FaultFree);
+    }
+    list.extend_from_slice(schemes);
+    list
+}
+
+/// Runs many experiments' scheme sets as one flattened job bag on the
+/// engine — the harness entry point behind every figure and table. Each
+/// spec's evaluation comes back in spec order (its scheme results in
+/// scheme order, baseline first when added), along with the engine's
+/// timing counters for the whole bag.
+pub fn run_evaluations(
+    fleet: &Fleet,
+    specs: &[(Experiment, Vec<Scheme>)],
+) -> (Vec<Evaluation>, FleetStats) {
+    let mut jobs = Vec::new();
+    let mut counts = Vec::with_capacity(specs.len());
+    for (exp, schemes) in specs {
+        let list = with_baseline(schemes);
+        counts.push(list.len());
+        jobs.extend(
+            list.into_iter()
+                .map(|s| Job::new(exp.bench, exp.vdd, s, exp.config)),
+        );
+    }
+    let run = fleet.run_jobs(jobs);
+    let mut results = run.results.into_iter();
+    let evals = specs
+        .iter()
+        .zip(counts)
+        .map(|((exp, _), count)| Evaluation {
+            bench: exp.bench,
+            vdd: exp.vdd,
+            results: results.by_ref().take(count).collect(),
+        })
+        .collect();
+    (evals, run.stats)
 }
 
 /// Results of one benchmark × voltage across schemes.
@@ -323,6 +383,35 @@ mod tests {
         let cpi = exp.run_simpoint_weighted(Scheme::FaultFree, 6, 2);
         // gcc's fault-free CPI sits well inside (0.4, 3.0) for any phase mix.
         assert!(cpi > 0.4 && cpi < 3.0, "weighted CPI {cpi}");
+    }
+
+    #[test]
+    fn fleet_matches_serial_and_groups_specs() {
+        let cfg = RunConfig {
+            commits: 10_000,
+            warmup: 5_000,
+            ..RunConfig::quick()
+        };
+        let specs = vec![
+            (
+                Experiment::new(Benchmark::Gcc, Voltage::low_fault(), cfg),
+                vec![Scheme::Abs],
+            ),
+            (
+                Experiment::new(Benchmark::Astar, Voltage::high_fault(), cfg),
+                vec![Scheme::Razor, Scheme::Cds],
+            ),
+        ];
+        let (evals, stats) = run_evaluations(&Fleet::new(3), &specs);
+        assert_eq!(evals.len(), 2);
+        // Baseline prepended per spec: 2 + 3 jobs.
+        assert_eq!(stats.jobs, 5);
+        assert_eq!(evals[0].results().len(), 2);
+        assert_eq!(evals[1].results().len(), 3);
+        assert_eq!(evals[1].benchmark(), Benchmark::Astar);
+        // Identical to a direct serial scheme run.
+        let serial = specs[0].0.run_scheme(Scheme::Abs);
+        assert_eq!(evals[0].result(Scheme::Abs), &serial);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   scheme on the *identical* dynamic instruction stream and produces the
 //!   `(performance %, ED %)` overhead tuples of Table 1 and the
 //!   EP-normalized relative overheads of Figures 4/5/8/9;
+//! * [`fleet`] — the parallel experiment engine: fans independent
+//!   `(benchmark, voltage, scheme, config)` jobs across scoped worker
+//!   threads with bit-identical results regardless of worker count
+//!   (deterministic per-job seeding, submission-order results);
 //! * [`report`] — result aggregation (per-benchmark rows, averages) shared
 //!   by the benchmark harnesses.
 //!
@@ -33,11 +37,13 @@
 //! ```
 
 pub mod experiment;
+pub mod fleet;
 pub mod report;
 pub mod schemes;
 pub mod select;
 
-pub use experiment::{Evaluation, Experiment, RunConfig, SchemeResult};
+pub use experiment::{run_evaluations, Evaluation, Experiment, RunConfig, SchemeResult};
+pub use fleet::{Fleet, FleetRun, FleetStats, Job, JobTiming};
 pub use report::{average_row, FigureRow, Table1Row};
 pub use schemes::Scheme;
 pub use select::{CriticalityDrivenSelect, FaultyFirstSelect};

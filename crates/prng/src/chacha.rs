@@ -1,0 +1,263 @@
+//! ChaCha12 keystream generator, bit-exact with `rand_chacha::ChaCha12Rng`.
+//!
+//! Two details beyond the textbook block function matter for stream
+//! equality with `rand_chacha` 0.3:
+//!
+//! 1. **Four-block refills.** `rand_chacha` generates four 64-byte ChaCha
+//!    blocks per refill (counters `c, c+1, c+2, c+3`) into a 64-word
+//!    results buffer.
+//! 2. **`BlockRng` word splicing.** `next_u64` normally consumes two
+//!    consecutive `u32` words (low word first), but when exactly one word
+//!    remains in the buffer it splices that word (as the low half) with
+//!    the first word of the *next* refill (as the high half). Workloads
+//!    that interleave `next_u32` and `next_u64` draws — ours do — hit this
+//!    path, so it must match exactly.
+
+use crate::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+/// Blocks generated per refill (rand_chacha's `BUFBLOCKS`).
+const BUF_BLOCKS: u64 = 4;
+const BUF_WORDS: usize = BLOCK_WORDS * BUF_BLOCKS as usize;
+/// "expand 32-byte k"
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+/// ChaCha12 = 6 double rounds.
+const DOUBLE_ROUNDS: usize = 6;
+
+/// A ChaCha stream cipher RNG with 12 rounds — the `rand` project's
+/// recommended balance of speed and security margin, and the generator
+/// every deterministic stream in this workspace is calibrated against.
+#[derive(Clone)]
+pub struct ChaCha12Rng {
+    /// Key words (seed bytes, little-endian).
+    key: [u32; 8],
+    /// 64-bit block counter of the *next* refill (words 12–13).
+    counter: u64,
+    /// 64-bit stream id (words 14–15); 0 for seeded construction.
+    stream: u64,
+    /// Buffered output words.
+    results: [u32; BUF_WORDS],
+    /// Next unread index into `results` (`BUF_WORDS` = empty).
+    index: usize,
+}
+
+impl std::fmt::Debug for ChaCha12Rng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Like rand_chacha, hide the key/stream state.
+        f.debug_struct("ChaCha12Rng").finish_non_exhaustive()
+    }
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha12Rng {
+    /// Computes one 64-byte block into `out`.
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let initial = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *o = s.wrapping_add(*i);
+        }
+    }
+
+    /// Refills the four-block buffer and advances the counter, leaving
+    /// `index` at `offset` (rand_core's `generate_and_set`).
+    fn generate_and_set(&mut self, offset: usize) {
+        for b in 0..BUF_BLOCKS {
+            let start = (b as usize) * BLOCK_WORDS;
+            let mut block = [0u32; BLOCK_WORDS];
+            self.block(self.counter.wrapping_add(b), &mut block);
+            self.results[start..start + BLOCK_WORDS].copy_from_slice(&block);
+        }
+        self.counter = self.counter.wrapping_add(BUF_BLOCKS);
+        self.index = offset;
+    }
+
+    /// The stream id (always 0 for seeded construction).
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha12Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            results: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            (u64::from(self.results[index + 1]) << 32) | u64::from(self.results[index])
+        } else if index >= BUF_WORDS {
+            self.generate_and_set(2);
+            (u64::from(self.results[1]) << 32) | u64::from(self.results[0])
+        } else {
+            // One word left: splice it with the next buffer's first word.
+            let x = u64::from(self.results[BUF_WORDS - 1]);
+            self.generate_and_set(1);
+            let y = u64::from(self.results[0]);
+            (y << 32) | x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    /// RFC 8439 §2.3.2 test vector, adapted to 12 rounds is not published;
+    /// instead pin the structural properties the port depends on and the
+    /// known ChaCha20 relationship: with the same state layout, 20-round
+    /// output must match RFC 8439 when the round count is raised. The
+    /// 12-round keystream itself is pinned against `rand_chacha` via the
+    /// workspace golden tests (bench_results CSVs regenerate bit-exactly).
+    #[test]
+    fn rfc8439_state_layout_matches_chacha20() {
+        // Run the RFC 8439 §2.3.2 block with 10 double rounds by locally
+        // re-deriving the block function; verifies constants, key/counter/
+        // nonce word layout, quarter-round and final add.
+        let key_bytes: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for (k, chunk) in state[4..12].iter_mut().zip(key_bytes.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        state[12] = 1;
+        state[13] = 0x0900_0000;
+        state[14] = 0x4a00_0000;
+        state[15] = 0;
+        let initial = state;
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, i) in state.iter_mut().zip(initial.iter()) {
+            *s = s.wrapping_add(*i);
+        }
+        // RFC 8439 §2.3.2 expected block (serialized keystream words).
+        let expected: [u32; 16] = [
+            0xe4e7_f110, 0x1559_3bd1, 0x1fdd_0f50, 0xc471_20a3,
+            0xc7f4_d1c7, 0x0368_c033, 0x9aaa_2204, 0x4e6c_d4c3,
+            0x4664_82d2, 0x09aa_9f07, 0x05d7_c214, 0xa202_8bd9,
+            0xd19c_12b5, 0xb94e_16de, 0xe883_d0cb, 0x4e3c_50a2,
+        ];
+        assert_eq!(state, expected);
+    }
+
+    #[test]
+    fn mixed_width_draws_are_reproducible() {
+        // The u32/u64 splicing path must be deterministic and stable.
+        let mut a = ChaCha12Rng::seed_from_u64(99);
+        let mut b = ChaCha12Rng::seed_from_u64(99);
+        for i in 0..1_000 {
+            if i % 3 == 0 {
+                assert_eq!(a.next_u32(), b.next_u32());
+            } else {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_splice_consumes_one_word_of_next_buffer() {
+        // Drain to exactly one remaining word, then draw a u64: the low
+        // half must be the last word of the old buffer, the high half the
+        // first word of the new one, and the next u32 the second word.
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let mut probe = rng.clone();
+        let mut words = Vec::new();
+        for _ in 0..(BUF_WORDS * 2) {
+            words.push(probe.next_u32());
+        }
+        for w in words.iter().take(BUF_WORDS - 1) {
+            assert_eq!(rng.next_u32(), *w);
+        }
+        let spliced = rng.next_u64();
+        assert_eq!(spliced as u32, words[BUF_WORDS - 1]);
+        assert_eq!((spliced >> 32) as u32, words[BUF_WORDS]);
+        assert_eq!(rng.next_u32(), words[BUF_WORDS + 1]);
+    }
+
+    #[test]
+    fn counter_advances_by_four_blocks_per_refill() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        assert_eq!(rng.counter, 0);
+        let _ = rng.next_u32();
+        assert_eq!(rng.counter, 4);
+        for _ in 0..BUF_WORDS {
+            let _ = rng.next_u32();
+        }
+        assert_eq!(rng.counter, 8);
+        assert_eq!(rng.get_stream(), 0);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let _: u64 = rng.gen();
+        let _ = rng.next_u32();
+        let mut snap = rng.clone();
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), snap.next_u64());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Vendored deterministic PRNG for offline builds.
+//!
+//! The workspace originally depended on the `rand` 0.8 and `rand_chacha`
+//! 0.3 crates. Those cannot be fetched in the offline environments this
+//! repository must build in, so this crate ports — **bit-exactly** — the
+//! slice of their API the workspace uses:
+//!
+//! * [`ChaCha12Rng`] with `rand_chacha`'s four-block output buffering and
+//!   `rand_core`'s `BlockRng` word-splicing semantics, so mixed
+//!   `next_u32`/`next_u64` call sequences reproduce the identical stream;
+//! * [`SeedableRng::seed_from_u64`] with `rand_core` 0.6's PCG32-based
+//!   seed expansion;
+//! * [`Rng::gen`] for `u8`–`u64`/`usize`/`i32`/`i64`/`f64` with `rand`'s
+//!   `Standard` distribution (53-bit multiply for `f64`);
+//! * [`Rng::gen_range`] with `rand` 0.8.5's widening-multiply rejection
+//!   sampling for integers and the `[1, 2)`-mantissa method for floats;
+//! * [`Rng::gen_bool`] with `rand`'s fixed-point `Bernoulli`.
+//!
+//! Bit-exactness matters: every calibrated constant in `tv-workloads` and
+//! `tv-timing`, every tolerance in the test suite, and every golden CSV in
+//! `bench_results/` was produced under the original crates' streams. The
+//! regenerated tables/figures match the committed artifacts bit-for-bit,
+//! which is how this port was validated (see `tests/golden.rs` at the
+//! workspace root).
+
+mod chacha;
+mod uniform;
+
+pub use chacha::ChaCha12Rng;
+pub use uniform::{SampleRange, SampleUniform};
+
+/// A source of random 32/64-bit words (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator seedable from raw bytes or a `u64` (mirror of
+/// `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with `rand_core` 0.6's PCG32
+    /// stream and builds the generator — bit-identical to
+    /// `rand::SeedableRng::seed_from_u64`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A distribution over values of `T` (mirror of
+/// `rand::distributions::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The `rand::distributions::Standard` distribution: full-range integers,
+/// `[0, 1)` floats via the 53-bit multiply method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int_32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+macro_rules! standard_int_64 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_int_32!(u8, u16, u32, i8, i16, i32);
+standard_int_64!(u64, i64, usize, isize);
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // rand 0.8's Open01-free default: 53 significant bits, multiply.
+        let value = rng.next_u64() >> (64 - 53);
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> (32 - 24);
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// User-facing sampling methods (mirror of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open or inclusive),
+    /// reproducing `rand` 0.8.5's `gen_range` draw sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        T: SampleUniform,
+        B: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`, reproducing
+    /// `rand::Rng::gen_bool` (`p == 1.0` consumes no randomness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0.0, 1.0]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if !(0.0..1.0).contains(&p) {
+            assert!(p == 1.0, "gen_bool: p = {p} is outside [0.0, 1.0]");
+            return true;
+        }
+        // rand's Bernoulli: 64-bit fixed point, SCALE = 2^64.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_expansion_is_stable() {
+        // The PCG32 expansion must be a pure function of the input seed.
+        let a = ChaCha12Rng::seed_from_u64(42);
+        let b = ChaCha12Rng::seed_from_u64(42);
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        let (mut a, mut b) = (a, b);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(
+            ChaCha12Rng::seed_from_u64(42).next_u64(),
+            c.next_u64(),
+            "different seeds must diverge"
+        );
+    }
+
+    #[test]
+    fn standard_f64_is_in_unit_interval() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2..=8usize);
+            assert!((2..=8).contains(&y));
+            let z = rng.gen_range(-0.08..0.08);
+            assert!((-0.08..0.08).contains(&z));
+            let w = rng.gen_range(0..1u64 << 40);
+            assert!(w < 1 << 40);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges_uniformly() {
+        let mut rng = ChaCha12Rng::seed_from_u64(13);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0..3usize)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = ChaCha12Rng::seed_from_u64(17);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0.0, 1.0]")]
+    fn gen_bool_rejects_bad_p() {
+        let _ = ChaCha12Rng::seed_from_u64(1).gen_bool(1.5);
+    }
+}

@@ -6,8 +6,7 @@
 //! fault criterion: a stage is faulty at a given cycle time when the 95 %
 //! confidence bound of its delay (µ + 2σ) exceeds the cycle time.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use tv_prng::{ChaCha12Rng, SeedableRng};
 
 use tv_netlist::Netlist;
 

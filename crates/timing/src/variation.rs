@@ -7,9 +7,7 @@
 //! drive current rises with width and falls with channel length and oxide
 //! thickness, so `delay ∝ L · t_ox / W`.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use tv_prng::{ChaCha12Rng, Rng, SeedableRng};
 
 /// Gaussian process-variation model over (L, W, t_ox).
 #[derive(Debug, Clone, Copy, PartialEq)]

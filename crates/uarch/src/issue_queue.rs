@@ -158,6 +158,26 @@ mod tests {
     }
 
     #[test]
+    fn cdl_count_drops_entries_that_leave_the_queue() {
+        // The CDL tag-match count (§3.5.2) is computed over *resident*
+        // entries only: dependents that issue or are squashed must fall
+        // out of the count immediately.
+        let mut slab = Slab::new();
+        let a = slab.insert(inst(1, [Some(50), None]));
+        let b = slab.insert(inst(2, [Some(50), None]));
+        let c = slab.insert(inst(3, [Some(50), Some(50)]));
+        let mut iq = IssueQueue::new(8);
+        iq.push(a);
+        iq.push(b);
+        iq.push(c);
+        assert_eq!(iq.count_dependents(&slab, 50), 4);
+        iq.remove(b); // issued
+        assert_eq!(iq.count_dependents(&slab, 50), 3);
+        iq.retain(|s| s == a); // squash everything younger than a
+        assert_eq!(iq.count_dependents(&slab, 50), 1);
+    }
+
+    #[test]
     fn retain_squashes() {
         let mut iq = IssueQueue::new(4);
         for s in [1, 2, 3, 4] {

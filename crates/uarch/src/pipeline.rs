@@ -1480,6 +1480,131 @@ mod tests {
         assert_eq!(stats.fetched, stats.committed + stats.squashed + in_flight);
     }
 
+    /// Builds a ViolationAware pipeline plus one in-flight ALU instruction
+    /// predicted faulty in `stage`, parked in the issue queue with its
+    /// destination renamed — ready for a direct `issue_one` micro-step.
+    fn micro_issue_setup(stage: PipeStage, now: u64) -> (Pipeline, SlotId, u16) {
+        use tv_workloads::ArchReg;
+        let mut pipe = Pipeline::builder(Benchmark::Gcc, 7)
+            .tolerance(ToleranceMode::ViolationAware)
+            .voltage(Voltage::high_fault())
+            .build();
+        let dst = pipe.rename.rename_dst(ArchReg::new(5)).unwrap().new_phys;
+        let mut inst = InFlightInst::new(TraceInst {
+            seq: 1,
+            pc: 0x4000,
+            op: OpClass::IntAlu,
+            srcs: [None, None],
+            dst: None,
+            mem_addr: None,
+            taken: None,
+            target: None,
+            operand_values: [0, 0],
+        });
+        inst.dst_phys = Some(dst);
+        inst.predicted_fault = Some(stage);
+        inst.dispatch_cycle = now;
+        let slot = pipe.slab.insert(inst);
+        pipe.iq.push(slot);
+        (pipe, slot, dst)
+    }
+
+    #[test]
+    fn issue_fault_delays_waiting_consumers_exactly_one_cycle() {
+        // Paper §3.3.1: an issue-stage violation holds the tag broadcast —
+        // consumers already waiting wake exactly one cycle late, consumers
+        // dispatched at/after the settled broadcast pay nothing, and the
+        // faulty instruction's own execution is not delayed.
+        let now = 100;
+        let (mut pipe, slot, dst) = micro_issue_setup(PipeStage::Issue, now);
+        pipe.issue_one(now, slot, 0);
+
+        let wake = pipe.slab.get(slot).wake_cycle.unwrap();
+        assert_eq!(
+            wake,
+            now + pipe.cfg.exec_latency(OpClass::IntAlu),
+            "own execution unpadded"
+        );
+        // Early consumer: not ready at the broadcast cycle, ready exactly
+        // one cycle later.
+        assert!(!pipe.rename.is_ready(dst, wake, now));
+        assert!(pipe.rename.is_ready(dst, wake + 1, now));
+        // Late-dispatched consumer reads the settled ready bit.
+        assert!(pipe.rename.is_ready(dst, wake, wake));
+    }
+
+    #[test]
+    fn issue_fault_freezes_slot_admitting_no_new_input() {
+        // Paper §3.3.3: the slot behind a faulty instruction is frozen for
+        // one extra cycle — the lane admits no new input at now+1 and
+        // reopens at now+2.
+        let now = 100;
+        let (mut pipe, slot, _) = micro_issue_setup(PipeStage::Issue, now);
+        pipe.issue_one(now, slot, 0);
+
+        let only_lane0 = [false, true, true, true];
+        assert_eq!(pipe.exec.find_lane(OpClass::IntAlu, now + 1, &only_lane0), None);
+        assert_eq!(
+            pipe.exec.find_lane(OpClass::IntAlu, now + 2, &only_lane0),
+            Some(0)
+        );
+        assert_eq!(pipe.exec.slot_freezes, 1);
+    }
+
+    #[test]
+    fn execute_fault_pads_result_for_all_consumers() {
+        // An Execute-stage violation delays the result itself by the one
+        // padding cycle: every consumer sees the padded wake cycle, with
+        // no extra delayed-broadcast penalty on top.
+        let now = 200;
+        let (mut pipe, slot, dst) = micro_issue_setup(PipeStage::Execute, now);
+        pipe.issue_one(now, slot, 0);
+
+        let wake = pipe.slab.get(slot).wake_cycle.unwrap();
+        assert_eq!(
+            wake,
+            now + pipe.cfg.exec_latency(OpClass::IntAlu) + 1,
+            "result slips by exactly the padding cycle"
+        );
+        assert!(!pipe.rename.is_ready(dst, wake - 1, now));
+        assert!(pipe.rename.is_ready(dst, wake, now), "no +1 on top of the pad");
+        assert!(pipe.rename.is_ready(dst, wake, wake));
+        assert_eq!(pipe.exec.slot_freezes, 1, "slot freeze applies regardless of stage");
+    }
+
+    #[test]
+    fn slot_freezes_only_under_violation_aware() {
+        let razor = run_bench(
+            Benchmark::Astar,
+            ToleranceMode::Razor,
+            Voltage::high_fault(),
+            15_000,
+        );
+        assert_eq!(razor.slot_freezes, 0, "razor replays, never freezes");
+        let ep = run_bench(
+            Benchmark::Astar,
+            ToleranceMode::ErrorPadding,
+            Voltage::high_fault(),
+            15_000,
+        );
+        assert_eq!(ep.slot_freezes, 0, "EP stalls the whole machine instead");
+        assert!(ep.ep_stall_cycles > 0);
+    }
+
+    #[test]
+    fn dispatch_timestamps_stay_mod_64() {
+        // The ABS timestamp is a 6-bit hardware counter (§3.5): it wraps
+        // at 64 and every in-flight instruction carries a 6-bit value even
+        // after far more than 64 dispatches.
+        let mut pipe = Pipeline::builder(Benchmark::Gcc, 7).build();
+        let stats = pipe.run(2_000);
+        assert!(stats.committed >= 2_000, "well past many counter wraps");
+        assert!(pipe.timestamp_counter < 64);
+        for slot in pipe.iq.iter() {
+            assert!(pipe.slab.get(slot).timestamp < 64);
+        }
+    }
+
     #[test]
     fn fast_forward_offsets_commit_stream() {
         let stats = Pipeline::builder(Benchmark::Gcc, 9)

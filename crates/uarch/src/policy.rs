@@ -71,6 +71,17 @@ impl SelectPolicy for AgeBasedSelect {
     }
 }
 
+/// The 6-bit relative age the ABS comparator computes (paper §3.5): the
+/// modulo-64 distance from the oldest in-flight timestamp `head` up to
+/// `ts`. Ordering candidates by this key reproduces true dispatch order
+/// whenever the in-flight age span is below 64 — including across the
+/// 63→0 counter wrap — which is what lets the hardware compare 6-bit
+/// timestamps instead of full sequence numbers. [`AgeBasedSelect`] sorts
+/// by the unique `seq`, which the tests below pin as equivalent.
+pub fn mod64_age(ts: u8, head: u8) -> u8 {
+    ts.wrapping_sub(head) & 63
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +115,45 @@ mod tests {
         let mut cands = vec![candidate(2, true, true), candidate(1, false, false)];
         AgeBasedSelect::new().prioritize(&mut cands);
         assert_eq!(cands[0].seq, 1);
+    }
+
+    #[test]
+    fn mod64_age_handles_counter_wraparound() {
+        // Head at timestamp 62: the wrap (62, 63, 0, 1) still orders.
+        assert_eq!(mod64_age(62, 62), 0);
+        assert_eq!(mod64_age(63, 62), 1);
+        assert_eq!(mod64_age(0, 62), 2);
+        assert_eq!(mod64_age(1, 62), 3);
+        // The youngest representable age is head - 1 (mod 64).
+        assert_eq!(mod64_age(61, 62), 63);
+    }
+
+    #[test]
+    fn mod64_age_matches_seq_order_across_wrap() {
+        // Any window of in-flight instructions whose age span is < 64
+        // orders identically by 6-bit relative age and by unique seq —
+        // exercised across every alignment of the 63→0 wrap.
+        for start in 0..128u64 {
+            let seqs: Vec<u64> = (start..start + 63).rev().collect();
+            let head_ts = (start % 64) as u8;
+            let mut by_age: Vec<u64> = seqs.clone();
+            by_age.sort_by_key(|&s| mod64_age((s % 64) as u8, head_ts));
+            let mut by_seq = seqs;
+            by_seq.sort_unstable();
+            assert_eq!(by_age, by_seq, "window starting at {start}");
+        }
+    }
+
+    #[test]
+    fn abs_seq_sort_equals_hardware_timestamp_sort() {
+        // A realistic post-wrap issue-queue snapshot: ages 60..72 mod 64.
+        let mut cands: Vec<IssueCandidate> =
+            [70, 61, 63, 66, 60, 64, 71, 62].iter().map(|&s| candidate(s, false, false)).collect();
+        let head_ts = cands.iter().map(|c| c.timestamp).min_by_key(|&t| mod64_age(t, 60)).unwrap();
+        assert_eq!(head_ts, 60 % 64);
+        let mut by_hw = cands.clone();
+        by_hw.sort_by_key(|c| mod64_age(c.timestamp, head_ts));
+        AgeBasedSelect::new().prioritize(&mut cands);
+        assert_eq!(by_hw, cands, "ABS order must match the 6-bit comparator");
     }
 }

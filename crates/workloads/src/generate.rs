@@ -9,9 +9,7 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use tv_prng::{ChaCha12Rng, Rng, SeedableRng};
 
 use crate::inst::{OpClass, TraceInst};
 use crate::profile::{Benchmark, Profile};

@@ -7,9 +7,7 @@
 //! in which the same static PCs recur over and over — exactly the property
 //! (paper §S1) that makes PC-indexed timing-error prediction work.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use tv_prng::{ChaCha12Rng, Rng, SeedableRng};
 
 use crate::inst::{ArchReg, OpClass};
 use crate::profile::Profile;

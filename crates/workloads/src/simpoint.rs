@@ -9,9 +9,7 @@
 //! interval closest to each centroid becomes that cluster's representative
 //! phase, weighted by cluster population.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use tv_prng::{ChaCha12Rng, Rng, SeedableRng};
 
 use crate::generate::TraceGenerator;
 

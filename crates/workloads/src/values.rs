@@ -13,9 +13,7 @@
 //! state that repeats, strides, or refreshes according to the benchmark's
 //! [`ValueProfile`](crate::profile::ValueProfile).
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use tv_prng::{ChaCha12Rng, Rng, SeedableRng};
 
 use crate::profile::Spec2000;
 

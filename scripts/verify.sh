@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, and check the parallel engine's
+# determinism contract end-to-end by regenerating fig4 at several worker
+# counts and diffing the CSVs (they must be byte-identical).
+#
+# Usage: scripts/verify.sh [--skip-sweep]
+#   --skip-sweep   build + test only (the sweep re-simulates fig4 three
+#                  times at --quick length, ~1 min on one core)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_SWEEP=0
+[[ "${1:-}" == "--skip-sweep" ]] && SKIP_SWEEP=1
+
+echo "==> cargo build --release --workspace (offline)"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace --offline
+
+if [[ "$SKIP_SWEEP" == 1 ]]; then
+    echo "==> sweep skipped (--skip-sweep)"
+    exit 0
+fi
+
+echo "==> worker-count determinism sweep (fig4 --quick at 1/2/4 workers)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+for w in 1 2 4; do
+    echo "    workers=$w"
+    cargo run --release -q -p tv-bench --bin fig4 --offline -- \
+        --quick --workers "$w" --out "$tmp/w$w" >"$tmp/w$w.stdout" 2>/dev/null
+done
+diff "$tmp/w1/fig4.csv" "$tmp/w2/fig4.csv"
+diff "$tmp/w1/fig4.csv" "$tmp/w4/fig4.csv"
+echo "    fig4.csv byte-identical at 1/2/4 workers"
+
+echo "==> verify OK"

@@ -1,0 +1,172 @@
+//! Golden-value regression tests against the committed evaluation
+//! artifacts in `bench_results/`.
+//!
+//! The committed CSVs were generated at `--commits 300000 --warmup
+//! 100000` (see `bench_results/run_all.log`); re-deriving them exactly in
+//! a test would be too slow, so a sampled subset is recomputed under
+//! [`RunConfig::quick`] (100 k commits) and compared with explicit
+//! tolerances sized for the measurement-length difference (roughly 2× the
+//! largest quick-vs-full deviation observed per metric). A drift beyond
+//! these bounds means the modelled machine changed, not just the noise.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use tv_core::{Experiment, Fleet, RunConfig, Scheme, Table1Row};
+use tv_timing::Voltage;
+use tv_workloads::Benchmark;
+
+/// Loads a committed CSV into `name -> numeric fields`.
+fn load_csv(name: &str) -> HashMap<String, Vec<f64>> {
+    let path = Path::new("bench_results").join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let mut rows = HashMap::new();
+    for line in text.lines().skip(1) {
+        let mut fields = line.split(',');
+        let key = fields.next().expect("row key").to_string();
+        let values: Vec<f64> = fields
+            .map(|f| f.parse().unwrap_or_else(|e| panic!("{key}: bad field {f}: {e}")))
+            .collect();
+        rows.insert(key, values);
+    }
+    rows
+}
+
+fn assert_close(what: &str, got: f64, committed: f64, tol: f64) {
+    assert!(
+        (got - committed).abs() <= tol,
+        "{what}: quick rederivation {got:.4} vs committed {committed:.4} \
+         (tolerance {tol})"
+    );
+}
+
+#[test]
+fn committed_figures_are_well_formed() {
+    for name in ["fig4.csv", "fig5.csv", "fig8.csv", "fig9.csv"] {
+        let rows = load_csv(name);
+        assert_eq!(
+            rows.len(),
+            Benchmark::ALL.len() + 1,
+            "{name}: every benchmark + AVERAGE"
+        );
+        assert!(rows.contains_key("AVERAGE"), "{name} has the AVERAGE bar");
+        for (bench, values) in &rows {
+            assert_eq!(values.len(), 3, "{name}/{bench}: abs,ffs,cds");
+            assert!(
+                values.iter().all(|v| (0.0..2.0).contains(v)),
+                "{name}/{bench}: relative overheads are EP-normalized"
+            );
+        }
+    }
+    let table1 = load_csv("table1.csv");
+    assert_eq!(
+        table1.len(),
+        Benchmark::ALL.len(),
+        "table1: one row per benchmark"
+    );
+    assert!(table1.values().all(|v| v.len() == 11));
+}
+
+#[test]
+fn fig4_sampled_values_rederive() {
+    // Figure 4: relative performance overhead vs EP at 1.04 V.
+    let committed = load_csv("fig4.csv");
+    let fleet = Fleet::new(2);
+    let schemes = [Scheme::ErrorPadding, Scheme::Abs, Scheme::Ffs, Scheme::Cds];
+    for (bench, tol) in [
+        (Benchmark::Gcc, 0.05),
+        (Benchmark::Astar, 0.06),
+        (Benchmark::Mcf, 0.06),
+    ] {
+        let eval = Experiment::new(bench, Voltage::low_fault(), RunConfig::quick())
+            .run_schemes_on(&fleet, &schemes);
+        let row = &committed[bench.name()];
+        assert_close(
+            &format!("fig4/{}/abs", bench.name()),
+            eval.relative_perf_overhead(Scheme::Abs),
+            row[0],
+            tol,
+        );
+        assert_close(
+            &format!("fig4/{}/ffs", bench.name()),
+            eval.relative_perf_overhead(Scheme::Ffs),
+            row[1],
+            tol,
+        );
+        assert_close(
+            &format!("fig4/{}/cds", bench.name()),
+            eval.relative_perf_overhead(Scheme::Cds),
+            row[2],
+            tol,
+        );
+    }
+    // The headline claim survives at quick length: the proposed schemes
+    // remove most of EP's overhead on the sampled benchmarks.
+    let avg = &committed["AVERAGE"];
+    assert!(avg.iter().all(|&v| v < 0.35), "committed average {avg:?}");
+}
+
+#[test]
+fn fig8_sampled_values_rederive() {
+    // Figure 8: relative performance overhead vs EP at 0.97 V.
+    let committed = load_csv("fig8.csv");
+    let fleet = Fleet::new(2);
+    let schemes = [Scheme::ErrorPadding, Scheme::Abs, Scheme::Ffs, Scheme::Cds];
+    for (bench, tol) in [(Benchmark::Astar, 0.06), (Benchmark::Bzip2, 0.05)] {
+        let eval = Experiment::new(bench, Voltage::high_fault(), RunConfig::quick())
+            .run_schemes_on(&fleet, &schemes);
+        let row = &committed[bench.name()];
+        assert_close(
+            &format!("fig8/{}/abs", bench.name()),
+            eval.relative_perf_overhead(Scheme::Abs),
+            row[0],
+            tol,
+        );
+        assert_close(
+            &format!("fig8/{}/ffs", bench.name()),
+            eval.relative_perf_overhead(Scheme::Ffs),
+            row[1],
+            tol,
+        );
+    }
+}
+
+#[test]
+fn table1_sampled_rows_rederive() {
+    // Table 1 columns: ipc, fr_097, razor_perf_097, razor_ed_097,
+    // ep_perf_097, ep_ed_097, fr_104, razor_perf_104, ...
+    let committed = load_csv("table1.csv");
+    let fleet = Fleet::new(2);
+    let schemes = [Scheme::Razor, Scheme::ErrorPadding];
+    for (bench, ipc_tol, fr_tol, perf_tol) in [
+        (Benchmark::Astar, 0.06, 1.0, 3.0),
+        (Benchmark::Gcc, 0.09, 1.0, 4.0),
+    ] {
+        let hi = Experiment::new(bench, Voltage::high_fault(), RunConfig::quick())
+            .run_schemes_on(&fleet, &schemes);
+        let lo = Experiment::new(bench, Voltage::low_fault(), RunConfig::quick())
+            .run_schemes_on(&fleet, &schemes);
+        let row = Table1Row::from_evaluations(&hi, &lo);
+        let gold = &committed[bench.name()];
+        let name = bench.name();
+        assert_close(&format!("table1/{name}/ipc"), row.fault_free_ipc, gold[0], ipc_tol);
+        assert_close(&format!("table1/{name}/fr_097"), row.fr_097, gold[1], fr_tol);
+        assert_close(
+            &format!("table1/{name}/razor_perf_097"),
+            row.razor_097.perf_pct,
+            gold[2],
+            perf_tol,
+        );
+        assert_close(
+            &format!("table1/{name}/ep_perf_097"),
+            row.ep_097.perf_pct,
+            gold[4],
+            perf_tol / 2.0,
+        );
+        assert_close(&format!("table1/{name}/fr_104"), row.fr_104, gold[6], fr_tol);
+        // The paper's ordering invariants hold at any measurement length.
+        assert!(row.razor_097.perf_pct > row.ep_097.perf_pct);
+        assert!(row.fr_097 > row.fr_104, "fault rate falls with Vdd margin");
+    }
+}

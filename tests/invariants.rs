@@ -1,21 +1,31 @@
-//! Property-based tests of the system's cross-crate invariants.
+//! Property-style tests of the system's cross-crate invariants.
+//!
+//! Originally written with `proptest`; rewritten as deterministic
+//! case sweeps driven by the vendored [`tv_prng`] generator so the suite
+//! builds with no network access. Each property runs the same number of
+//! cases (16) as the old `ProptestConfig`, but from a fixed seed, so a
+//! failure is always reproducible without shrinking machinery.
 
-use proptest::prelude::*;
-
+use tv_prng::{ChaCha12Rng, Rng, SeedableRng};
 use tv_sched::core::Scheme;
 use tv_sched::netlist::{Builder, CommonalityAnalyzer, Simulator};
 use tv_sched::tep::{Tep, TepConfig};
 use tv_sched::timing::{delay_factor, FaultCalibration, FaultModel, PipeStage, Voltage};
 use tv_sched::workloads::{Benchmark, TraceGenerator};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+const CASES: usize = 16;
 
-    /// Control flow in generated traces is always self-consistent: a
-    /// not-taken branch falls through, a taken branch lands on its target.
-    #[test]
-    fn trace_control_flow_is_consistent(seed in 0u64..1_000, bench_idx in 0usize..12) {
-        let bench = Benchmark::ALL[bench_idx];
+fn cases() -> impl Iterator<Item = ChaCha12Rng> {
+    (0..CASES).map(|i| ChaCha12Rng::seed_from_u64(0xD1CE ^ (i as u64) << 8))
+}
+
+/// Control flow in generated traces is always self-consistent: a
+/// not-taken branch falls through, a taken branch lands on its target.
+#[test]
+fn trace_control_flow_is_consistent() {
+    for mut rng in cases() {
+        let seed = rng.gen_range(0u64..1_000);
+        let bench = Benchmark::ALL[rng.gen_range(0usize..12)];
         let mut gen = TraceGenerator::for_benchmark(bench, seed);
         let mut prev: Option<tv_sched::workloads::TraceInst> = None;
         for _ in 0..3_000 {
@@ -25,16 +35,20 @@ proptest! {
                     Some(true) => p.target.expect("taken needs target"),
                     _ => p.next_pc(),
                 };
-                prop_assert_eq!(inst.pc, expect);
+                assert_eq!(inst.pc, expect, "{bench} seed {seed}");
             }
             prev = Some(inst);
         }
     }
+}
 
-    /// The fault model's verdicts are deterministic, voltage-monotone in
-    /// aggregate, and only strike OoO stages.
-    #[test]
-    fn fault_model_verdicts_are_sane(seed in 0u64..500, pc_base in 0x1000u64..0x4000) {
+/// The fault model's verdicts are deterministic, voltage-monotone in
+/// aggregate, and only strike OoO stages.
+#[test]
+fn fault_model_verdicts_are_sane() {
+    for mut rng in cases() {
+        let seed = rng.gen_range(0u64..500);
+        let pc_base = rng.gen_range(0x1000u64..0x4000);
         let cal = FaultCalibration::from_rates(9.0, 2.0);
         let hi = FaultModel::new(cal, Voltage::high_fault(), seed);
         let lo = FaultModel::new(cal, Voltage::low_fault(), seed);
@@ -43,29 +57,38 @@ proptest! {
         for i in 0..4_000u64 {
             let pc = pc_base + 4 * (i % 200);
             let a = hi.decide(pc, i % 3 == 0, i);
-            prop_assert_eq!(a, hi.decide(pc, i % 3 == 0, i), "determinism");
+            assert_eq!(a, hi.decide(pc, i % 3 == 0, i), "determinism");
             if let Some(stage) = a {
-                prop_assert!(stage.is_ooo());
+                assert!(stage.is_ooo());
                 hi_faults += 1;
             }
             if lo.decide(pc, i % 3 == 0, i).is_some() {
                 lo_faults += 1;
             }
         }
-        prop_assert!(hi_faults >= lo_faults, "{} < {}", hi_faults, lo_faults);
+        assert!(hi_faults >= lo_faults, "{hi_faults} < {lo_faults}");
     }
+}
 
-    /// Alpha-power delay scaling is strictly monotone.
-    #[test]
-    fn delay_factor_monotone(a in 0.70f64..1.45, b in 0.70f64..1.45) {
+/// Alpha-power delay scaling is strictly monotone.
+#[test]
+fn delay_factor_monotone() {
+    for mut rng in cases() {
+        let a = rng.gen_range(0.70f64..1.45);
+        let b = rng.gen_range(0.70f64..1.45);
         if a < b {
-            prop_assert!(delay_factor(a) > delay_factor(b));
+            assert!(delay_factor(a) > delay_factor(b), "a={a} b={b}");
         }
     }
+}
 
-    /// A generated ripple adder always agrees with u64 addition.
-    #[test]
-    fn netlist_adder_matches_reference(x in any::<u32>(), y in any::<u32>(), width in 4usize..24) {
+/// A generated ripple adder always agrees with u64 addition.
+#[test]
+fn netlist_adder_matches_reference() {
+    for mut rng in cases() {
+        let x: u32 = rng.gen();
+        let y: u32 = rng.gen();
+        let width = rng.gen_range(4usize..24);
         let mask = (1u64 << width) - 1;
         let mut b = Builder::new("prop_adder");
         let aw = b.input_word("a", width);
@@ -79,14 +102,18 @@ proptest! {
         let v = sim.input_vector(&[("a", x as u64 & mask), ("b", y as u64 & mask)]);
         sim.apply(&v);
         let want = (x as u64 & mask) + (y as u64 & mask);
-        prop_assert_eq!(sim.port_value("sum"), want & mask);
-        prop_assert_eq!(sim.port_value("carry"), want >> width);
+        assert_eq!(sim.port_value("sum"), want & mask);
+        assert_eq!(sim.port_value("carry"), want >> width);
     }
+}
 
-    /// A generated barrel shifter always agrees with the `<<`/`>>`
-    /// operators.
-    #[test]
-    fn netlist_shifter_matches_reference(x in any::<u16>(), amt in 0u64..16, left in any::<bool>()) {
+/// A generated barrel shifter always agrees with the `<<`/`>>` operators.
+#[test]
+fn netlist_shifter_matches_reference() {
+    for mut rng in cases() {
+        let x: u16 = rng.gen();
+        let amt = rng.gen_range(0u64..16);
+        let left: bool = rng.gen_range(0u8..2) == 1;
         let mut b = Builder::new("prop_shift");
         let aw = b.input_word("a", 16);
         let amt_w = b.input_word("amt", 4);
@@ -101,13 +128,18 @@ proptest! {
         } else {
             (x as u64) >> amt
         };
-        prop_assert_eq!(sim.port_value("out"), want);
+        assert_eq!(sim.port_value("out"), want);
     }
+}
 
-    /// The carry-select adder agrees with the ripple adder for every block
-    /// size (they are different structures computing the same function).
-    #[test]
-    fn carry_select_matches_ripple(x in any::<u32>(), y in any::<u32>(), block in 1usize..9) {
+/// The carry-select adder agrees with the ripple adder for every block
+/// size (they are different structures computing the same function).
+#[test]
+fn carry_select_matches_ripple() {
+    for mut rng in cases() {
+        let x: u32 = rng.gen();
+        let y: u32 = rng.gen();
+        let block = rng.gen_range(1usize..9);
         let build = |select: bool| {
             let mut b = Builder::new("prop_csa");
             let aw = b.input_word("a", 32);
@@ -128,44 +160,54 @@ proptest! {
             sim.apply(&v);
             (sim.port_value("sum"), sim.port_value("carry"))
         };
-        prop_assert_eq!(eval(&build(true)), eval(&build(false)));
+        assert_eq!(eval(&build(true)), eval(&build(false)));
     }
+}
 
-    /// φ ⊆ ψ: per-PC commonality is always within [0, 1] no matter what
-    /// toggle sets are recorded.
-    #[test]
-    fn commonality_bounded(sets in prop::collection::vec(
-        prop::collection::vec(0u32..256, 0..20), 1..12)
-    ) {
+/// φ ⊆ ψ: per-PC commonality is always within [0, 1] no matter what
+/// toggle sets are recorded.
+#[test]
+fn commonality_bounded() {
+    for mut rng in cases() {
+        let num_sets = rng.gen_range(1usize..12);
+        let sets: Vec<Vec<u32>> = (0..num_sets)
+            .map(|_| {
+                let len = rng.gen_range(0usize..20);
+                (0..len).map(|_| rng.gen_range(0u32..256)).collect()
+            })
+            .collect();
         let mut an = CommonalityAnalyzer::new(256);
         for (i, s) in sets.iter().enumerate() {
             an.record(0x1000 + (i as u64 % 3) * 4, s);
         }
         let c = an.finish();
-        prop_assert!((0.0..=1.0).contains(&c.weighted_average));
+        assert!((0.0..=1.0).contains(&c.weighted_average));
         for (_, count, ratio) in an.per_pc() {
-            prop_assert!(count >= 2);
-            prop_assert!((0.0..=1.0).contains(&ratio));
+            assert!(count >= 2);
+            assert!((0.0..=1.0).contains(&ratio));
         }
     }
+}
 
-    /// TEP counters never escape their saturating range and predictions
-    /// always carry a stage.
-    #[test]
-    fn tep_state_machine_is_safe(ops in prop::collection::vec((0u64..64, 0u8..3), 1..300)) {
+/// TEP counters never escape their saturating range and predictions
+/// always carry a stage.
+#[test]
+fn tep_state_machine_is_safe() {
+    for mut rng in cases() {
+        let num_ops = rng.gen_range(1usize..300);
         let mut tep = Tep::new(TepConfig::paper_default());
-        for (pc_idx, op) in ops {
-            let pc = 0x1000 + pc_idx * 4;
-            match op {
+        for _ in 0..num_ops {
+            let pc = 0x1000 + rng.gen_range(0u64..64) * 4;
+            match rng.gen_range(0u8..3) {
                 0 => tep.train_fault(pc, PipeStage::Issue),
                 1 => tep.train_clean(pc),
                 _ => {
                     let p = tep.predict(pc, true);
-                    prop_assert_eq!(p.faulty, p.stage.is_some());
+                    assert_eq!(p.faulty, p.stage.is_some());
                 }
             }
         }
-        prop_assert!(tep.live_entries() <= tep.config().entries);
+        assert!(tep.live_entries() <= tep.config().entries);
     }
 }
 
