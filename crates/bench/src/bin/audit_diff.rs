@@ -1,0 +1,169 @@
+//! Scheme-equivalence differential audit: every tolerance scheme must
+//! commit the identical architectural instruction stream, with the
+//! cycle-level invariant auditor reporting zero violations.
+//!
+//! ```text
+//! --commits N   measured commits per run        (default 20 000)
+//! --warmup N    warm-up commits per run         (default 5 000)
+//! --seed N      base seed; runs use N and N+1   (default 42)
+//! --out DIR     result directory                (default bench_results)
+//! --workers N   fleet worker threads
+//! --basic       Basic audit level (default: Full)
+//! --fast        CI preset: 1 benchmark x 4 schemes x 2 seeds, 8k commits
+//! ```
+//!
+//! Exits non-zero on any stream mismatch or invariant violation.
+
+use std::path::PathBuf;
+
+use tv_bench::write_csv;
+use tv_core::{run_differential, DiffConfig, DiffTuple, Fleet, Scheme};
+use tv_timing::Voltage;
+use tv_uarch::AuditLevel;
+use tv_workloads::Benchmark;
+
+struct Args {
+    commits: u64,
+    warmup: u64,
+    seed: u64,
+    out: PathBuf,
+    workers: Option<usize>,
+    audit: AuditLevel,
+    fast: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        commits: 20_000,
+        warmup: 5_000,
+        seed: 42,
+        out: PathBuf::from("bench_results"),
+        workers: None,
+        audit: AuditLevel::Full,
+        fast: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--commits" => parsed.commits = value("--commits").parse().expect("--commits: integer"),
+            "--warmup" => parsed.warmup = value("--warmup").parse().expect("--warmup: integer"),
+            "--seed" => parsed.seed = value("--seed").parse().expect("--seed: integer"),
+            "--out" => parsed.out = PathBuf::from(value("--out")),
+            "--workers" => {
+                parsed.workers = Some(value("--workers").parse().expect("--workers: integer"))
+            }
+            "--basic" => parsed.audit = AuditLevel::Basic,
+            "--fast" => parsed.fast = true,
+            other => panic!(
+                "unknown argument {other}; supported: \
+                 --commits --warmup --seed --out --workers --basic --fast"
+            ),
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let seeds = [args.seed, args.seed + 1];
+    let (tuples, schemes, commits, warmup) = if args.fast {
+        (
+            DiffTuple::sweep(&[Benchmark::Gcc], &[Voltage::high_fault()], &seeds),
+            vec![Scheme::FaultFree, Scheme::Razor, Scheme::ErrorPadding, Scheme::Abs],
+            args.commits.min(8_000),
+            args.warmup.min(2_000),
+        )
+    } else {
+        (
+            DiffTuple::sweep(
+                &[Benchmark::Gcc, Benchmark::Astar],
+                &[Voltage::low_fault(), Voltage::high_fault()],
+                &seeds,
+            ),
+            Scheme::ALL.to_vec(),
+            args.commits,
+            args.warmup,
+        )
+    };
+    let cfg = DiffConfig {
+        commits,
+        warmup,
+        audit: args.audit,
+        schemes: schemes.clone(),
+    };
+    let fleet = match args.workers {
+        Some(n) => Fleet::new(n),
+        None => Fleet::auto(),
+    }
+    .with_progress(true);
+
+    println!(
+        "scheme-equivalence differential audit — {} tuples x {} schemes, \
+         {} commits (+{} warm-up) per run, {:?} audit",
+        tuples.len(),
+        cfg.schemes.len(),
+        cfg.commits,
+        cfg.warmup,
+        args.audit,
+    );
+
+    let report = run_differential(&fleet, &tuples, &cfg);
+
+    let mut rows = Vec::new();
+    for group in report.runs.chunks(cfg.schemes.len()) {
+        let reference = group.first().expect("non-empty group").stream_hash;
+        for run in group {
+            rows.push(format!(
+                "{},{:.3},{},{},{},{},{:016x},{},{},{},{}",
+                run.bench.name(),
+                run.vdd.volts(),
+                run.scheme.name(),
+                run.seed,
+                run.commits,
+                run.cycles,
+                run.stream_hash,
+                run.audit_cycles,
+                run.audit_checks,
+                run.audit_violations,
+                run.stream_hash == reference,
+            ));
+        }
+    }
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    write_csv(
+        &args.out.join("audit_diff.csv"),
+        "bench,vdd,scheme,seed,commits,cycles,stream_hash,audit_cycles,audit_checks,audit_violations,stream_match",
+        &rows,
+    );
+
+    let checks: u64 = report.runs.iter().map(|r| r.audit_checks).sum();
+    println!(
+        "{} runs, {} invariant checks, {} violations, {} stream mismatches",
+        report.runs.len(),
+        checks,
+        report.total_violations(),
+        report.mismatches.len(),
+    );
+    for m in &report.mismatches {
+        eprintln!("STREAM MISMATCH: {m}");
+    }
+    for run in report.runs.iter().filter(|r| r.audit_violations > 0) {
+        eprintln!(
+            "VIOLATIONS: {}/{}@{:.3}V seed {}: {} ({})",
+            run.bench.name(),
+            run.scheme.name(),
+            run.vdd.volts(),
+            run.seed,
+            run.audit_violations,
+            run.first_violation.as_deref().unwrap_or("?"),
+        );
+    }
+    if !report.clean() {
+        std::process::exit(1);
+    }
+    println!("all schemes commit identical architectural streams; all invariants hold");
+}

@@ -21,7 +21,11 @@
 //!   threads with bit-identical results regardless of worker count
 //!   (deterministic per-job seeding, submission-order results);
 //! * [`report`] — result aggregation (per-benchmark rows, averages) shared
-//!   by the benchmark harnesses.
+//!   by the benchmark harnesses;
+//! * [`diff`] — the scheme-equivalence differential harness: every scheme
+//!   must commit the identical architectural instruction stream (schemes
+//!   differ in timing, never in work), checked under the cycle-level
+//!   invariant auditor of `tv-audit`.
 //!
 //! # Example
 //!
@@ -36,12 +40,14 @@
 //! assert!(rel >= 0.0);
 //! ```
 
+pub mod diff;
 pub mod experiment;
 pub mod fleet;
 pub mod report;
 pub mod schemes;
 pub mod select;
 
+pub use diff::{run_differential, DiffConfig, DiffReport, DiffRun, DiffTuple};
 pub use experiment::{run_evaluations, Evaluation, Experiment, RunConfig, SchemeResult};
 pub use fleet::{Fleet, FleetRun, FleetStats, Job, JobTiming};
 pub use report::{average_row, FigureRow, Table1Row};

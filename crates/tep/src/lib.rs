@@ -41,7 +41,9 @@ pub struct TepConfig {
     pub entries: usize,
     /// Tag width in bits (paper: 2 bytes).
     pub tag_bits: u32,
-    /// Number of recent branch outcomes folded into the index.
+    /// Number of recent branch outcomes folded into the index; `0`
+    /// disables branch-history mixing entirely (a purely PC-indexed
+    /// table).
     pub history_bits: u32,
     /// Saturating-counter ceiling (paper: 2-bit ⇒ 3).
     pub counter_max: u8,
@@ -79,7 +81,10 @@ impl TepConfig {
             "entries must be a power of two ≥ 2"
         );
         assert!(self.tag_bits >= 1 && self.tag_bits <= 32, "tag bits out of range");
-        assert!(self.history_bits <= 16, "history bits out of range");
+        assert!(
+            self.history_bits <= 16,
+            "history_bits must be in 0..=16 (0 disables history mixing)"
+        );
         assert!(self.counter_max >= 1, "counter max must be at least 1");
         assert!(self.train_up >= 1, "train_up must be at least 1");
     }
@@ -186,9 +191,14 @@ impl Tep {
         self.stats
     }
 
-    /// Shifts a resolved branch outcome into the history register.
+    /// Shifts a resolved branch outcome into the history register. A
+    /// no-op when `history_bits == 0`: a history-free predictor keeps its
+    /// register pinned at zero so the index is a pure PC hash.
     pub fn record_branch(&mut self, taken: bool) {
-        let mask = (1u32 << self.config.history_bits.max(1)) - 1;
+        if self.config.history_bits == 0 {
+            return;
+        }
+        let mask = (1u32 << self.config.history_bits) - 1;
         self.history = ((self.history << 1) | taken as u32) & mask;
     }
 
@@ -198,7 +208,7 @@ impl Tep {
         // common simultaneous-fault case) never alias through the history
         // contribution.
         let index_bits = self.config.entries.trailing_zeros();
-        let shift = index_bits.saturating_sub(self.config.history_bits.max(1));
+        let shift = index_bits.saturating_sub(self.config.history_bits);
         let hashed = word ^ (word >> 13) ^ ((self.history as u64) << shift);
         (hashed as usize) & (self.config.entries - 1)
     }
@@ -423,6 +433,36 @@ mod tests {
             t.record_branch(true);
         }
         assert!(t.history < (1 << t.config().history_bits));
+    }
+
+    #[test]
+    fn zero_history_bits_disables_history_mixing() {
+        // Regression: `history_bits: 0` used to clamp to one live history
+        // bit (`.max(1)` in record_branch/index_of), so a "history-free"
+        // predictor still perturbed its index after a branch and violated
+        // the `history < 1 << history_bits` bound.
+        let cfg = TepConfig {
+            history_bits: 0,
+            ..TepConfig::paper_default()
+        };
+        let mut t = Tep::new(cfg);
+        let pcs: Vec<u64> = (0x1000..0x1100).step_by(4).collect();
+        let before: Vec<usize> = pcs.iter().map(|&pc| t.index_of(pc)).collect();
+        for i in 0..100 {
+            t.record_branch(i % 2 == 0);
+        }
+        assert!(
+            t.history < (1 << cfg.history_bits),
+            "history must stay bounded: {} >= 1",
+            t.history
+        );
+        let after: Vec<usize> = pcs.iter().map(|&pc| t.index_of(pc)).collect();
+        assert_eq!(before, after, "0 history bits: branches must not move indices");
+        // Trained entries stay findable across any branch pattern.
+        t.train_fault(0x2040, PipeStage::Execute);
+        t.record_branch(true);
+        t.record_branch(false);
+        assert!(t.predict(0x2040, true).faulty);
     }
 
     #[test]

@@ -58,5 +58,6 @@ pub mod stats;
 pub use config::{CoreConfig, LaneKind, RecoveryModel};
 pub use inflight::InFlightInst;
 pub use pipeline::{Pipeline, PipelineBuilder, ToleranceMode};
+pub use tv_audit::{AuditLevel, AuditReport};
 pub use policy::{mod64_age, AgeBasedSelect, IssueCandidate, SelectPolicy};
 pub use stats::SimStats;

@@ -141,6 +141,21 @@ impl Lsq {
     pub fn store_count(&self) -> usize {
         self.stores.len()
     }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Combined occupancy (loads + stores).
+    pub fn occupancy(&self) -> usize {
+        self.stores.len() + self.loads_in_flight
+    }
+
+    /// Store-queue sequence numbers, oldest first (auditor scan).
+    pub fn store_seqs(&self) -> Vec<u64> {
+        self.stores.iter().map(|e| e.seq).collect()
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use tv_audit::{AuditLevel, AuditReport, AuditSnapshot, Auditor};
 use tv_tep::{Tep, TepConfig};
 use tv_timing::{FaultCalibration, FaultModel, PipeStage, SensorModel, Voltage};
 use tv_workloads::{Benchmark, OpClass, Profile, TraceGenerator, TraceInst};
@@ -94,6 +95,8 @@ pub struct PipelineBuilder {
     sensor: Option<SensorModel>,
     fast_forward: u64,
     calibration: Option<FaultCalibration>,
+    audit_level: AuditLevel,
+    record_commits: bool,
 }
 
 impl PipelineBuilder {
@@ -151,6 +154,21 @@ impl PipelineBuilder {
     /// Table 1 rates).
     pub fn calibration(mut self, cal: FaultCalibration) -> Self {
         self.calibration = Some(cal);
+        self
+    }
+
+    /// Enables the cycle-level invariant auditor (default:
+    /// [`AuditLevel::Off`], which costs nothing per cycle).
+    pub fn audit(mut self, level: AuditLevel) -> Self {
+        self.audit_level = level;
+        self
+    }
+
+    /// Records the architectural commit stream — `(seq, pc, op)` per
+    /// committed instruction — for differential scheme comparison
+    /// (default: off).
+    pub fn record_commits(mut self, enable: bool) -> Self {
+        self.record_commits = enable;
         self
     }
 
@@ -233,6 +251,10 @@ impl PipelineBuilder {
             freeze_base: 0,
             search_base: 0,
             cache_base: Default::default(),
+            audit: self.audit_level.enabled().then(|| Auditor::new(self.audit_level)),
+            audit_admits: [0; 3],
+            audit_charges: Vec::new(),
+            commit_log: self.record_commits.then(Vec::new),
         }
     }
 }
@@ -288,6 +310,16 @@ pub struct Pipeline {
     freeze_base: u64,
     search_base: u64,
     cache_base: (crate::cache::CacheStats, crate::cache::CacheStats),
+    /// Invariant auditor, when enabled via the builder.
+    audit: Option<Auditor>,
+    /// Per-cycle stage admission counts [rename, dispatch, retire],
+    /// maintained only while auditing.
+    audit_admits: [u32; 3],
+    /// In-order stall charges this cycle — `(stage, seq, admits at the
+    /// charge)` — maintained only while auditing.
+    audit_charges: Vec<(PipeStage, u64, u32)>,
+    /// Architectural commit stream `(seq, pc, op)`, when recording.
+    commit_log: Option<Vec<(u64, u64, u8)>>,
 }
 
 impl Pipeline {
@@ -310,6 +342,8 @@ impl Pipeline {
             sensor: None,
             fast_forward: 0,
             calibration: None,
+            audit_level: AuditLevel::Off,
+            record_commits: false,
         }
     }
 
@@ -408,16 +442,20 @@ impl Pipeline {
     pub fn step(&mut self) {
         self.cycle += 1;
         let now = self.cycle;
+        if self.audit.is_some() {
+            self.audit_admits = [0; 3];
+            self.audit_charges.clear();
+        }
         self.process_events(now);
+        let mut global_stall = false;
         if self.pending_recovery_stalls > 0 {
             // Razor recovery bubbles: the pipeline recirculates while the
             // faulty stage is restored.
             self.pending_recovery_stalls -= 1;
             self.stats.recovery_stall_cycles += 1;
             self.apply_global_stall(now);
-            return;
-        }
-        if self.pending_ep_stalls > 0 {
+            global_stall = true;
+        } else if self.pending_ep_stalls > 0 {
             // Error Padding: one whole-pipeline stall per predicted fault.
             // Every latch recirculates, so everything still in flight —
             // pending completions, result broadcasts, lane releases,
@@ -426,14 +464,91 @@ impl Pipeline {
             self.pending_ep_stalls -= 1;
             self.stats.ep_stall_cycles += 1;
             self.apply_global_stall(now);
-            return;
+            global_stall = true;
+        } else {
+            self.retire(now);
+            self.issue(now);
+            self.dispatch(now);
+            self.rename_stage(now);
+            self.decode(now);
+            self.fetch(now);
         }
-        self.retire(now);
-        self.issue(now);
-        self.dispatch(now);
-        self.rename_stage(now);
-        self.decode(now);
-        self.fetch(now);
+        if self.audit.is_some() {
+            self.run_audit(now, global_stall);
+        }
+    }
+
+    /// Publishes this cycle's end-of-cycle snapshot to the auditor.
+    fn run_audit(&mut self, now: u64, global_stall: bool) {
+        let mut auditor = self.audit.take().expect("caller checked");
+        let snapshot = self.audit_snapshot(now, global_stall, auditor.level());
+        auditor.observe(snapshot);
+        self.audit = Some(auditor);
+    }
+
+    fn audit_snapshot(&self, now: u64, global_stall: bool, level: AuditLevel) -> AuditSnapshot {
+        let full = level == AuditLevel::Full;
+        AuditSnapshot {
+            cycle: now,
+            global_stall,
+            fetched: self.stats.fetched,
+            committed: self.stats.committed,
+            squashed: self.stats.squashed,
+            in_flight: self.slab.len() as u64,
+            next_commit_seq: self.next_commit_seq,
+            rob_head_seq: self.rob.head().map(|s| self.slab.get(s).seq()),
+            timestamp_counter: self.timestamp_counter,
+            rename_stall_until: self.rename_stall_until,
+            dispatch_stall_until: self.dispatch_stall_until,
+            retire_stall_until: self.retire_stall_until,
+            fetch_stall_until: self.fetch_stall_until,
+            rename_admits: self.audit_admits[0],
+            dispatch_admits: self.audit_admits[1],
+            retire_admits: self.audit_admits[2],
+            charges: self.audit_charges.clone(),
+            store_seqs: self.lsq.store_seqs(),
+            lsq_occupancy: self.lsq.occupancy(),
+            lsq_capacity: self.lsq.capacity(),
+            rob_seqs: if full {
+                self.rob.iter().map(|s| self.slab.get(s).seq()).collect()
+            } else {
+                Vec::new()
+            },
+            inflight_timestamps: if full {
+                self.rob.iter().map(|s| self.slab.get(s).timestamp).collect()
+            } else {
+                Vec::new()
+            },
+            phys_regs: if full { self.rename.audit_phys() } else { Vec::new() },
+            event_times: if full {
+                self.events
+                    .iter()
+                    .flat_map(|(&t, evs)| std::iter::repeat(t).take(evs.len()))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            queue_ready: if full {
+                self.fetch_q
+                    .iter()
+                    .chain(self.decode_q.iter())
+                    .chain(self.rename_q.iter())
+                    .map(|&(ready, _)| ready)
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// The auditor's report so far, when auditing is enabled.
+    pub fn audit_report(&self) -> Option<AuditReport> {
+        self.audit.as_ref().map(|a| a.report())
+    }
+
+    /// The recorded architectural commit stream, when enabled.
+    pub fn commit_log(&self) -> Option<&[(u64, u64, u8)]> {
+        self.commit_log.as_deref()
     }
 
     /// Slips every pending datapath timestamp by one cycle (the EP global
@@ -464,6 +579,17 @@ impl Pipeline {
         }
         if self.fetch_stall_until > now {
             self.fetch_stall_until += 1;
+        }
+        // The in-order stall deadlines recirculate too: a faulty stage's
+        // second cycle must not silently elapse inside a global stall.
+        for stall in [
+            &mut self.rename_stall_until,
+            &mut self.dispatch_stall_until,
+            &mut self.retire_stall_until,
+        ] {
+            if *stall > now {
+                *stall += 1;
+            }
         }
         let shifted: BTreeMap<u64, Vec<Event>> = std::mem::take(&mut self.events)
             .into_iter()
@@ -676,6 +802,18 @@ impl Pipeline {
             // clock cycles (paper §2.2).
             stall = true;
             self.stats.in_order_stalls += 1;
+            if self.audit.is_some() {
+                // Capture the stage's admission count at the instant the
+                // signal fires: older width-group members may already have
+                // passed, but nothing may follow.
+                let admits_now = match stage {
+                    PipeStage::Rename => self.audit_admits[0],
+                    PipeStage::Dispatch => self.audit_admits[1],
+                    _ => self.audit_admits[2],
+                };
+                let seq = self.slab.get(slot).seq();
+                self.audit_charges.push((stage, seq, admits_now));
+            }
             if actual == Some(stage) {
                 self.stats.record_fault(stage, true);
                 self.slab.get_mut(slot).actual_fault = None;
@@ -742,6 +880,12 @@ impl Pipeline {
             self.next_commit_seq += 1;
             self.stats.committed += 1;
             self.stats.activity.retires += 1;
+            if self.audit.is_some() {
+                self.audit_admits[2] += 1;
+            }
+            if let Some(log) = self.commit_log.as_mut() {
+                log.push((inst.seq(), inst.trace.pc, inst.trace.op as u8));
+            }
 
             match inst.trace.op {
                 OpClass::Store => {
@@ -999,21 +1143,30 @@ impl Pipeline {
             if ready > now || self.rob.free() == 0 || self.iq.free() == 0 {
                 break;
             }
-            if self.handle_in_order_stage(now, slot, PipeStage::Dispatch) {
-                self.dispatch_stall_until = now + 2;
-            }
             let op = self.slab.get(slot).trace.op;
             let seq = self.slab.get(slot).seq();
+            // Resource check before the fault is charged: a load/store
+            // that cannot allocate its LSQ entry stays in rename_q and
+            // must not consume its predicted fault (stall counted, TEP
+            // trained) in a cycle where it cannot dispatch.
+            if matches!(op, OpClass::Load | OpClass::Store) && self.lsq.free() == 0 {
+                break;
+            }
+            if self.handle_in_order_stage(now, slot, PipeStage::Dispatch) {
+                // The stall signal holds the whole stage: the faulty
+                // instruction takes its second cycle here, and neither it
+                // nor the rest of its width group may dispatch.
+                self.dispatch_stall_until = now + 2;
+                break;
+            }
             match op {
                 OpClass::Load => {
-                    if !self.lsq.alloc_load() {
-                        break;
-                    }
+                    let ok = self.lsq.alloc_load();
+                    debug_assert!(ok, "free checked above");
                 }
                 OpClass::Store => {
-                    if !self.lsq.alloc_store(seq) {
-                        break;
-                    }
+                    let ok = self.lsq.alloc_store(seq);
+                    debug_assert!(ok, "free checked above");
                 }
                 _ => {}
             }
@@ -1026,6 +1179,9 @@ impl Pipeline {
             self.rob.push(slot);
             self.iq.push(slot);
             self.stats.activity.dispatches += 1;
+            if self.audit.is_some() {
+                self.audit_admits[1] += 1;
+            }
         }
     }
 
@@ -1041,7 +1197,10 @@ impl Pipeline {
                 break;
             }
             if self.handle_in_order_stage(now, slot, PipeStage::Rename) {
+                // As in dispatch/retire: a stalled rename stage admits
+                // nothing this cycle or the next.
                 self.rename_stall_until = now + 2;
+                break;
             }
             // Source lookups first (read-before-write within the group is
             // handled by processing instructions in order).
@@ -1071,6 +1230,9 @@ impl Pipeline {
             inst.old_phys = old_phys;
             self.rename_q
                 .push_back((now + self.cfg.rename_latency, slot));
+            if self.audit.is_some() {
+                self.audit_admits[0] += 1;
+            }
         }
     }
 
@@ -1602,6 +1764,194 @@ mod tests {
         assert!(pipe.timestamp_counter < 64);
         for slot in pipe.iq.iter() {
             assert!(pipe.slab.get(slot).timestamp < 64);
+        }
+    }
+
+    /// Builds a bare in-flight instruction for direct stage micro-tests.
+    fn frontend_inst(seq: u64, op: OpClass, predicted: Option<PipeStage>) -> InFlightInst {
+        let mut inst = InFlightInst::new(TraceInst {
+            seq,
+            pc: 0x8000 + seq * 4,
+            op,
+            srcs: [None, None],
+            dst: None,
+            mem_addr: matches!(op, OpClass::Load | OpClass::Store).then_some(0x1_0000),
+            taken: None,
+            target: None,
+            operand_values: [0, 0],
+        });
+        inst.predicted_fault = predicted;
+        inst
+    }
+
+    fn vte_pipe() -> Pipeline {
+        Pipeline::builder(Benchmark::Gcc, 7)
+            .tolerance(ToleranceMode::ViolationAware)
+            .voltage(Voltage::high_fault())
+            .build()
+    }
+
+    #[test]
+    fn dispatch_stall_holds_faulty_inst_and_width_group() {
+        // §2.2 regression: a predicted-Dispatch-fault instruction takes two
+        // clock cycles in dispatch, admitting neither itself nor the rest
+        // of its width group until the stall signal clears; pre-fix the
+        // whole group dispatched in the charge cycle.
+        let now = 50;
+        let mut pipe = vte_pipe();
+        let faulty = pipe
+            .slab
+            .insert(frontend_inst(1, OpClass::IntAlu, Some(PipeStage::Dispatch)));
+        let twin = pipe.slab.insert(frontend_inst(2, OpClass::IntAlu, None));
+        pipe.rename_q.push_back((now, faulty));
+        pipe.rename_q.push_back((now, twin));
+
+        pipe.dispatch(now);
+        assert_eq!(pipe.stats.in_order_stalls, 1, "fault charged at the stall signal");
+        assert_eq!(pipe.rob.len(), 0, "nothing dispatches in the charge cycle");
+        assert_eq!(pipe.rename_q.len(), 2);
+        assert_eq!(pipe.dispatch_stall_until, now + 2);
+
+        pipe.dispatch(now + 1);
+        assert_eq!(pipe.rob.len(), 0, "the stage admits nothing in its second cycle");
+
+        pipe.dispatch(now + 2);
+        assert_eq!(pipe.rob.len(), 2, "both dispatch once the signal clears");
+        assert_eq!(pipe.stats.in_order_stalls, 1, "fault charged exactly once");
+    }
+
+    #[test]
+    fn rename_stall_holds_faulty_inst_and_width_group() {
+        let now = 50;
+        let mut pipe = vte_pipe();
+        let faulty = pipe
+            .slab
+            .insert(frontend_inst(1, OpClass::IntAlu, Some(PipeStage::Rename)));
+        let twin = pipe.slab.insert(frontend_inst(2, OpClass::IntAlu, None));
+        pipe.decode_q.push_back((now, faulty));
+        pipe.decode_q.push_back((now, twin));
+
+        pipe.rename_stage(now);
+        assert_eq!(pipe.stats.in_order_stalls, 1);
+        assert!(pipe.rename_q.is_empty(), "nothing renames in the charge cycle");
+        assert_eq!(pipe.rename_stall_until, now + 2);
+
+        pipe.rename_stage(now + 1);
+        assert!(pipe.rename_q.is_empty(), "second stall cycle admits nothing");
+
+        pipe.rename_stage(now + 2);
+        assert_eq!(pipe.rename_q.len(), 2, "both rename once the signal clears");
+        assert_eq!(pipe.stats.in_order_stalls, 1);
+    }
+
+    #[test]
+    fn global_stall_slips_pending_in_order_stall_deadlines() {
+        // An EP stall or recovery bubble recirculates every latch: an
+        // in-order stall deadline still pending must slip with the machine
+        // instead of silently expiring mid-stall (losing the faulty
+        // stage's second cycle). Already-expired deadlines stay put.
+        let now = 80;
+        let mut pipe = vte_pipe();
+        pipe.rename_stall_until = now;
+        pipe.dispatch_stall_until = now + 2;
+        pipe.retire_stall_until = now + 1;
+        pipe.apply_global_stall(now);
+        assert_eq!(pipe.rename_stall_until, now, "expired deadline unmoved");
+        assert_eq!(pipe.dispatch_stall_until, now + 3);
+        assert_eq!(pipe.retire_stall_until, now + 2);
+    }
+
+    #[test]
+    fn lsq_full_dispatch_does_not_consume_predicted_fault() {
+        // The LSQ availability check must come before the fault is charged:
+        // a load that cannot allocate its LSQ entry stays in rename_q with
+        // its predicted fault intact, and pays the two-cycle stall in the
+        // cycle it actually dispatches.
+        let now = 50;
+        let mut pipe = vte_pipe();
+        while pipe.lsq.free() > 0 {
+            assert!(pipe.lsq.alloc_load());
+        }
+        let load = pipe
+            .slab
+            .insert(frontend_inst(1, OpClass::Load, Some(PipeStage::Dispatch)));
+        pipe.rename_q.push_back((now, load));
+
+        pipe.dispatch(now);
+        assert_eq!(pipe.stats.in_order_stalls, 0, "no charge while the LSQ blocks dispatch");
+        assert!(!pipe.slab.get(load).in_order_charged);
+        assert_eq!(pipe.rename_q.len(), 1);
+
+        pipe.lsq.release_load();
+        pipe.dispatch(now + 1);
+        assert_eq!(pipe.stats.in_order_stalls, 1, "fault charged once dispatch is possible");
+        assert_eq!(pipe.dispatch_stall_until, now + 3);
+
+        pipe.dispatch(now + 3);
+        assert_eq!(pipe.rob.len(), 1, "load dispatches after its second cycle");
+    }
+
+    #[test]
+    fn auditor_reports_clean_runs_across_schemes() {
+        for mode in [
+            ToleranceMode::FaultFree,
+            ToleranceMode::Razor,
+            ToleranceMode::ErrorPadding,
+            ToleranceMode::ViolationAware,
+        ] {
+            let vdd = if mode == ToleranceMode::FaultFree {
+                Voltage::nominal()
+            } else {
+                Voltage::high_fault()
+            };
+            let mut pipe = Pipeline::builder(Benchmark::Astar, 7)
+                .tolerance(mode)
+                .voltage(vdd)
+                .audit(AuditLevel::Full)
+                .build();
+            pipe.warm_up(2_000); // auditing must survive the stats reset
+            pipe.run(8_000);
+            let report = pipe.audit_report().expect("auditing enabled");
+            assert!(report.cycles > 0 && report.checks > report.cycles);
+            assert!(
+                report.clean(),
+                "{mode:?}: {} violations, first: {:?}",
+                report.violations_total,
+                report.violations.first()
+            );
+        }
+    }
+
+    #[test]
+    fn audit_off_has_no_report_and_identical_results() {
+        let run = |level: AuditLevel| {
+            let mut b = Pipeline::builder(Benchmark::Gobmk, 5)
+                .tolerance(ToleranceMode::ViolationAware)
+                .voltage(Voltage::high_fault());
+            if level.enabled() {
+                b = b.audit(level);
+            }
+            let mut pipe = b.build();
+            let stats = pipe.run(10_000);
+            (stats, pipe.audit_report())
+        };
+        let (base, none) = run(AuditLevel::Off);
+        let (audited, report) = run(AuditLevel::Full);
+        assert!(none.is_none());
+        assert!(report.is_some());
+        assert_eq!(base, audited, "auditing must not perturb the simulation");
+    }
+
+    #[test]
+    fn commit_log_records_architectural_stream() {
+        let mut pipe = Pipeline::builder(Benchmark::Gcc, 3)
+            .record_commits(true)
+            .build();
+        pipe.run(500);
+        let log = pipe.commit_log().expect("recording enabled");
+        assert_eq!(log.len(), 500);
+        for (i, &(seq, _, _)) in log.iter().enumerate() {
+            assert_eq!(seq, i as u64, "commit stream is contiguous from 0");
         }
     }
 

@@ -31,6 +31,10 @@ pub struct RenameTable {
     /// wake one cycle late, while consumers dispatched after the broadcast
     /// read the settled ready bit and pay nothing (paper §3.3.1).
     delayed_broadcast: Vec<bool>,
+    /// Broadcast epoch per physical register, bumped on every allocation,
+    /// broadcast, rollback and free. Within one epoch a register's
+    /// readiness is monotone — the invariant the auditor checks.
+    epoch: Vec<u64>,
 }
 
 impl RenameTable {
@@ -50,6 +54,7 @@ impl RenameTable {
             free: (32..phys_regs as u16).collect(),
             ready_cycle: vec![0; phys_regs],
             delayed_broadcast: vec![false; phys_regs],
+            epoch: vec![0; phys_regs],
         }
     }
 
@@ -79,6 +84,7 @@ impl RenameTable {
         self.rat[reg.index() as usize] = new_phys;
         self.ready_cycle[new_phys as usize] = u64::MAX;
         self.delayed_broadcast[new_phys as usize] = false;
+        self.epoch[new_phys as usize] += 1;
         Some(Renamed { new_phys, old_phys })
     }
 
@@ -86,6 +92,7 @@ impl RenameTable {
     pub fn retire_free(&mut self, old_phys: u16) {
         if old_phys != 0 {
             self.free.push_back(old_phys);
+            self.epoch[old_phys as usize] += 1;
         }
     }
 
@@ -97,6 +104,7 @@ impl RenameTable {
         debug_assert_eq!(self.rat[reg.index() as usize], renamed.new_phys);
         self.rat[reg.index() as usize] = renamed.old_phys;
         self.free.push_front(renamed.new_phys);
+        self.epoch[renamed.new_phys as usize] += 1;
     }
 
     /// Marks `phys` ready at `cycle` (producer issued; broadcast timing).
@@ -106,6 +114,7 @@ impl RenameTable {
         if phys != 0 {
             self.ready_cycle[phys as usize] = cycle;
             self.delayed_broadcast[phys as usize] = delayed_broadcast;
+            self.epoch[phys as usize] += 1;
         }
     }
 
@@ -126,6 +135,16 @@ impl RenameTable {
             rc
         };
         effective <= cycle
+    }
+
+    /// Per-register `(broadcast_epoch, ready_cycle)` pairs for the
+    /// auditor's monotonicity check.
+    pub fn audit_phys(&self) -> Vec<(u64, u64)> {
+        self.epoch
+            .iter()
+            .zip(self.ready_cycle.iter())
+            .map(|(&e, &r)| (e, r))
+            .collect()
     }
 
     /// Pushes every still-pending readiness one cycle later (a whole-

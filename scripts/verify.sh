@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Full offline verification: build, test, and check the parallel engine's
-# determinism contract end-to-end by regenerating fig4 at several worker
-# counts and diffing the CSVs (they must be byte-identical).
+# Full offline verification: build, test, run the fast scheme-equivalence
+# differential audit (all tolerance modes must commit identical
+# architectural streams with zero invariant violations), and check the
+# parallel engine's determinism contract end-to-end by regenerating fig4
+# at several worker counts and diffing the CSVs (must be byte-identical).
 #
 # Usage: scripts/verify.sh [--skip-sweep]
-#   --skip-sweep   build + test only (the sweep re-simulates fig4 three
-#                  times at --quick length, ~1 min on one core)
+#   --skip-sweep   build + test + fast audit only (the sweep re-simulates
+#                  fig4 three times at --quick length, ~1 min on one core)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,6 +20,12 @@ cargo build --release --workspace --offline
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace --offline
+
+echo "==> fast scheme-equivalence differential audit (1 bench x 4 schemes x 2 seeds)"
+tmp_audit="$(mktemp -d)"
+cargo run --release -q -p tv-bench --bin audit_diff --offline -- \
+    --fast --out "$tmp_audit"
+rm -rf "$tmp_audit"
 
 if [[ "$SKIP_SWEEP" == 1 ]]; then
     echo "==> sweep skipped (--skip-sweep)"

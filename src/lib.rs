@@ -9,7 +9,7 @@
 //! and dependents are held back through delayed tag broadcast — instead of
 //! stalling the whole pipeline (Error Padding) or replaying (Razor).
 //!
-//! This facade crate re-exports the seven component crates:
+//! This facade crate re-exports the eight component crates:
 //!
 //! | crate | contents |
 //! |---|---|
@@ -17,8 +17,9 @@
 //! | [`netlist`] | gate-level components, logic simulation, φ/ψ commonality |
 //! | [`timing`] | process variation, voltage scaling, statistical STA, fault model |
 //! | [`tep`] | the Timing Error Predictor |
+//! | [`audit`] | cycle-level pipeline invariant auditing |
 //! | [`uarch`] | the 4-wide out-of-order pipeline simulator |
-//! | [`core`] | scheduling policies, schemes, the experiment driver |
+//! | [`core`] | scheduling policies, schemes, experiment + differential drivers |
 //! | [`energy`] | energy/ED accounting and the VTE hardware-cost analysis |
 //!
 //! # Quickstart
@@ -39,6 +40,7 @@
 //! assert!(eval.relative_perf_overhead(Scheme::Abs) < 1.0);
 //! ```
 
+pub use tv_audit as audit;
 pub use tv_core as core;
 pub use tv_energy as energy;
 pub use tv_netlist as netlist;
