@@ -1,0 +1,332 @@
+//! Simulator-throughput benchmark: simulated cycles per wall-clock second
+//! for every scheme, written as `BENCH_simspeed.json`.
+//!
+//! This is the sim-speed trajectory gate: the committed JSON at the repo
+//! root is the baseline, and `--check` re-measures the default sweep and
+//! fails when throughput regresses by more than the gate factor (25% by
+//! default, `SIMSPEED_GATE` overrides).
+//!
+//! ```text
+//! --commits N     measured commits per run            (default 500 000)
+//! --warmup N      warm-up commits per run             (default 50 000)
+//! --seed N        workload/die seed                   (default 42)
+//! --bench NAME    benchmark (default gcc)
+//! --reps N        repetitions per scheme, best kept   (default 3)
+//! --out FILE      output JSON                         (default BENCH_simspeed.json)
+//! --compare FILE  embed FILE's numbers as the baseline section
+//! --check FILE    gate mode: fail if slower than FILE by > the gate factor
+//! --quick         shorthand for --commits 40000 --warmup 10000 --reps 1
+//! ```
+//!
+//! Cycles/sec is measured per scheme on a warmed pipeline; the warm-up is
+//! excluded from the timed window. With the `stage-profile` feature the
+//! per-stage cycle-time counters are printed and embedded in the JSON.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tv_core::Scheme;
+use tv_timing::Voltage;
+use tv_workloads::Benchmark;
+
+struct Args {
+    commits: u64,
+    warmup: u64,
+    seed: u64,
+    bench: Benchmark,
+    reps: u32,
+    out: PathBuf,
+    compare: Option<PathBuf>,
+    check: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        commits: 500_000,
+        warmup: 50_000,
+        seed: 42,
+        bench: Benchmark::Gcc,
+        reps: 3,
+        out: PathBuf::from("BENCH_simspeed.json"),
+        compare: None,
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--commits" => parsed.commits = value("--commits").parse().expect("--commits: integer"),
+            "--warmup" => parsed.warmup = value("--warmup").parse().expect("--warmup: integer"),
+            "--seed" => parsed.seed = value("--seed").parse().expect("--seed: integer"),
+            "--reps" => parsed.reps = value("--reps").parse().expect("--reps: integer"),
+            "--bench" => {
+                let name = value("--bench");
+                parsed.bench = Benchmark::ALL
+                    .into_iter()
+                    .find(|b| b.name().eq_ignore_ascii_case(&name))
+                    .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+            }
+            "--out" => parsed.out = PathBuf::from(value("--out")),
+            "--compare" => parsed.compare = Some(PathBuf::from(value("--compare"))),
+            "--check" => parsed.check = Some(PathBuf::from(value("--check"))),
+            "--quick" => {
+                parsed.commits = 40_000;
+                parsed.warmup = 10_000;
+                parsed.reps = 1;
+            }
+            other => panic!(
+                "unknown argument {other}; supported: --commits --warmup --seed \
+                 --bench --reps --out --compare --check --quick"
+            ),
+        }
+    }
+    assert!(parsed.reps > 0, "--reps must be positive");
+    parsed
+}
+
+struct SchemeSpeed {
+    scheme: Scheme,
+    commits: u64,
+    cycles: u64,
+    wall_s: f64,
+    cycles_per_sec: f64,
+}
+
+/// One timed measurement: build, warm, run, clock only the measured window.
+fn measure(args: &Args, scheme: Scheme) -> SchemeSpeed {
+    let mut best: Option<SchemeSpeed> = None;
+    for _ in 0..args.reps {
+        let mut pipe = scheme
+            .pipeline_builder(args.bench, args.seed, Voltage::high_fault())
+            .build();
+        pipe.warm_up(args.warmup);
+        let t0 = Instant::now();
+        let stats = pipe.run(args.commits);
+        let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+        let sample = SchemeSpeed {
+            scheme,
+            commits: stats.committed,
+            cycles: stats.cycles,
+            wall_s,
+            cycles_per_sec: stats.cycles as f64 / wall_s,
+        };
+        if best
+            .as_ref()
+            .map_or(true, |b| sample.cycles_per_sec > b.cycles_per_sec)
+        {
+            best = Some(sample);
+        }
+    }
+    best.expect("reps > 0")
+}
+
+/// Minimal extractor for the JSON this binary writes: per-scheme
+/// `cycles_per_sec` from the top-level `schemes` array (stops at the
+/// `baseline` section so embedded baselines are not re-read).
+fn parse_speeds(text: &str) -> Vec<(String, f64)> {
+    let mut speeds = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("\"baseline\"") {
+            break;
+        }
+        let Some(name) = extract_str(line, "\"scheme\": \"") else {
+            continue;
+        };
+        if let Some(v) = extract_num(line, "\"cycles_per_sec\": ") {
+            speeds.push((name, v));
+        }
+    }
+    speeds
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "simspeed — {} schemes x {} commits (+{} warm-up), bench {}, seed {}, best of {}",
+        Scheme::ALL.len(),
+        args.commits,
+        args.warmup,
+        args.bench.name(),
+        args.seed,
+        args.reps,
+    );
+
+    let mut rows = Vec::new();
+    for scheme in Scheme::ALL {
+        let speed = measure(&args, scheme);
+        println!(
+            "  {:>9}: {:>7.0} kcycles/s ({} cycles in {:.3}s)",
+            scheme.name(),
+            speed.cycles_per_sec / 1e3,
+            speed.cycles,
+            speed.wall_s,
+        );
+        rows.push(speed);
+    }
+    let total_cycles: u64 = rows.iter().map(|r| r.cycles).sum();
+    let total_wall: f64 = rows.iter().map(|r| r.wall_s).sum();
+    let total_cps = total_cycles as f64 / total_wall.max(1e-9);
+    println!("  sweep: {:.0} kcycles/s overall", total_cps / 1e3);
+
+    // Gate mode: compare against a committed baseline, no file written.
+    if let Some(baseline_path) = &args.check {
+        let gate: f64 = std::env::var("SIMSPEED_GATE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.25);
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
+        let baseline = parse_speeds(&text);
+        assert!(!baseline.is_empty(), "no scheme speeds in baseline JSON");
+        let mut failed = false;
+        for (name, base_cps) in &baseline {
+            let Some(cur) = rows.iter().find(|r| r.scheme.name() == name) else {
+                continue;
+            };
+            let floor = base_cps * (1.0 - gate);
+            let verdict = if cur.cycles_per_sec < floor {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "  gate {:>9}: {:>7.0} kcycles/s vs baseline {:>7.0} (floor {:>7.0}) {}",
+                name,
+                cur.cycles_per_sec / 1e3,
+                base_cps / 1e3,
+                floor / 1e3,
+                verdict,
+            );
+        }
+        if failed {
+            eprintln!("simspeed gate FAILED: >{:.0}% below baseline", gate * 100.0);
+            std::process::exit(1);
+        }
+        println!("simspeed gate passed (within {:.0}% of baseline)", gate * 100.0);
+        return;
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"tv-simspeed-v1\",");
+    let _ = writeln!(json, "  \"bench\": \"{}\",", args.bench.name());
+    let _ = writeln!(json, "  \"commits\": {},", args.commits);
+    let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    json.push_str("  \"schemes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"scheme\": \"{}\", \"commits\": {}, \"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}}}{}",
+            r.scheme.name(),
+            r.commits,
+            r.cycles,
+            r.wall_s,
+            r.cycles_per_sec,
+            comma,
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = write!(
+        json,
+        "  \"total\": {{\"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}}}",
+        total_cycles, total_wall, total_cps,
+    );
+
+    if let Some(compare_path) = &args.compare {
+        let text = std::fs::read_to_string(compare_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", compare_path.display()));
+        let baseline = parse_speeds(&text);
+        assert!(!baseline.is_empty(), "no scheme speeds in comparison JSON");
+        json.push_str(",\n  \"baseline\": {\n");
+        let _ = writeln!(
+            json,
+            "    \"source\": \"{}\",",
+            compare_path.display()
+        );
+        json.push_str("    \"schemes\": [\n");
+        for (i, (name, cps)) in baseline.iter().enumerate() {
+            let speedup = rows
+                .iter()
+                .find(|r| r.scheme.name() == name)
+                .map(|r| r.cycles_per_sec / cps.max(1e-9))
+                .unwrap_or(0.0);
+            let comma = if i + 1 < baseline.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      {{\"scheme\": \"{name}\", \"cycles_per_sec\": {cps:.0}, \"speedup\": {speedup:.2}}}{comma}",
+            );
+            println!("  speedup {name:>9}: {speedup:.2}x");
+        }
+        json.push_str("    ],\n");
+        let base_total: f64 = baseline.iter().map(|(_, c)| c).sum();
+        // Baseline sweep throughput from per-scheme rates assuming the same
+        // per-scheme cycle counts as this run.
+        let base_wall: f64 = rows
+            .iter()
+            .map(|r| {
+                baseline
+                    .iter()
+                    .find(|(n, _)| n == r.scheme.name())
+                    .map(|(_, cps)| r.cycles as f64 / cps.max(1e-9))
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        let base_cps = if base_wall > 0.0 {
+            total_cycles as f64 / base_wall
+        } else {
+            base_total / baseline.len().max(1) as f64
+        };
+        let _ = writeln!(
+            json,
+            "    \"total_cycles_per_sec\": {:.0},\n    \"speedup\": {:.2}\n  }}",
+            base_cps,
+            total_cps / base_cps.max(1e-9),
+        );
+        println!("  sweep speedup: {:.2}x", total_cps / base_cps.max(1e-9));
+    }
+    json.push_str("\n}\n");
+
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&args.out, json).expect("write simspeed JSON");
+    println!("wrote {}", args.out.display());
+
+    let profile = tv_uarch::profile::snapshot();
+    if !profile.is_empty() {
+        println!("stage profile (cumulative across all runs):");
+        for s in &profile {
+            println!(
+                "  {:>10}: {:>9.3}s over {} calls",
+                s.name,
+                s.nanos as f64 / 1e9,
+                s.calls
+            );
+        }
+    }
+}

@@ -98,6 +98,15 @@ impl HarnessArgs {
     /// output directory (header written on first use) and prints the
     /// summary line.
     ///
+    /// When the `stage-profile` feature is compiled in, one extra row per
+    /// pipeline stage follows the summary row, reusing the same columns:
+    /// `figure` is `<figure>/stage:<name>`, `jobs` carries the number of
+    /// timed stage invocations (aggregated across all fleet workers),
+    /// both time columns carry the stage's total wall-clock seconds, and
+    /// `speedup` carries the mean nanoseconds per invocation. The counters
+    /// are reset afterwards so consecutive figures report disjoint
+    /// windows.
+    ///
     /// # Panics
     ///
     /// Panics on I/O errors.
@@ -124,6 +133,26 @@ impl HarnessArgs {
             stats.speedup()
         )
         .expect("write runner_timing.csv");
+        if tv_uarch::profile::enabled() {
+            for s in tv_uarch::profile::snapshot() {
+                if s.calls == 0 {
+                    continue;
+                }
+                let secs = s.nanos as f64 / 1e9;
+                writeln!(
+                    f,
+                    "{figure}/stage:{},{},{},{:.3},{:.3},{:.1}",
+                    s.name,
+                    s.calls,
+                    stats.workers,
+                    secs,
+                    secs,
+                    s.nanos as f64 / s.calls as f64,
+                )
+                .expect("write runner_timing.csv");
+            }
+            tv_uarch::profile::reset();
+        }
     }
 
     /// Ensures the output directory exists and returns the path of `name`

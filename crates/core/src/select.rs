@@ -35,7 +35,9 @@ impl SelectPolicy for FaultyFirstSelect {
     fn prioritize(&mut self, candidates: &mut [IssueCandidate]) {
         // The SLE sets the grant line for faulty instructions; ties (and
         // the no-faulty case) resolve by timestamp, "similar to ABS".
-        candidates.sort_by_key(|c| (!c.faulty, c.seq));
+        // Unstable: the key embeds the unique `seq`, so the order is total
+        // (input-permutation-invariant) and the sort never allocates.
+        candidates.sort_unstable_by_key(|c| (!c.faulty, c.seq));
     }
 }
 
@@ -60,8 +62,9 @@ impl SelectPolicy for CriticalityDrivenSelect {
         // "The CDS policy eagerly selects faulty instructions that are
         // expected to be critical. Again, similar to FFS, if no such
         // instructions (faulty and critical) exist, then it uses the
-        // timestamp."
-        candidates.sort_by_key(|c| (!(c.faulty && c.critical), c.seq));
+        // timestamp." Unstable for the same reason as FFS: unique `seq`
+        // makes the key a total order, and the sort is allocation-free.
+        candidates.sort_unstable_by_key(|c| (!(c.faulty && c.critical), c.seq));
     }
 }
 

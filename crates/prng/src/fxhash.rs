@@ -1,0 +1,124 @@
+//! Deterministic multiply-xor hashing for hot-path hash maps.
+//!
+//! `std::collections::HashMap`'s default SipHash-1-3 hasher costs tens of
+//! nanoseconds per lookup — measurable when the cycle simulator probes a
+//! map once or twice per simulated instruction (fault-model PC ranks,
+//! trace-generator memory cursors). This hasher is the Firefox `FxHash`
+//! construction: one wrapping multiply and a rotate per 8-byte word. It is
+//! not DoS-resistant, which is fine for simulator-internal keys, and it is
+//! fully deterministic — no per-process random state — so map *lookups*
+//! are reproducible everywhere. Iteration order still must not leak into
+//! results (that rule predates this hasher: the std default randomizes
+//! iteration per process).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by the deterministic [`FxHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Creates an empty [`FastHashMap`].
+pub fn fast_map<K, V>() -> FastHashMap<K, V> {
+    FastHashMap::default()
+}
+
+/// Creates a [`FastHashMap`] with room for `capacity` entries.
+pub fn fast_map_with_capacity<K, V>(capacity: usize) -> FastHashMap<K, V> {
+    FastHashMap::with_capacity_and_hasher(capacity, Default::default())
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word-at-a-time multiply-xor hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m = fast_map();
+        for i in 0..1_000u64 {
+            m.insert(i * 8 + 0x1000, i);
+        }
+        for i in 0..1_000u64 {
+            assert_eq!(m.get(&(i * 8 + 0x1000)), Some(&i));
+        }
+        assert_eq!(m.get(&7), None);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43), "distinct keys should (here) hash apart");
+    }
+
+    #[test]
+    fn byte_writes_match_padding_rules() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0, 0, 0, 0, 0]);
+        assert_eq!(a.finish(), b.finish(), "remainder is zero-padded");
+    }
+
+    #[test]
+    fn with_capacity_constructor() {
+        let mut m = fast_map_with_capacity::<u64, u64>(64);
+        assert!(m.capacity() >= 64);
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -24,9 +24,11 @@
 //! workspace root).
 
 mod chacha;
+mod fxhash;
 mod uniform;
 
 pub use chacha::ChaCha12Rng;
+pub use fxhash::{fast_map, fast_map_with_capacity, FastHashMap, FxHasher};
 pub use uniform::{SampleRange, SampleUniform};
 
 /// A source of random 32/64-bit words (mirror of `rand_core::RngCore`).

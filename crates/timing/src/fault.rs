@@ -25,7 +25,7 @@
 //! * the thermal/voltage sensor level modulates the effective critical
 //!   fraction, so marginal PCs fault only under hot/droopy conditions.
 
-use std::collections::HashMap;
+use tv_prng::{fast_map_with_capacity, FastHashMap};
 
 use crate::sensor::SensorModel;
 use crate::voltage::{Voltage, VDD_HIGH_FAULT, VDD_LOW_FAULT};
@@ -206,7 +206,7 @@ pub struct FaultModel {
     /// A PC is critical when its position is below the critical fraction,
     /// so the critical set's *dynamic* mass matches the target fault rate
     /// regardless of how skewed the PC frequencies are.
-    crit_rank: Option<HashMap<u64, f64>>,
+    crit_rank: Option<FastHashMap<u64, f64>>,
 }
 
 impl FaultModel {
@@ -278,7 +278,7 @@ impl FaultModel {
                 .expect("hashes are finite")
                 .then(a.0.cmp(&b.0))
         });
-        let mut rank = HashMap::with_capacity(pcs.len());
+        let mut rank = fast_map_with_capacity(pcs.len());
         let mut cum = 0u64;
         for (pc, w) in pcs {
             // Midpoint mass: a PC straddling the threshold is included
@@ -325,8 +325,22 @@ impl FaultModel {
     /// voltage and the sensor conditions at `seq` — i.e. whether the PC is
     /// *critical* (predictably faulty) right now.
     pub fn is_critical_pc(&self, pc: u64, seq: u64) -> bool {
+        // `level` is clamped to [-1, 1], so `scale` lives in [0.5, 1.5].
+        // FP multiplication is monotonic, which makes the band test below
+        // bit-equivalent to evaluating the sensor: a rank at or beyond
+        // `crit_frac * 1.5` can never be critical and one below
+        // `crit_frac * 0.5` always is. Only ranks inside the band pay for
+        // the sinusoid — with uniformly distributed ranks and a small
+        // `crit_frac`, that is a few percent of instructions.
+        let rank = self.pc_rank(pc);
+        if rank >= self.crit_frac * 1.5 {
+            return false;
+        }
+        if rank < self.crit_frac * 0.5 {
+            return true;
+        }
         let scale = 1.0 + 0.5 * self.sensor.level(seq);
-        self.pc_rank(pc) < self.crit_frac * scale
+        rank < self.crit_frac * scale
     }
 
     /// Fault verdict for the dynamic instance `(pc, seq)`.

@@ -83,6 +83,20 @@ impl SensorModel {
 
     /// Whether the TEP should arm predictions at this position.
     pub fn armed(&self, seq: u64) -> bool {
+        // Envelope tests, exact by monotonicity: `level` clamps the sum of
+        // a thermal term bounded by `±thermal_amplitude` and a droop term
+        // in `{0, droop_amplitude}`, and FP multiply/add/clamp are all
+        // monotone. When the whole envelope sits on one side of the
+        // threshold (the paper-default `-0.8` threshold against a `-0.3`
+        // swing, for instance), the per-instruction sinusoid is skipped.
+        let lo = (-self.thermal_amplitude).clamp(-1.0, 1.0);
+        if lo >= self.arming_threshold {
+            return true;
+        }
+        let hi = (self.thermal_amplitude + self.droop_amplitude).clamp(-1.0, 1.0);
+        if hi < self.arming_threshold {
+            return false;
+        }
         self.level(seq) >= self.arming_threshold
     }
 }

@@ -7,14 +7,24 @@
 //! contention.
 
 /// One set-associative cache level.
+///
+/// Tags live in a single flat array, `ways` consecutive slots per set in
+/// LRU order (front = MRU). Keeping each set contiguous and fixed-width
+/// makes an access one predictable cache-line touch instead of a pointer
+/// chase through per-set heap vectors; LRU maintenance is a short
+/// `rotate_right` over at most `ways` words.
 #[derive(Debug, Clone)]
 struct CacheLevel {
-    /// `sets[s]` holds up to `ways` line tags in LRU order (front = MRU).
-    sets: Vec<Vec<u64>>,
+    /// `sets * ways` tags; `u64::MAX` marks a never-filled way.
+    tags: Vec<u64>,
     ways: usize,
     set_shift: u32,
     set_mask: u64,
 }
+
+/// Sentinel for an invalid way. Real tags are shifted-down addresses and
+/// can never reach it.
+const INVALID: u64 = u64::MAX;
 
 impl CacheLevel {
     fn new(bytes: usize, ways: usize, line_bytes: usize) -> Self {
@@ -22,7 +32,7 @@ impl CacheLevel {
         let sets = lines / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         CacheLevel {
-            sets: vec![Vec::with_capacity(ways); sets],
+            tags: vec![INVALID; sets * ways],
             ways,
             set_shift: line_bytes.trailing_zeros(),
             set_mask: (sets - 1) as u64,
@@ -34,16 +44,18 @@ impl CacheLevel {
         let line = addr >> self.set_shift;
         let set = (line & self.set_mask) as usize;
         let tag = line >> self.set_mask.count_ones();
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&t| t == tag) {
-            let t = ways.remove(pos);
-            ways.insert(0, t);
+        let base = set * self.ways;
+        let window = &mut self.tags[base..base + self.ways];
+        if let Some(pos) = window.iter().position(|&t| t == tag) {
+            window[..=pos].rotate_right(1);
+            window[0] = tag;
             true
         } else {
-            if ways.len() == self.ways {
-                ways.pop();
-            }
-            ways.insert(0, tag);
+            // Shift everything down one way (the LRU falls off the end —
+            // or a trailing INVALID does, while the set is still filling)
+            // and install the new line as MRU.
+            window.rotate_right(1);
+            window[0] = tag;
             false
         }
     }

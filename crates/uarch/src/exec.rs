@@ -104,10 +104,10 @@ impl ExecUnits {
 
     /// Pushes every pending lane release one cycle later (whole-pipeline
     /// recirculation stall).
-    pub fn shift_pending_after(&mut self, now: u64) {
+    pub fn shift_pending_after(&mut self, now: u64, delta: u64) {
         for lane in &mut self.lanes {
             if lane.next_accept > now {
-                lane.next_accept += 1;
+                lane.next_accept += delta;
             }
         }
     }

@@ -36,6 +36,10 @@ pub struct InFlightInst {
     /// Whether an in-order stall signal has already been charged for this
     /// instruction (the stage stall applies exactly once).
     pub in_order_charged: bool,
+    /// Whether the instruction currently occupies a ROB entry (set at
+    /// dispatch; slab removal at retire/squash clears the whole record).
+    /// Lets event liveness checks avoid scanning the ROB.
+    pub in_rob: bool,
     /// Cycle the instruction was dispatched into the window.
     pub dispatch_cycle: u64,
     /// Cycle the instruction issued (None before issue).
@@ -61,6 +65,7 @@ impl InFlightInst {
             dst_phys: None,
             old_phys: None,
             in_order_charged: false,
+            in_rob: false,
             dispatch_cycle: 0,
             issue_cycle: None,
             complete_cycle: None,
@@ -141,6 +146,11 @@ impl Slab {
     /// Panics if the slot is vacant.
     pub fn get_mut(&mut self, slot: SlotId) -> &mut InFlightInst {
         self.items[slot].as_mut().expect("slot is occupied")
+    }
+
+    /// Whether `slot` currently holds a live instruction.
+    pub fn contains(&self, slot: SlotId) -> bool {
+        self.items.get(slot).map_or(false, Option::is_some)
     }
 
     /// Number of live instructions.

@@ -51,6 +51,7 @@ pub mod issue_queue;
 pub mod lsq;
 pub mod pipeline;
 pub mod policy;
+pub mod profile;
 pub mod rename;
 pub mod rob;
 pub mod stats;

@@ -22,7 +22,8 @@
 //!   read-port blocking, writeback-slot recirculation); and its result
 //!   broadcast is delayed so dependents are held back exactly one cycle.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use tv_audit::{AuditLevel, AuditReport, AuditSnapshot, Auditor};
 use tv_tep::{Tep, TepConfig};
@@ -37,6 +38,7 @@ use crate::inflight::{InFlightInst, Slab, SlotId};
 use crate::issue_queue::IssueQueue;
 use crate::lsq::Lsq;
 use crate::policy::{AgeBasedSelect, IssueCandidate, SelectPolicy};
+use crate::profile::{stage, timed_stage};
 use crate::rename::RenameTable;
 use crate::rob::Rob;
 use crate::stats::SimStats;
@@ -80,6 +82,36 @@ enum Event {
         seq: u64,
         stage: PipeStage,
     },
+}
+
+/// A scheduled [`Event`] in the pipeline's min-heap event queue. The
+/// monotonic `order` counter preserves scheduling order among events that
+/// fire in the same cycle (the order the old per-cycle `Vec` gave).
+#[derive(Debug, Clone, Copy)]
+struct ScheduledEvent {
+    time: u64,
+    order: u64,
+    event: Event,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.order == other.order
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.order).cmp(&(other.time, other.order))
+    }
 }
 
 /// Configures and builds a [`Pipeline`].
@@ -213,6 +245,7 @@ impl PipelineBuilder {
             .then(|| Tep::new(self.tep_config));
         let caches = CacheHierarchy::new(&self.cfg);
         let exec = ExecUnits::new(&self.cfg);
+        let iq_entries = self.cfg.iq_entries;
         Pipeline {
             rename: RenameTable::new(self.cfg.phys_regs),
             rob: Rob::new(self.cfg.rob_entries),
@@ -238,10 +271,12 @@ impl PipelineBuilder {
             fetch_blocked_on: None,
             pending_ep_stalls: 0,
             pending_recovery_stalls: 0,
+            stall_skip: 0,
             rename_stall_until: 0,
             dispatch_stall_until: 0,
             retire_stall_until: 0,
-            events: BTreeMap::new(),
+            events: BinaryHeap::with_capacity(64),
+            event_order: 0,
             next_commit_seq: self.fast_forward,
             timestamp_counter: 0,
             last_fetch_line: u64::MAX,
@@ -255,6 +290,13 @@ impl PipelineBuilder {
             audit_admits: [0; 3],
             audit_charges: Vec::new(),
             commit_log: self.record_commits.then(Vec::new),
+            cand_buf: Vec::with_capacity(iq_entries),
+            lane_blocked: Vec::new(),
+            sq_renamed: Vec::new(),
+            sq_decoded: Vec::new(),
+            sq_fetched: Vec::new(),
+            sq_rob: Vec::new(),
+            sq_ordered: Vec::new(),
         }
     }
 }
@@ -292,13 +334,18 @@ pub struct Pipeline {
     pending_ep_stalls: u64,
     /// Whole-pipeline recovery bubbles owed by in-situ replays.
     pending_recovery_stalls: u64,
+    /// Remaining interior cycles of a coalesced stall window whose
+    /// timestamp shift was already applied up front (audit-off fast path).
+    stall_skip: u64,
     /// TEP-driven stall signals for in-order stages (paper §2.2): the
     /// stage is held so a predicted-faulty instruction completes in two
     /// cycles while the other stages' inputs recirculate.
     rename_stall_until: u64,
     dispatch_stall_until: u64,
     retire_stall_until: u64,
-    events: BTreeMap<u64, Vec<Event>>,
+    events: BinaryHeap<Reverse<ScheduledEvent>>,
+    /// Monotonic tie-break for same-cycle events.
+    event_order: u64,
     next_commit_seq: u64,
     timestamp_counter: u8,
     last_fetch_line: u64,
@@ -320,6 +367,16 @@ pub struct Pipeline {
     audit_charges: Vec<(PipeStage, u64, u32)>,
     /// Architectural commit stream `(seq, pc, op)`, when recording.
     commit_log: Option<Vec<(u64, u64, u8)>>,
+    /// Scratch buffers reused across cycles so the steady-state hot path
+    /// allocates nothing: issue candidates, the per-lane select mask, and
+    /// the squash-path drain/rollback/reorder lists.
+    cand_buf: Vec<IssueCandidate>,
+    lane_blocked: Vec<bool>,
+    sq_renamed: Vec<SlotId>,
+    sq_decoded: Vec<SlotId>,
+    sq_fetched: Vec<SlotId>,
+    sq_rob: Vec<SlotId>,
+    sq_ordered: Vec<SlotId>,
 }
 
 impl Pipeline {
@@ -446,47 +503,83 @@ impl Pipeline {
             self.audit_admits = [0; 3];
             self.audit_charges.clear();
         }
-        self.process_events(now);
+        timed_stage!(stage::EVENTS, self.process_events(now));
         let mut global_stall = false;
-        if self.pending_recovery_stalls > 0 {
-            // Razor recovery bubbles: the pipeline recirculates while the
-            // faulty stage is restored.
-            self.pending_recovery_stalls -= 1;
-            self.stats.recovery_stall_cycles += 1;
-            self.apply_global_stall(now);
+        if self.stall_skip > 0 {
+            // Interior cycle of a coalesced stall window: the timestamp
+            // shift already happened up front, so only the per-cycle
+            // stall accounting remains. No event can fire here (the
+            // opening cycle's shift pushed them all past the window).
+            self.stall_skip -= 1;
+            if self.pending_recovery_stalls > 0 {
+                self.pending_recovery_stalls -= 1;
+                self.stats.recovery_stall_cycles += 1;
+            } else {
+                self.pending_ep_stalls -= 1;
+                self.stats.ep_stall_cycles += 1;
+            }
             global_stall = true;
-        } else if self.pending_ep_stalls > 0 {
-            // Error Padding: one whole-pipeline stall per predicted fault.
-            // Every latch recirculates, so everything still in flight —
-            // pending completions, result broadcasts, lane releases,
-            // front-end buffers and scheduled events — slips one cycle
-            // with the machine.
-            self.pending_ep_stalls -= 1;
-            self.stats.ep_stall_cycles += 1;
-            self.apply_global_stall(now);
+        } else if self.pending_recovery_stalls > 0 || self.pending_ep_stalls > 0 {
+            // Razor recovery bubbles / Error Padding: the pipeline
+            // recirculates — everything still in flight (pending
+            // completions, result broadcasts, lane releases, front-end
+            // buffers and scheduled events) slips with the machine.
+            //
+            // Nothing can shorten or extend the window from inside it
+            // (stages are idle and all events sit beyond it), so with the
+            // auditor off the whole window's shift is applied in one walk
+            // and the remaining cycles only keep the books. The auditor
+            // snapshots machine state every cycle, so audited runs keep
+            // the cycle-by-cycle shifts.
+            if self.pending_recovery_stalls > 0 {
+                self.pending_recovery_stalls -= 1;
+                self.stats.recovery_stall_cycles += 1;
+            } else {
+                self.pending_ep_stalls -= 1;
+                self.stats.ep_stall_cycles += 1;
+            }
+            let delta = if self.audit.is_none() {
+                self.stall_skip = self.pending_recovery_stalls + self.pending_ep_stalls;
+                1 + self.stall_skip
+            } else {
+                1
+            };
+            self.apply_global_stall(now, delta);
             global_stall = true;
         } else {
-            self.retire(now);
-            self.issue(now);
-            self.dispatch(now);
-            self.rename_stage(now);
-            self.decode(now);
-            self.fetch(now);
+            timed_stage!(stage::RETIRE, self.retire(now));
+            timed_stage!(stage::ISSUE, self.issue(now));
+            timed_stage!(stage::DISPATCH, self.dispatch(now));
+            timed_stage!(stage::RENAME, self.rename_stage(now));
+            timed_stage!(stage::DECODE, self.decode(now));
+            timed_stage!(stage::FETCH, self.fetch(now));
         }
         if self.audit.is_some() {
-            self.run_audit(now, global_stall);
+            timed_stage!(stage::AUDIT, self.run_audit(now, global_stall));
         }
     }
 
     /// Publishes this cycle's end-of-cycle snapshot to the auditor.
     fn run_audit(&mut self, now: u64, global_stall: bool) {
         let mut auditor = self.audit.take().expect("caller checked");
-        let snapshot = self.audit_snapshot(now, global_stall, auditor.level());
+        // Hand the cycle's stall charges over instead of cloning them; the
+        // buffer is cleared at the top of the next audited cycle anyway.
+        let charges = std::mem::take(&mut self.audit_charges);
+        let snapshot = self.audit_snapshot(now, global_stall, auditor.level(), charges);
         auditor.observe(snapshot);
         self.audit = Some(auditor);
     }
 
-    fn audit_snapshot(&self, now: u64, global_stall: bool, level: AuditLevel) -> AuditSnapshot {
+    /// Materializes the end-of-cycle snapshot. Only called while an
+    /// auditor is attached; the Full-only vectors stay empty at Basic so
+    /// the per-cycle cost tracks the audit level.
+    fn audit_snapshot(
+        &self,
+        now: u64,
+        global_stall: bool,
+        level: AuditLevel,
+        charges: Vec<(PipeStage, u64, u32)>,
+    ) -> AuditSnapshot {
         let full = level == AuditLevel::Full;
         AuditSnapshot {
             cycle: now,
@@ -505,7 +598,7 @@ impl Pipeline {
             rename_admits: self.audit_admits[0],
             dispatch_admits: self.audit_admits[1],
             retire_admits: self.audit_admits[2],
-            charges: self.audit_charges.clone(),
+            charges,
             store_seqs: self.lsq.store_seqs(),
             lsq_occupancy: self.lsq.occupancy(),
             lsq_capacity: self.lsq.capacity(),
@@ -521,10 +614,10 @@ impl Pipeline {
             },
             phys_regs: if full { self.rename.audit_phys() } else { Vec::new() },
             event_times: if full {
-                self.events
-                    .iter()
-                    .flat_map(|(&t, evs)| std::iter::repeat(t).take(evs.len()))
-                    .collect()
+                let mut times: Vec<u64> =
+                    self.events.iter().map(|Reverse(ev)| ev.time).collect();
+                times.sort_unstable();
+                times
             } else {
                 Vec::new()
             },
@@ -553,32 +646,40 @@ impl Pipeline {
 
     /// Slips every pending datapath timestamp by one cycle (the EP global
     /// stall: all pipeline latches recirculate for a cycle).
-    fn apply_global_stall(&mut self, now: u64) {
-        let slots: Vec<SlotId> = self.rob.iter().collect();
-        for slot in slots {
+    /// Slips every pending future timestamp `delta` cycles later.
+    ///
+    /// `delta == 1` is one recirculation stall cycle. Because each stall
+    /// cycle shifts exactly the timestamps still beyond the *original*
+    /// stall cycle `now` (a shifted timestamp stays beyond every later
+    /// cycle of the window), a run of `delta` back-to-back stall cycles
+    /// shifts the same set by `delta` — so the walk can be coalesced into
+    /// one pass when the window length is known up front.
+    fn apply_global_stall(&mut self, now: u64, delta: u64) {
+        for i in 0..self.rob.len() {
+            let slot = self.rob.get(i).expect("index in range");
             let inst = self.slab.get_mut(slot);
             if let Some(c) = inst.complete_cycle {
                 if c > now {
-                    inst.complete_cycle = Some(c + 1);
+                    inst.complete_cycle = Some(c + delta);
                 }
             }
             if let Some(w) = inst.wake_cycle {
                 if w > now {
-                    inst.wake_cycle = Some(w + 1);
+                    inst.wake_cycle = Some(w + delta);
                 }
             }
         }
-        self.rename.shift_pending_after(now);
-        self.exec.shift_pending_after(now);
+        self.rename.shift_pending_after(now, delta);
+        self.exec.shift_pending_after(now, delta);
         for q in [&mut self.fetch_q, &mut self.decode_q, &mut self.rename_q] {
             for (ready, _) in q.iter_mut() {
                 if *ready > now {
-                    *ready += 1;
+                    *ready += delta;
                 }
             }
         }
         if self.fetch_stall_until > now {
-            self.fetch_stall_until += 1;
+            self.fetch_stall_until += delta;
         }
         // The in-order stall deadlines recirculate too: a faulty stage's
         // second cycle must not silently elapse inside a global stall.
@@ -588,24 +689,44 @@ impl Pipeline {
             &mut self.retire_stall_until,
         ] {
             if *stall > now {
-                *stall += 1;
+                *stall += delta;
             }
         }
-        let shifted: BTreeMap<u64, Vec<Event>> = std::mem::take(&mut self.events)
-            .into_iter()
-            .map(|(t, evs)| (if t > now { t + 1 } else { t }, evs))
-            .collect();
-        self.events = shifted;
+        // Slip every still-pending event with the machine. All pending
+        // events are strictly in the future here (this cycle's fired at
+        // the top of `step`), and a uniform shift preserves heap order, so
+        // the heap's backing vector can be shifted in place.
+        let mut pending = std::mem::take(&mut self.events).into_vec();
+        for Reverse(ev) in &mut pending {
+            if ev.time > now {
+                ev.time += delta;
+            }
+        }
+        self.events = BinaryHeap::from(pending);
+        // Pending broadcast wakeups slip identically (the rename table's
+        // ready cycles just moved): re-arming happens lazily when each
+        // stale event pops, so nothing to do for the issue queue here.
     }
 
     // --- events ------------------------------------------------------------
 
+    fn schedule_event(&mut self, time: u64, event: Event) {
+        self.event_order += 1;
+        self.events.push(Reverse(ScheduledEvent {
+            time,
+            order: self.event_order,
+            event,
+        }));
+    }
+
     fn process_events(&mut self, now: u64) {
-        let Some(events) = self.events.remove(&now) else {
-            return;
-        };
-        for ev in events {
-            match ev {
+        while let Some(&Reverse(ev)) = self.events.peek() {
+            if ev.time > now {
+                break;
+            }
+            debug_assert_eq!(ev.time, now, "event missed its cycle");
+            self.events.pop();
+            match ev.event {
                 Event::Resolve { slot, seq } => self.on_branch_resolve(now, slot, seq),
                 Event::ReplayFault { slot, seq, stage } => {
                     self.on_replay_fault(now, slot, seq, stage)
@@ -616,7 +737,12 @@ impl Pipeline {
 
     fn slot_is_live(&self, slot: SlotId, seq: u64) -> bool {
         // A squash may have freed (and reused) the slot; verify identity.
-        self.rob.iter().any(|s| s == slot) && self.slab.get(slot).seq() == seq
+        // Events only target ROB-resident instructions, so a refetched
+        // same-seq instance still in the front end must not match.
+        self.slab.contains(slot) && {
+            let inst = self.slab.get(slot);
+            inst.in_rob && inst.seq() == seq
+        }
     }
 
     fn on_branch_resolve(&mut self, now: u64, slot: SlotId, seq: u64) {
@@ -658,7 +784,11 @@ impl Pipeline {
                     dst = inst.dst_phys.zip(wake);
                 }
                 if let Some((d, wake)) = dst {
+                    // The replay slips an already-armed (and possibly
+                    // already-fired) broadcast later: consumers that woke
+                    // on the original wake must be demoted back to waiting.
                     self.rename.set_ready_cycle(d, wake, false);
+                    self.iq.note_delay(&self.rename, d, wake, now);
                 }
                 self.pending_recovery_stalls += self.cfg.replay_latency;
             }
@@ -674,42 +804,46 @@ impl Pipeline {
     /// queues them for refetch; the instruction `seq_min` itself is
     /// refetched with its fault cleared (the replay succeeds).
     fn squash_from(&mut self, seq_min: u64) {
+        // Scratch buffers live on the Pipeline so repeated squashes do
+        // not allocate.
+        let mut renamed_squashed = std::mem::take(&mut self.sq_renamed);
+        let mut decoded_squashed = std::mem::take(&mut self.sq_decoded);
+        let mut fetched_squashed = std::mem::take(&mut self.sq_fetched);
+        let mut rob_squashed = std::mem::take(&mut self.sq_rob);
+        renamed_squashed.clear();
+        decoded_squashed.clear();
+        fetched_squashed.clear();
+        rob_squashed.clear();
+
         // 1. Front-end queues, youngest stage first. Only rename_q entries
         //    have rename state to roll back, and they are all younger than
         //    anything in the ROB, so rolling back in this order is
         //    youngest-first overall.
-        let mut rolled: Vec<SlotId> = Vec::new();
-
-        let drain_frontend = |q: &mut VecDeque<(u64, SlotId)>, slab: &Slab| {
-            let mut drained = Vec::new();
-            while let Some(&(_, slot)) = q.back() {
-                if slab.get(slot).seq() >= seq_min {
-                    drained.push(slot);
-                    q.pop_back();
-                } else {
-                    break;
+        let drain_frontend =
+            |q: &mut VecDeque<(u64, SlotId)>, slab: &Slab, out: &mut Vec<SlotId>| {
+                while let Some(&(_, slot)) = q.back() {
+                    if slab.get(slot).seq() >= seq_min {
+                        out.push(slot);
+                        q.pop_back();
+                    } else {
+                        break;
+                    }
                 }
-            }
-            drained
-        };
+            };
 
         // rename_q is youngest-first from the back.
-        let renamed_squashed = drain_frontend(&mut self.rename_q, &self.slab);
-        for &slot in &renamed_squashed {
-            rolled.push(slot);
-        }
-        let decoded_squashed = drain_frontend(&mut self.decode_q, &self.slab);
-        let fetched_squashed = drain_frontend(&mut self.fetch_q, &self.slab);
+        drain_frontend(&mut self.rename_q, &self.slab, &mut renamed_squashed);
+        drain_frontend(&mut self.decode_q, &self.slab, &mut decoded_squashed);
+        drain_frontend(&mut self.fetch_q, &self.slab, &mut fetched_squashed);
 
         // 2. ROB tail: youngest first.
         let slab_ref = &self.slab;
-        let rob_squashed = self
-            .rob
-            .drain_youngest_while(|slot| slab_ref.get(slot).seq() >= seq_min);
+        self.rob
+            .drain_youngest_while_into(|slot| slab_ref.get(slot).seq() >= seq_min, &mut rob_squashed);
 
         // Roll back rename state youngest-first: rename_q first (younger),
         // then ROB tail entries.
-        for &slot in rolled.iter().chain(rob_squashed.iter()) {
+        for &slot in renamed_squashed.iter().chain(rob_squashed.iter()) {
             let inst = self.slab.get(slot);
             if let (Some(dst), Some(new_phys), Some(old_phys)) =
                 (inst.trace.dst, inst.dst_phys, inst.old_phys)
@@ -751,10 +885,12 @@ impl Pipeline {
         //    ROB part (drained youngest-first → reverse), then frontend
         //    queues (renamed < decoded? No: rename_q holds OLDER
         //    instructions than decode_q, which is older than fetch_q).
-        let mut ordered: Vec<SlotId> = rob_squashed.into_iter().rev().collect();
-        ordered.extend(renamed_squashed.into_iter().rev());
-        ordered.extend(decoded_squashed.into_iter().rev());
-        ordered.extend(fetched_squashed.into_iter().rev());
+        let mut ordered = std::mem::take(&mut self.sq_ordered);
+        ordered.clear();
+        ordered.extend(rob_squashed.iter().rev());
+        ordered.extend(renamed_squashed.iter().rev());
+        ordered.extend(decoded_squashed.iter().rev());
+        ordered.extend(fetched_squashed.iter().rev());
 
         self.stats.squashed += ordered.len() as u64;
         // Anything still pending in the refetch queue (left over from an
@@ -777,6 +913,13 @@ impl Pipeline {
                 .all(|(a, b)| a.0.seq < b.0.seq),
             "refetch queue out of order"
         );
+
+        // Return the scratch buffers (keeping their capacity).
+        self.sq_renamed = renamed_squashed;
+        self.sq_decoded = decoded_squashed;
+        self.sq_fetched = fetched_squashed;
+        self.sq_rob = rob_squashed;
+        self.sq_ordered = ordered;
     }
 
     /// Handles a predicted or actual in-order-engine fault for the
@@ -939,48 +1082,49 @@ impl Pipeline {
     // --- issue (wakeup/select + downstream timing) ---------------------------
 
     fn issue(&mut self, now: u64) {
-        // Wakeup: gather operand-ready candidates.
-        let mut candidates: Vec<IssueCandidate> = Vec::new();
-        for slot in self.iq.iter() {
-            let inst = self.slab.get(slot);
-            let ready = inst
-                .src_phys
-                .iter()
-                .flatten()
-                .all(|&p| self.rename.is_ready(p, now, inst.dispatch_cycle));
-            if ready {
-                candidates.push(IssueCandidate {
-                    slot,
-                    seq: inst.seq(),
-                    timestamp: inst.timestamp,
-                    faulty: inst.treated_as_faulty(),
-                    critical: inst.predicted_critical,
-                    op: inst.trace.op,
-                });
-            }
-        }
+        // Wakeup: the issue queue's broadcast index hands back the
+        // operand-ready entries; only broadcast-matched entries and the
+        // believed-ready list are touched, never the whole queue.
+        let mut candidates = std::mem::take(&mut self.cand_buf);
+        candidates.clear();
+        timed_stage!(
+            stage::ISSUE_WAKE,
+            self.iq.collect_candidates(&self.rename, now, &mut candidates)
+        );
         if candidates.is_empty() {
+            self.cand_buf = candidates;
             return;
         }
+        #[cfg(debug_assertions)]
         let before: u64 = candidates.iter().map(|c| c.seq).sum();
-        self.policy.prioritize(&mut candidates);
-        let after: u64 = candidates.iter().map(|c| c.seq).sum();
-        debug_assert_eq!(before, after, "policy must permute, not alter");
+        timed_stage!(stage::ISSUE_SORT, self.policy.prioritize(&mut candidates));
+        #[cfg(debug_assertions)]
+        {
+            let after: u64 = candidates.iter().map(|c| c.seq).sum();
+            debug_assert_eq!(before, after, "policy must permute, not alter");
+        }
 
         // Select: greedy lane assignment in priority order.
-        let mut blocked = vec![false; self.exec.len()];
-        let mut issued = 0usize;
-        for cand in candidates {
-            if issued == self.cfg.width {
-                break;
+        timed_stage!(stage::ISSUE_SEL, {
+            let mut blocked = std::mem::take(&mut self.lane_blocked);
+            blocked.clear();
+            blocked.resize(self.exec.len(), false);
+            let mut issued = 0usize;
+            for i in 0..candidates.len() {
+                if issued == self.cfg.width {
+                    break;
+                }
+                let cand = candidates[i];
+                let Some(lane) = self.exec.find_lane(cand.op, now, &blocked) else {
+                    continue;
+                };
+                blocked[lane] = true;
+                issued += 1;
+                self.issue_one(now, cand.slot, lane);
             }
-            let Some(lane) = self.exec.find_lane(cand.op, now, &blocked) else {
-                continue;
-            };
-            blocked[lane] = true;
-            issued += 1;
-            self.issue_one(now, cand.slot, lane);
-        }
+            self.lane_blocked = blocked;
+        });
+        self.cand_buf = candidates;
     }
 
     fn issue_one(&mut self, now: u64, slot: SlotId, lane: usize) {
@@ -995,7 +1139,7 @@ impl Pipeline {
         };
         if self.criticality_threshold > 0 {
             if let Some(dst) = dst_phys.filter(|&d| d != 0) {
-                let dependents = self.iq.count_dependents(&self.slab, dst);
+                let dependents = self.iq.count_dependents(dst);
                 let critical = dependents >= self.criticality_threshold;
                 if let (Some(tep), Some(key)) = (self.tep.as_mut(), tep_key) {
                     tep.set_criticality_at(key, critical);
@@ -1072,10 +1216,7 @@ impl Pipeline {
                     _ => complete,
                 }
                 .min(complete);
-                self.events
-                    .entry(detect)
-                    .or_default()
-                    .push(Event::ReplayFault { slot, seq, stage });
+                self.schedule_event(detect, Event::ReplayFault { slot, seq, stage });
             }
         }
 
@@ -1095,10 +1236,7 @@ impl Pipeline {
 
         // Branch resolution event (to unblock fetch after mispredicts).
         if op.is_branch() && mispredicted {
-            self.events
-                .entry(complete)
-                .or_default()
-                .push(Event::Resolve { slot, seq });
+            self.schedule_event(complete, Event::Resolve { slot, seq });
         }
 
         // Result broadcast. For RegRead/Execute/Memory faults the result
@@ -1109,7 +1247,19 @@ impl Pipeline {
             let delayed_broadcast = self.mode == ToleranceMode::ViolationAware
                 && treated_faulty
                 && predicted_stage == Some(PipeStage::Issue);
+            // First issue of this tag, or a post-recovery re-issue? A
+            // fresh broadcast cannot un-ready anyone; a re-issue can have
+            // moved an already-consumed wakeup later and must demote.
+            let fresh = self.rename.ready_cycle(dst) == u64::MAX;
             self.rename.set_ready_cycle(dst, wake, delayed_broadcast);
+            // Arm the issue queue's wakeup event at the effective time
+            // waiting consumers see (one later for a held broadcast).
+            let at = wake + u64::from(delayed_broadcast);
+            if fresh {
+                self.iq.note_broadcast(dst, at);
+            } else {
+                self.iq.note_delay(&self.rename, dst, at, now);
+            }
             if dst != 0 {
                 self.stats.activity.broadcasts += 1;
             }
@@ -1176,8 +1326,9 @@ impl Pipeline {
             let inst = self.slab.get_mut(slot);
             inst.timestamp = ts;
             inst.dispatch_cycle = now;
+            inst.in_rob = true;
             self.rob.push(slot);
-            self.iq.push(slot);
+            self.iq.push(&self.rename, &self.slab, slot);
             self.stats.activity.dispatches += 1;
             if self.audit.is_some() {
                 self.audit_admits[1] += 1;
@@ -1667,7 +1818,7 @@ mod tests {
         inst.predicted_fault = Some(stage);
         inst.dispatch_cycle = now;
         let slot = pipe.slab.insert(inst);
-        pipe.iq.push(slot);
+        pipe.iq.push(&pipe.rename, &pipe.slab, slot);
         (pipe, slot, dst)
     }
 
@@ -1855,7 +2006,7 @@ mod tests {
         pipe.rename_stall_until = now;
         pipe.dispatch_stall_until = now + 2;
         pipe.retire_stall_until = now + 1;
-        pipe.apply_global_stall(now);
+        pipe.apply_global_stall(now, 1);
         assert_eq!(pipe.rename_stall_until, now, "expired deadline unmoved");
         assert_eq!(pipe.dispatch_stall_until, now + 3);
         assert_eq!(pipe.retire_stall_until, now + 2);

@@ -67,7 +67,11 @@ impl SelectPolicy for AgeBasedSelect {
     }
 
     fn prioritize(&mut self, candidates: &mut [IssueCandidate]) {
-        candidates.sort_by_key(|c| c.seq);
+        // Unstable sort: `seq` is unique, so the order is total and the
+        // result is a pure function of the candidate *set* — and the
+        // unstable sort never allocates, keeping the issue stage on the
+        // zero-allocation steady-state path.
+        candidates.sort_unstable_by_key(|c| c.seq);
     }
 }
 

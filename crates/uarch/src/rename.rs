@@ -128,13 +128,20 @@ impl RenameTable {
     /// delayed broadcast fired wakes one cycle late; one dispatched after
     /// the (settled) broadcast does not.
     pub fn is_ready(&self, phys: u16, cycle: u64, consumer_dispatch: u64) -> bool {
+        self.effective_ready_cycle(phys, consumer_dispatch) <= cycle
+    }
+
+    /// The cycle at which `phys` becomes visible to a consumer dispatched
+    /// at `consumer_dispatch` — the effective broadcast time that
+    /// [`is_ready`](RenameTable::is_ready) compares against
+    /// (`u64::MAX` while the producer has not issued).
+    pub fn effective_ready_cycle(&self, phys: u16, consumer_dispatch: u64) -> u64 {
         let rc = self.ready_cycle[phys as usize];
-        let effective = if self.delayed_broadcast[phys as usize] && consumer_dispatch < rc {
+        if self.delayed_broadcast[phys as usize] && consumer_dispatch < rc {
             rc.saturating_add(1)
         } else {
             rc
-        };
-        effective <= cycle
+        }
     }
 
     /// Per-register `(broadcast_epoch, ready_cycle)` pairs for the
@@ -147,13 +154,14 @@ impl RenameTable {
             .collect()
     }
 
-    /// Pushes every still-pending readiness one cycle later (a whole-
+    /// Pushes every still-pending readiness `delta` cycles later (a whole-
     /// pipeline recirculation stall: in-flight results slip with the
-    /// machine).
-    pub fn shift_pending_after(&mut self, now: u64) {
+    /// machine; a coalesced run of `delta` back-to-back stall cycles
+    /// shifts identically to `delta` single-cycle calls).
+    pub fn shift_pending_after(&mut self, now: u64, delta: u64) {
         for rc in &mut self.ready_cycle {
             if *rc > now && *rc != u64::MAX {
-                *rc += 1;
+                *rc += delta;
             }
         }
     }

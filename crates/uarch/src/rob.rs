@@ -66,19 +66,27 @@ impl Rob {
         self.entries.iter().copied()
     }
 
-    /// Removes and returns all entries from the tail while `pred` holds,
-    /// youngest first (squash path).
-    pub fn drain_youngest_while<F: Fn(SlotId) -> bool>(&mut self, pred: F) -> Vec<SlotId> {
-        let mut drained = Vec::new();
+    /// The entry at position `idx` (0 = oldest), if any.
+    pub fn get(&self, idx: usize) -> Option<SlotId> {
+        self.entries.get(idx).copied()
+    }
+
+    /// Removes all entries from the tail while `pred` holds, appending
+    /// them to `out` youngest first (squash path; the caller provides the
+    /// buffer so the hot path allocates nothing).
+    pub fn drain_youngest_while_into<F: Fn(SlotId) -> bool>(
+        &mut self,
+        pred: F,
+        out: &mut Vec<SlotId>,
+    ) {
         while let Some(&tail) = self.entries.back() {
             if pred(tail) {
-                drained.push(tail);
+                out.push(tail);
                 self.entries.pop_back();
             } else {
                 break;
             }
         }
-        drained
     }
 }
 
@@ -105,10 +113,14 @@ mod tests {
         for s in [1, 2, 3, 4, 5] {
             rob.push(s);
         }
-        let drained = rob.drain_youngest_while(|s| s >= 4);
+        let mut drained = Vec::new();
+        rob.drain_youngest_while_into(|s| s >= 4, &mut drained);
         assert_eq!(drained, vec![5, 4]);
         assert_eq!(rob.len(), 3);
         assert_eq!(rob.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(rob.get(0), Some(1));
+        assert_eq!(rob.get(2), Some(3));
+        assert_eq!(rob.get(3), None);
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! *identical* dynamic instruction stream — a prerequisite for the paper's
 //! overhead comparisons.
 
-use std::collections::HashMap;
-
-use tv_prng::{ChaCha12Rng, Rng, SeedableRng};
+use tv_prng::{ChaCha12Rng, FastHashMap, Rng, SeedableRng};
 
 use crate::inst::{OpClass, TraceInst};
 use crate::profile::{Benchmark, Profile};
@@ -45,10 +43,12 @@ pub struct TraceGenerator {
     /// Global dynamic sequence counter.
     seq: u64,
     /// Per-conditional-branch position within its repeating pattern,
-    /// keyed by block id.
-    pattern_pos: HashMap<usize, usize>,
-    /// Per-static-instruction memory cursors, keyed by PC.
-    cursors: HashMap<u64, MemCursor>,
+    /// indexed by block id (0 for never-visited branches — the same
+    /// starting position the old lazy map handed out).
+    pattern_pos: Vec<u32>,
+    /// Per-static-instruction memory cursors, keyed by PC (bit 63 tags
+    /// the cold-region cursor).
+    cursors: FastHashMap<u64, MemCursor>,
     /// Architectural register values (for operand-value streams).
     reg_values: [u64; 32],
     /// Dynamic basic-block execution counts since the last drain (SimPoint).
@@ -67,8 +67,8 @@ impl TraceGenerator {
             block: 0,
             slot: 0,
             seq: 0,
-            pattern_pos: HashMap::new(),
-            cursors: HashMap::new(),
+            pattern_pos: vec![0; num_blocks],
+            cursors: FastHashMap::default(),
             reg_values: [0; 32],
             block_counts: vec![0; num_blocks],
         }
@@ -107,7 +107,10 @@ impl TraceGenerator {
         let mut taken = None;
         let mut target = None;
         if is_last {
-            match block.terminator.clone() {
+            // Match the terminator by reference: `Cond::pattern` owns a
+            // Vec, so cloning it here would put an allocation on the
+            // per-instruction hot path.
+            match block.terminator {
                 Terminator::Fall { next } => {
                     self.block = next;
                     self.slot = 0;
@@ -122,13 +125,13 @@ impl TraceGenerator {
                     taken: t_blk,
                     fall,
                     bias,
-                    pattern,
+                    ref pattern,
                 } => {
-                    let is_taken = match &pattern {
+                    let is_taken = match pattern {
                         Some(pat) => {
-                            let pos = self.pattern_pos.entry(block_id).or_insert(0);
-                            let dir = pat[*pos % pat.len()];
-                            *pos = (*pos + 1) % pat.len();
+                            let pos = &mut self.pattern_pos[block_id];
+                            let dir = pat[*pos as usize % pat.len()];
+                            *pos = (*pos + 1) % pat.len() as u32;
                             dir
                         }
                         None => self.rng.gen_bool(bias),
@@ -390,5 +393,22 @@ mod tests {
         let v: Vec<_> = g.take(10).collect();
         assert_eq!(v.len(), 10);
         assert_eq!(v[9].seq, 9);
+    }
+}
+
+#[cfg(test)]
+mod speed_probe {
+    use super::*;
+
+    #[test]
+    #[ignore = "manual throughput probe"]
+    fn gen_speed() {
+        let mut g = TraceGenerator::for_benchmark(Benchmark::Gcc, 42);
+        let t = std::time::Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc ^= g.next_inst().pc;
+        }
+        eprintln!("1M insts in {:?} (acc {acc})", t.elapsed());
     }
 }

@@ -27,6 +27,13 @@ cargo run --release -q -p tv-bench --bin audit_diff --offline -- \
     --fast --out "$tmp_audit"
 rm -rf "$tmp_audit"
 
+echo "==> simulator-throughput gate (vs committed BENCH_simspeed.json)"
+# Wall-clock smoke gate: fail only on a gross regression (>25% below the
+# committed per-scheme baseline; SIMSPEED_GATE=0.4 loosens it on noisy
+# shared runners).
+cargo run --release -q -p tv-bench --bin simspeed --offline -- \
+    --reps 2 --check BENCH_simspeed.json
+
 if [[ "$SKIP_SWEEP" == 1 ]]; then
     echo "==> sweep skipped (--skip-sweep)"
     exit 0
