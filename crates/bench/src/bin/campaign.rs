@@ -1,0 +1,154 @@
+//! Adversarial fault-injection campaign with golden-model oracle verdicts.
+//!
+//! Sweeps randomized stress tuples (fault bursts, correlated multi-stage
+//! faults, sensor flapping, forced TEP false-positives/negatives) across
+//! every scheme plus the broken `NoTolerance` control, each cell running
+//! crash-isolated under the architectural oracle. Verdict rows land in
+//! `campaign.csv`; every finished cell is also journalled immediately to
+//! `campaign.journal`, so a killed campaign re-run with `--resume`
+//! produces a bit-identical CSV while only executing the missing cells.
+//!
+//! ```text
+//! campaign [--tuples N] [--seed N] [--commits N] [--warmup N]
+//!          [--watchdog N] [--no-control] [--smoke] [--resume]
+//!          [--out DIR] [--workers N]
+//! ```
+//!
+//! Exit status is non-zero when any real scheme fails its oracle check,
+//! any cell panics, or (with the control enabled) the oracle fails to
+//! catch the control corrupting state.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tv_core::{run_campaign, CampaignConfig, Fleet};
+
+struct Args {
+    config: CampaignConfig,
+    out: PathBuf,
+    workers: Option<usize>,
+    resume: bool,
+}
+
+fn parse_args() -> Args {
+    let mut config = CampaignConfig::full();
+    let mut out = PathBuf::from("bench_results");
+    let mut workers = None;
+    let mut resume = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--tuples" => config.tuples = value("--tuples").parse().expect("--tuples: integer"),
+            "--seed" => {
+                config.campaign_seed = value("--seed").parse().expect("--seed: integer")
+            }
+            "--commits" => {
+                config.commits = value("--commits").parse().expect("--commits: integer")
+            }
+            "--warmup" => config.warmup = value("--warmup").parse().expect("--warmup: integer"),
+            "--watchdog" => {
+                config.watchdog_cycles =
+                    value("--watchdog").parse().expect("--watchdog: integer")
+            }
+            "--no-control" => config.include_control = false,
+            "--smoke" => {
+                let keep_control = config.include_control;
+                config = CampaignConfig {
+                    include_control: keep_control,
+                    ..CampaignConfig::smoke()
+                };
+            }
+            "--resume" => resume = true,
+            "--out" => out = PathBuf::from(value("--out")),
+            "--workers" => {
+                workers = Some(value("--workers").parse().expect("--workers: integer"))
+            }
+            other => panic!(
+                "unknown argument {other}; supported: --tuples --seed --commits --warmup \
+                 --watchdog --no-control --smoke --resume --out --workers"
+            ),
+        }
+    }
+    Args {
+        config,
+        out,
+        workers,
+        resume,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cfg = &args.config;
+    let schemes = cfg.schemes();
+    println!(
+        "Fault-injection campaign — {} tuples x {} schemes ({} commits + {} warmup per cell, seed {})",
+        cfg.tuples,
+        schemes.len(),
+        cfg.commits,
+        cfg.warmup,
+        cfg.campaign_seed,
+    );
+
+    let fleet = match args.workers {
+        Some(n) => Fleet::new(n),
+        None => Fleet::auto(),
+    }
+    .with_progress(true);
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let journal = args.out.join("campaign.journal");
+    let csv = args.out.join("campaign.csv");
+
+    let report = match run_campaign(&fleet, cfg, &journal, args.resume) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    std::fs::write(&csv, report.csv()).expect("write campaign.csv");
+    println!("wrote {}", csv.display());
+
+    let (clean, corrupt, watchdog, panicked) = report.verdict_counts();
+    println!(
+        "verdicts: {clean} clean, {corrupt} corrupt, {watchdog} watchdog, {panicked} panic \
+         ({} reused from journal, {} executed)",
+        report.reused, report.executed,
+    );
+    println!("fleet: {}", report.fleet.summary());
+
+    let mut ok = true;
+    let failures = report.failures();
+    if !failures.is_empty() {
+        ok = false;
+        eprintln!("FAIL: {} real-scheme cells are not oracle-clean:", failures.len());
+        for row in failures.iter().take(10) {
+            eprintln!("  {row}");
+        }
+    }
+    if report.panicked > 0 {
+        ok = false;
+        eprintln!("FAIL: {} cells panicked", report.panicked);
+    }
+    if cfg.include_control {
+        let catches = report.control_catches();
+        if catches == 0 {
+            ok = false;
+            eprintln!("FAIL: the oracle caught the NoTolerance control on 0 tuples");
+        } else {
+            println!("oracle teeth: control caught corrupting state on {catches} tuples");
+        }
+    }
+    if ok {
+        println!("campaign PASS");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,762 @@
+//! Adversarial fault-injection campaigns with golden-model verdicts.
+//!
+//! A campaign sweeps randomized `(scenario, benchmark, voltage, seed)`
+//! tuples across every scheme with the architectural value plane and
+//! golden-model oracle enabled ([`PipelineBuilder::oracle`]), then renders
+//! one CSV verdict row per `(tuple, scheme)` cell. The stress scenarios
+//! ([`FaultScenario`]) deliberately push the fault injector and sensor
+//! model outside the paper's calibrated operating point — fault bursts,
+//! correlated multi-stage faults, sensor flapping, forced TEP
+//! false-positives and false-negatives — because that is where tolerance
+//! escapes hide.
+//!
+//! # Crash isolation and the resume journal
+//!
+//! Cells run on a crash-isolated fleet ([`Fleet::map_caught_observed`]):
+//! a panicking cell becomes a `panic` verdict row instead of killing the
+//! campaign. Every finished row is immediately appended to a journal file
+//! (`<out>.journal`) as one `key\tcsv-row` line, so a killed campaign
+//! loses at most the cells that were mid-flight. Re-running with resume
+//! enabled replays the journal — completed rows are reused **verbatim**
+//! and only the missing cells execute — which makes the final CSV
+//! bit-identical to an uninterrupted run by construction. The journal's
+//! first line fingerprints the campaign configuration; resuming against a
+//! journal written by a different configuration is refused. A torn final
+//! line (the kill landed mid-write) is detected and discarded: only
+//! newline-terminated lines with the full field count are trusted.
+//!
+//! [`PipelineBuilder::oracle`]: tv_uarch::PipelineBuilder::oracle
+
+use std::collections::HashMap;
+use std::fs;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+use tv_timing::{FaultCalibration, SensorModel, Voltage};
+use tv_uarch::{CoreConfig, OracleReport, SimStats};
+use tv_workloads::{Benchmark, Profile};
+
+use crate::fleet::{Fleet, FleetStats};
+use crate::schemes::Scheme;
+
+/// Number of comma-separated fields in one verdict row.
+const FIELDS: usize = 19;
+
+/// CSV header of a campaign verdict file.
+pub const HEADER: &str = "id,scenario,bench,vdd,scheme,seed,verdict,commits,cycles,\
+                          faults,predicted,unpredicted,untolerated,replays,false_positives,\
+                          oracle_checked,oracle_mismatches,regfile_mismatches,detail";
+
+/// A stress fault model for one campaign tuple.
+///
+/// Each scenario shapes the existing [`FaultCalibration`] and
+/// [`SensorModel`] knobs into an adversarial regime; none of them touch
+/// the simulated instruction stream, so every scheme still commits the
+/// identical work and the oracle's verdict is purely about value
+/// integrity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultScenario {
+    /// The paper's calibrated operating point (Table 1 rates, default
+    /// sensor) — the control scenario.
+    Paper,
+    /// Fault bursts: deep, frequent supply droops concentrate faults into
+    /// dense windows instead of spreading them thinly.
+    Burst,
+    /// Correlated multi-stage faults: a large share of violations strike
+    /// the in-order engines (fetch/decode/rename/retire), exercising the
+    /// stall-signal and in-place-replay paths alongside the OoO core.
+    MultiStage,
+    /// Sensor flapping: the favourability signal oscillates across the
+    /// arming threshold every few dozen instructions, so the TEP arms and
+    /// disarms pathologically often.
+    SensorFlap,
+    /// Forced TEP false-positives: faults avoid the common PCs the
+    /// predictor trains on, so its entries go stale and it pads cleanly
+    /// completing instructions.
+    FalsePositive,
+    /// Forced TEP false-negatives: a large unpredictable share steers
+    /// faults onto PCs the predictor has never flagged, maximizing the
+    /// unpredicted-replay path.
+    FalseNegative,
+}
+
+impl FaultScenario {
+    /// All scenarios, in the order the tuple generator indexes them.
+    pub const ALL: [FaultScenario; 6] = [
+        FaultScenario::Paper,
+        FaultScenario::Burst,
+        FaultScenario::MultiStage,
+        FaultScenario::SensorFlap,
+        FaultScenario::FalsePositive,
+        FaultScenario::FalseNegative,
+    ];
+
+    /// Stable lowercase name used in CSV rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultScenario::Paper => "paper",
+            FaultScenario::Burst => "burst",
+            FaultScenario::MultiStage => "multi_stage",
+            FaultScenario::SensorFlap => "sensor_flap",
+            FaultScenario::FalsePositive => "false_positive",
+            FaultScenario::FalseNegative => "false_negative",
+        }
+    }
+
+    /// The fault calibration this scenario applies to `profile`.
+    pub fn calibration(self, profile: &Profile) -> FaultCalibration {
+        let base = FaultCalibration::from_rates(profile.fault_rate_097, profile.fault_rate_104);
+        match self {
+            FaultScenario::Paper | FaultScenario::Burst | FaultScenario::SensorFlap => base,
+            FaultScenario::MultiStage => FaultCalibration {
+                in_order_share: 0.35,
+                ..base
+            },
+            FaultScenario::FalsePositive => FaultCalibration {
+                commonality: 0.45,
+                ..base
+            },
+            FaultScenario::FalseNegative => FaultCalibration {
+                unpredictable_share: 0.40,
+                ..base
+            },
+        }
+    }
+
+    /// The sensor model this scenario installs.
+    pub fn sensor(self, seed: u64) -> SensorModel {
+        match self {
+            FaultScenario::Paper | FaultScenario::MultiStage | FaultScenario::FalseNegative => {
+                SensorModel::paper_default(seed)
+            }
+            FaultScenario::Burst => SensorModel {
+                thermal_amplitude: 0.2,
+                thermal_period: 80_000,
+                droop_amplitude: 1.0,
+                droop_spacing: 8_000,
+                droop_len: 2_000,
+                arming_threshold: -0.8,
+                seed,
+            },
+            FaultScenario::SensorFlap => SensorModel {
+                thermal_amplitude: 1.0,
+                thermal_period: 64,
+                droop_amplitude: 0.0,
+                droop_spacing: u64::MAX,
+                droop_len: 0,
+                arming_threshold: 0.25,
+                seed,
+            },
+            // Stale-entry false positives want a *calm* environment: the
+            // predictor keeps arming while the shifted fault population
+            // leaves its trained PCs clean.
+            FaultScenario::FalsePositive => SensorModel::quiescent(),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One randomized campaign tuple; every scheme runs once per tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignTuple {
+    /// Tuple index within the campaign (stable across resumes).
+    pub id: u32,
+    /// The stress fault model.
+    pub scenario: FaultScenario,
+    /// Benchmark under test.
+    pub bench: Benchmark,
+    /// Faulty-environment supply voltage.
+    pub vdd: Voltage,
+    /// Workload/die seed for this tuple.
+    pub seed: u64,
+}
+
+/// Campaign-wide parameters; fingerprinted into the resume journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Number of randomized tuples.
+    pub tuples: usize,
+    /// Master seed the tuple sweep derives from.
+    pub campaign_seed: u64,
+    /// Measured commits per cell.
+    pub commits: u64,
+    /// Warm-up commits per cell (excluded from the measured stats).
+    pub warmup: u64,
+    /// Commit-watchdog threshold for every cell.
+    pub watchdog_cycles: u64,
+    /// Whether the broken [`Scheme::NoTolerance`] control rides along to
+    /// prove the oracle flags corruption.
+    pub include_control: bool,
+}
+
+impl CampaignConfig {
+    /// The acceptance-grade campaign: 64 tuples across all schemes.
+    pub fn full() -> Self {
+        CampaignConfig {
+            tuples: 64,
+            campaign_seed: 2013,
+            commits: 30_000,
+            warmup: 10_000,
+            watchdog_cycles: 500_000,
+            include_control: true,
+        }
+    }
+
+    /// A CI-sized smoke campaign (a few tuples, short cells).
+    pub fn smoke() -> Self {
+        CampaignConfig {
+            tuples: 6,
+            commits: 12_000,
+            warmup: 4_000,
+            ..Self::full()
+        }
+    }
+
+    /// The schemes every tuple runs, control last when enabled.
+    pub fn schemes(&self) -> Vec<Scheme> {
+        let mut schemes = Scheme::ALL.to_vec();
+        if self.include_control {
+            schemes.push(Scheme::NoTolerance);
+        }
+        schemes
+    }
+
+    /// The campaign's randomized tuple sweep — a pure function of the
+    /// configuration, so resumed runs regenerate the identical sweep.
+    pub fn generate_tuples(&self) -> Vec<CampaignTuple> {
+        (0..self.tuples)
+            .map(|i| {
+                let h = mix2(self.campaign_seed, 0x7475_706c_65 ^ i as u64);
+                CampaignTuple {
+                    id: i as u32,
+                    scenario: FaultScenario::ALL[(h % 6) as usize],
+                    bench: Benchmark::ALL[((h >> 3) % 12) as usize],
+                    vdd: if (h >> 8) & 1 == 0 {
+                        Voltage::high_fault()
+                    } else {
+                        Voltage::low_fault()
+                    },
+                    seed: mix2(h, 0x5eed),
+                }
+            })
+            .collect()
+    }
+
+    /// The journal's configuration fingerprint line.
+    pub fn meta_line(&self) -> String {
+        format!(
+            "# tv-campaign v1 seed={} tuples={} commits={} warmup={} watchdog={} control={}",
+            self.campaign_seed,
+            self.tuples,
+            self.commits,
+            self.warmup,
+            self.watchdog_cycles,
+            u8::from(self.include_control),
+        )
+    }
+}
+
+/// splitmix64-style mixer, matching the hashing idiom used throughout.
+fn mix2(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The identity prefix of one cell's CSV row (`id,...,seed`).
+fn cell_prefix(tuple: &CampaignTuple, scheme: Scheme) -> String {
+    format!(
+        "{},{},{},{:.3},{},{}",
+        tuple.id,
+        tuple.scenario,
+        tuple.bench.name(),
+        tuple.vdd.volts(),
+        scheme.name(),
+        tuple.seed,
+    )
+}
+
+/// The journal key of one cell.
+fn cell_key(tuple: &CampaignTuple, scheme: Scheme) -> String {
+    format!("{}/{}", tuple.id, scheme.name())
+}
+
+/// Human-readable fleet label carrying the full tuple identity — this is
+/// what a [`JobPanic`](crate::fleet::JobPanic) reports.
+fn cell_label(tuple: &CampaignTuple, scheme: Scheme) -> String {
+    format!(
+        "#{} {} {}/{}@{:.3}V seed={}",
+        tuple.id,
+        tuple.scenario,
+        tuple.bench.name(),
+        scheme.name(),
+        tuple.vdd.volts(),
+        tuple.seed,
+    )
+}
+
+/// Strips characters that would break the one-row-per-line CSV shape.
+fn sanitize(detail: &str) -> String {
+    let d: String = detail
+        .chars()
+        .map(|c| match c {
+            ',' => ';',
+            '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect();
+    if d.is_empty() {
+        "-".to_string()
+    } else {
+        d
+    }
+}
+
+/// Renders one verdict row.
+fn render_row(
+    prefix: &str,
+    verdict: &str,
+    cycles: u64,
+    stats: &SimStats,
+    report: Option<&OracleReport>,
+    detail: &str,
+) -> String {
+    let (checked, values, regs) = report.map_or((0, 0, 0), |r| {
+        (r.checked, r.value_mismatches, r.regfile_mismatches)
+    });
+    format!(
+        "{prefix},{verdict},{},{cycles},{},{},{},{},{},{},{checked},{values},{regs},{}",
+        stats.committed,
+        stats.faults_total(),
+        stats.faults_predicted,
+        stats.faults_unpredicted,
+        stats.untolerated_faults,
+        stats.replays,
+        stats.false_positives,
+        sanitize(detail),
+    )
+}
+
+/// The row recorded when a cell panicked instead of returning.
+fn panic_row(prefix: &str, payload: &str) -> String {
+    render_row(
+        prefix,
+        "panic",
+        0,
+        &SimStats::default(),
+        None,
+        payload,
+    )
+}
+
+/// Runs one `(tuple, scheme)` cell to a verdict row.
+///
+/// The cell builds a fresh pipeline (scheme-configured, scenario-shaped
+/// fault model and sensor, oracle enabled), warms it, measures
+/// `config.commits` committed instructions under the commit watchdog, and
+/// grades the outcome: `clean` (oracle-verified state), `corrupt` (the
+/// oracle flagged value or register-file mismatches) or `watchdog` (the
+/// machine wedged; the detail field carries the structured dump).
+pub fn run_cell(tuple: &CampaignTuple, scheme: Scheme, config: &CampaignConfig) -> String {
+    let prefix = cell_prefix(tuple, scheme);
+    let core = CoreConfig {
+        watchdog_cycles: config.watchdog_cycles,
+        ..CoreConfig::core1()
+    };
+    let profile = tuple.bench.profile();
+    let mut pipe = scheme
+        .pipeline_builder(tuple.bench, tuple.seed, tuple.vdd)
+        .calibration(tuple.scenario.calibration(&profile))
+        .sensor(tuple.scenario.sensor(tuple.seed))
+        .config(core)
+        .oracle(true)
+        .build();
+    if config.warmup > 0 {
+        match pipe.try_run(config.warmup) {
+            Ok(_) => pipe.reset_stats(),
+            Err(e) => {
+                let report = pipe.oracle_report();
+                return render_row(
+                    &prefix,
+                    "watchdog",
+                    e.cycle,
+                    pipe.stats(),
+                    report.as_ref(),
+                    &e.to_string(),
+                );
+            }
+        }
+    }
+    match pipe.try_run(config.commits) {
+        Ok(stats) => {
+            let report = pipe.oracle_report().expect("oracle enabled");
+            let (verdict, detail) = if report.clean() {
+                ("clean", String::new())
+            } else {
+                ("corrupt", report.summary())
+            };
+            render_row(&prefix, verdict, stats.cycles, &stats, Some(&report), &detail)
+        }
+        Err(e) => {
+            let report = pipe.oracle_report();
+            render_row(
+                &prefix,
+                "watchdog",
+                e.cycle,
+                pipe.stats(),
+                report.as_ref(),
+                &e.to_string(),
+            )
+        }
+    }
+}
+
+/// Outcome of one campaign run: verdict rows in cell order plus resume
+/// and crash accounting.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// One verdict row per `(tuple, scheme)` cell, tuple-major.
+    pub rows: Vec<String>,
+    /// Rows reused verbatim from the resume journal.
+    pub reused: usize,
+    /// Cells executed in this run.
+    pub executed: usize,
+    /// Executed cells that panicked (recorded as `panic` rows).
+    pub panicked: usize,
+    /// Fleet timing counters for the executed cells.
+    pub fleet: FleetStats,
+}
+
+/// The verdict field of a row.
+fn row_field(row: &str, idx: usize) -> &str {
+    row.split(',').nth(idx).unwrap_or("")
+}
+
+impl CampaignReport {
+    /// The full CSV document (header plus rows, trailing newline).
+    pub fn csv(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 96 + HEADER.len() + 1);
+        out.push_str(HEADER);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Rows of *real* schemes (control excluded) whose verdict is not
+    /// `clean` — the campaign's failure set, empty on a passing run.
+    pub fn failures(&self) -> Vec<&String> {
+        self.rows
+            .iter()
+            .filter(|r| row_field(r, 4) != Scheme::NoTolerance.name() && row_field(r, 6) != "clean")
+            .collect()
+    }
+
+    /// Control cells the oracle caught corrupting state. A passing
+    /// campaign with the control enabled needs at least one — otherwise
+    /// the oracle has no teeth.
+    pub fn control_catches(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| {
+                row_field(r, 4) == Scheme::NoTolerance.name() && row_field(r, 6) == "corrupt"
+            })
+            .count()
+    }
+
+    /// `(clean, corrupt, watchdog, panic)` verdict counts over all rows.
+    pub fn verdict_counts(&self) -> (usize, usize, usize, usize) {
+        let count = |v: &str| self.rows.iter().filter(|r| row_field(r, 6) == v).count();
+        (
+            count("clean"),
+            count("corrupt"),
+            count("watchdog"),
+            count("panic"),
+        )
+    }
+}
+
+/// Parses a journal body into completed `key -> row` entries.
+///
+/// Returns an error when the journal's fingerprint line does not match
+/// `meta` (the journal belongs to a different campaign configuration).
+/// Torn trailing data — a final line without its newline, or a line whose
+/// row is missing fields — is discarded, not trusted.
+fn parse_journal(text: &str, meta: &str) -> Result<HashMap<String, String>, String> {
+    if text.is_empty() {
+        return Ok(HashMap::new());
+    }
+    // Only newline-terminated lines are complete; a SIGKILL mid-append
+    // leaves at most one torn tail, which we drop here.
+    let complete = &text[..text.rfind('\n').map_or(0, |i| i + 1)];
+    let mut lines = complete.lines();
+    match lines.next() {
+        None => return Ok(HashMap::new()),
+        Some(first) if first == meta => {}
+        Some(first) => {
+            return Err(format!(
+                "journal belongs to a different campaign: found \"{first}\", expected \"{meta}\""
+            ))
+        }
+    }
+    let mut completed = HashMap::new();
+    for line in lines {
+        let Some((key, row)) = line.split_once('\t') else {
+            continue;
+        };
+        if row.split(',').count() != FIELDS {
+            continue;
+        }
+        completed.insert(key.to_string(), row.to_string());
+    }
+    Ok(completed)
+}
+
+/// Runs (or resumes) a fault-injection campaign.
+///
+/// Every `(tuple, scheme)` cell executes crash-isolated on `fleet`; each
+/// finished row is appended to `journal` immediately, so a killed process
+/// loses only in-flight cells. With `resume` set, rows already in the
+/// journal are reused verbatim and only missing cells run — the returned
+/// rows are bit-identical to an uninterrupted campaign.
+///
+/// # Errors
+///
+/// Returns an error when the journal cannot be read or written, or when
+/// resuming against a journal written by a different configuration.
+pub fn run_campaign(
+    fleet: &Fleet,
+    config: &CampaignConfig,
+    journal: &Path,
+    resume: bool,
+) -> Result<CampaignReport, String> {
+    let meta = config.meta_line();
+    let tuples = config.generate_tuples();
+    let schemes = config.schemes();
+    let cells: Vec<(CampaignTuple, Scheme)> = tuples
+        .iter()
+        .flat_map(|t| schemes.iter().map(move |&s| (*t, s)))
+        .collect();
+    let keys: Vec<String> = cells.iter().map(|(t, s)| cell_key(t, *s)).collect();
+
+    let mut torn_tail = false;
+    let completed = if resume && journal.exists() {
+        let text = fs::read_to_string(journal)
+            .map_err(|e| format!("cannot read journal {}: {e}", journal.display()))?;
+        torn_tail = !text.is_empty() && !text.ends_with('\n');
+        parse_journal(&text, &meta)?
+    } else {
+        HashMap::new()
+    };
+    if completed.is_empty() {
+        // Fresh (or effectively empty) journal: start it with the
+        // configuration fingerprint.
+        fs::write(journal, format!("{meta}\n"))
+            .map_err(|e| format!("cannot start journal {}: {e}", journal.display()))?;
+        torn_tail = false;
+    }
+
+    let pending_idx: Vec<usize> = (0..cells.len())
+        .filter(|&i| !completed.contains_key(&keys[i]))
+        .collect();
+    let pending: Vec<(CampaignTuple, Scheme)> =
+        pending_idx.iter().map(|&i| cells[i]).collect();
+    let labels: Vec<String> = pending.iter().map(|(t, s)| cell_label(t, *s)).collect();
+    let pending_keys: Vec<String> = pending_idx.iter().map(|&i| keys[i].clone()).collect();
+    let prefixes: Vec<String> = pending.iter().map(|(t, s)| cell_prefix(t, *s)).collect();
+
+    let mut file = OpenOptions::new()
+        .append(true)
+        .open(journal)
+        .map_err(|e| format!("cannot append to journal {}: {e}", journal.display()))?;
+    if torn_tail {
+        // Terminate the kill's torn half-line so appended rows start on a
+        // fresh line; the orphaned fragment stays behind and is discarded
+        // by the field-count check on any later resume.
+        file.write_all(b"\n")
+            .map_err(|e| format!("cannot repair journal {}: {e}", journal.display()))?;
+    }
+    let file = Mutex::new(file);
+
+    let run = fleet.map_caught_observed(
+        pending,
+        labels,
+        |(tuple, scheme)| run_cell(tuple, *scheme, config),
+        |i, result| {
+            let row = match result {
+                Ok(row) => row.clone(),
+                Err(p) => panic_row(&prefixes[i], &p.payload),
+            };
+            // One write_all per line: a kill can tear at most the last
+            // line, which parse_journal discards on resume.
+            let line = format!("{}\t{row}\n", pending_keys[i]);
+            let mut f = file.lock().expect("journal lock");
+            f.write_all(line.as_bytes()).expect("journal append");
+        },
+    );
+
+    let panicked = run.results.iter().filter(|r| r.is_err()).count();
+    let executed = run.results.len();
+    let mut fresh: HashMap<&str, String> = HashMap::with_capacity(executed);
+    for (i, result) in run.results.into_iter().enumerate() {
+        let row = match result {
+            Ok(row) => row,
+            Err(p) => panic_row(&prefixes[i], &p.payload),
+        };
+        fresh.insert(pending_keys[i].as_str(), row);
+    }
+    let rows = keys
+        .iter()
+        .map(|key| {
+            completed
+                .get(key)
+                .cloned()
+                .or_else(|| fresh.remove(key.as_str()))
+                .expect("every cell produced a row")
+        })
+        .collect();
+
+    Ok(CampaignReport {
+        rows,
+        reused: cells.len() - executed,
+        executed,
+        panicked,
+        fleet: run.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> CampaignConfig {
+        CampaignConfig {
+            tuples: 3,
+            commits: 4_000,
+            warmup: 2_000,
+            ..CampaignConfig::full()
+        }
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tv-campaign-{}-{tag}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir.join("campaign.journal")
+    }
+
+    #[test]
+    fn tuple_sweep_is_deterministic_and_diverse() {
+        let cfg = CampaignConfig::full();
+        let a = cfg.generate_tuples();
+        let b = cfg.generate_tuples();
+        assert_eq!(a, b, "the sweep is a pure function of the config");
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().enumerate().all(|(i, t)| t.id == i as u32));
+        let scenarios: std::collections::HashSet<_> =
+            a.iter().map(|t| t.scenario).collect();
+        let benches: std::collections::HashSet<_> = a.iter().map(|t| t.bench).collect();
+        assert!(scenarios.len() >= 5, "64 tuples must cover the scenarios");
+        assert!(benches.len() >= 8, "64 tuples must cover the benchmarks");
+        let seeds: std::collections::HashSet<_> = a.iter().map(|t| t.seed).collect();
+        assert_eq!(seeds.len(), a.len(), "per-tuple seeds must be distinct");
+    }
+
+    #[test]
+    fn smoke_campaign_is_clean_and_control_is_caught() {
+        let cfg = tiny_config();
+        let journal = temp_journal("smoke");
+        let report =
+            run_campaign(&Fleet::new(2), &cfg, &journal, false).expect("campaign runs");
+        assert_eq!(report.rows.len(), cfg.tuples * 7, "6 schemes + control");
+        assert_eq!(report.executed, report.rows.len());
+        assert_eq!(report.reused, 0);
+        assert_eq!(report.panicked, 0);
+        for row in &report.rows {
+            assert_eq!(row.split(',').count(), FIELDS, "malformed row: {row}");
+        }
+        assert!(
+            report.failures().is_empty(),
+            "real schemes must be oracle-clean: {:?}",
+            report.failures()
+        );
+        assert!(
+            report.control_catches() > 0,
+            "the oracle must catch the NoTolerance control"
+        );
+        let (clean, corrupt, watchdog, panicked) = report.verdict_counts();
+        assert_eq!(clean + corrupt, report.rows.len());
+        assert_eq!(watchdog + panicked, 0);
+        fs::remove_dir_all(journal.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn resume_is_bit_identical_and_tolerates_torn_tail() {
+        let cfg = tiny_config();
+        let fleet = Fleet::new(2);
+
+        // Uninterrupted reference run.
+        let full_journal = temp_journal("resume-full");
+        let reference =
+            run_campaign(&fleet, &cfg, &full_journal, false).expect("reference run");
+
+        // Simulate a SIGKILL: keep the meta line and the first five
+        // completed rows, then a torn half-row with no newline.
+        let text = fs::read_to_string(&full_journal).expect("journal exists");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 7, "need enough rows to truncate");
+        let torn_journal = temp_journal("resume-torn");
+        let mut torn = lines[..6].join("\n");
+        torn.push('\n');
+        torn.push_str(&lines[6][..lines[6].len() / 2]);
+        fs::write(&torn_journal, &torn).expect("write torn journal");
+
+        let resumed =
+            run_campaign(&fleet, &cfg, &torn_journal, true).expect("resume runs");
+        assert_eq!(resumed.reused, 5, "five journal rows survive the kill");
+        assert_eq!(resumed.executed, reference.rows.len() - 5);
+        assert_eq!(
+            resumed.rows, reference.rows,
+            "resumed output must be bit-identical"
+        );
+        assert_eq!(resumed.csv(), reference.csv());
+
+        fs::remove_dir_all(full_journal.parent().unwrap()).ok();
+        fs::remove_dir_all(torn_journal.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn resume_refuses_foreign_journal() {
+        let cfg = tiny_config();
+        let journal = temp_journal("foreign");
+        let other = CampaignConfig {
+            campaign_seed: 999,
+            ..cfg
+        };
+        fs::write(&journal, format!("{}\n", other.meta_line())).expect("seed journal");
+        let err = run_campaign(&Fleet::new(1), &cfg, &journal, true)
+            .expect_err("mismatched fingerprint must be refused");
+        assert!(err.contains("different campaign"), "{err}");
+        fs::remove_dir_all(journal.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn panic_rows_keep_the_csv_shape() {
+        let row = panic_row("1,burst,gcc,0.970,CDS,77", "index out of bounds, len 4");
+        assert_eq!(row.split(',').count(), FIELDS);
+        assert!(row.contains(",panic,"));
+        assert!(row.ends_with("index out of bounds; len 4"));
+    }
+}

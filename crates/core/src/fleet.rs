@@ -24,6 +24,7 @@
 //! pull jobs off a shared atomic cursor (work stealing by competition),
 //! so long jobs do not convoy short ones.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -80,6 +81,41 @@ impl Job {
     pub fn run(&self) -> SchemeResult {
         Experiment::new(self.bench, self.vdd, self.config).run_scheme(self.scheme)
     }
+}
+
+/// A job that panicked instead of returning a result.
+///
+/// Crash-isolated runs ([`Fleet::map_caught`], [`Fleet::run_jobs_caught`])
+/// catch the unwind on the worker thread and surface it as this structured
+/// failure row — carrying the submission index, the job's identity label
+/// and the panic payload — instead of tearing down the whole fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Submission index of the job that panicked.
+    pub index: usize,
+    /// The job's identity label (for [`run_jobs_caught`](Fleet::run_jobs_caught)
+    /// this is `bench/scheme@vdd seed=N`).
+    pub label: String,
+    /// The panic payload, if it was a string (the overwhelmingly common
+    /// case); `"opaque panic payload"` otherwise.
+    pub payload: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} ({}) panicked: {}", self.index, self.label, self.payload)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
 }
 
 /// Wall-clock timing of one completed job.
@@ -210,11 +246,92 @@ impl Fleet {
         self.execute(items, labels, f)
     }
 
+    /// Like [`run_jobs`](Fleet::run_jobs), but crash-isolated: a job that
+    /// panics produces an `Err(`[`JobPanic`]`)` row carrying the panic
+    /// payload and the full tuple identity (benchmark, scheme, voltage,
+    /// seed) instead of aborting the whole run.
+    pub fn run_jobs_caught(&self, jobs: Vec<Job>) -> FleetRun<Result<SchemeResult, JobPanic>> {
+        let labels: Vec<String> = jobs
+            .iter()
+            .map(|j| format!("{} seed={}", j.label(), j.seed()))
+            .collect();
+        self.map_caught(jobs, labels, |job| job.run())
+    }
+
+    /// Crash-isolated [`map`](Fleet::map): each application of `f` runs
+    /// under [`catch_unwind`], so one panicking item yields an
+    /// `Err(`[`JobPanic`]`)` in its slot while every other item still
+    /// completes. `labels` must have one identity string per item.
+    pub fn map_caught<T, R, F>(
+        &self,
+        items: Vec<T>,
+        labels: Vec<String>,
+        f: F,
+    ) -> FleetRun<Result<R, JobPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_caught_observed(items, labels, f, |_, _| {})
+    }
+
+    /// [`map_caught`](Fleet::map_caught) with a completion observer:
+    /// `observe(index, result)` runs on the worker thread immediately
+    /// after each item finishes (in completion order, not submission
+    /// order). This is the checkpoint hook — a resumable harness flushes
+    /// each finished row to its journal here, so a `SIGKILL` loses at most
+    /// the rows still in flight.
+    pub fn map_caught_observed<T, R, F, O>(
+        &self,
+        items: Vec<T>,
+        labels: Vec<String>,
+        f: F,
+        observe: O,
+    ) -> FleetRun<Result<R, JobPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        O: Fn(usize, &Result<R, JobPanic>) + Sync,
+    {
+        assert_eq!(items.len(), labels.len(), "one label per item");
+        let idents = labels.clone();
+        self.execute_indexed(
+            items,
+            labels,
+            |i, item| {
+                catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| JobPanic {
+                    index: i,
+                    label: idents[i].clone(),
+                    payload: panic_message(p.as_ref()),
+                })
+            },
+            observe,
+        )
+    }
+
     fn execute<T, R, F>(&self, items: Vec<T>, labels: Vec<String>, f: F) -> FleetRun<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
+    {
+        self.execute_indexed(items, labels, |_, item| f(item), |_, _| {})
+    }
+
+    fn execute_indexed<T, R, F, O>(
+        &self,
+        items: Vec<T>,
+        labels: Vec<String>,
+        f: F,
+        observe: O,
+    ) -> FleetRun<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        O: Fn(usize, &R) + Sync,
     {
         let total = items.len();
         let workers = self.workers.min(total.max(1));
@@ -234,6 +351,7 @@ impl Fleet {
                 let items = &items;
                 let labels = &labels;
                 let f = &f;
+                let observe = &observe;
                 let progress = self.progress;
                 scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -241,8 +359,9 @@ impl Fleet {
                         break;
                     }
                     let t0 = Instant::now();
-                    let result = f(&items[i]);
+                    let result = f(i, &items[i]);
                     let wall = t0.elapsed();
+                    observe(i, &result);
                     *slots[i].lock().expect("result slot poisoned") =
                         Some((result, wall, worker));
                     if progress {
@@ -371,6 +490,64 @@ mod tests {
         assert!(auto_workers(Some("0")) >= 1);
         assert!(auto_workers(Some("nope")) >= 1);
         assert!(auto_workers(None) >= 1);
+    }
+
+    #[test]
+    fn caught_panic_becomes_failure_row_not_abort() {
+        let items: Vec<u64> = (0..8).collect();
+        let labels: Vec<String> = items.iter().map(|i| format!("item-{i}")).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let run = Fleet::new(3).map_caught(items, labels, |&i| {
+            if i == 3 {
+                panic!("injected failure on item {i}");
+            }
+            i * 2
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(run.results.len(), 8);
+        for (i, r) in run.results.iter().enumerate() {
+            if i == 3 {
+                let p = r.as_ref().expect_err("item 3 panicked");
+                assert_eq!(p.index, 3);
+                assert_eq!(p.label, "item-3");
+                assert!(p.payload.contains("injected failure on item 3"), "{p}");
+            } else {
+                assert_eq!(*r.as_ref().expect("others complete"), i as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_completion_exactly_once() {
+        let seen = Mutex::new(Vec::new());
+        let items: Vec<u64> = (0..32).collect();
+        let labels = vec![String::new(); 32];
+        let run = Fleet::new(4).map_caught_observed(
+            items,
+            labels,
+            |&i| i + 1,
+            |index, result: &Result<u64, JobPanic>| {
+                seen.lock()
+                    .unwrap()
+                    .push((index, *result.as_ref().expect("no panics here")));
+            },
+        );
+        assert_eq!(run.results.len(), 32);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let expect: Vec<(usize, u64)> = (0..32).map(|i| (i as usize, i + 1)).collect();
+        assert_eq!(seen, expect, "one observation per item, values intact");
+    }
+
+    #[test]
+    fn panic_message_handles_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("formatted"));
+        assert_eq!(panic_message(owned.as_ref()), "formatted");
+        let odd: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(odd.as_ref()), "opaque panic payload");
     }
 
     #[test]

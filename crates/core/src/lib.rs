@@ -20,6 +20,11 @@
 //!   `(benchmark, voltage, scheme, config)` jobs across scoped worker
 //!   threads with bit-identical results regardless of worker count
 //!   (deterministic per-job seeding, submission-order results);
+//! * [`campaign`] — adversarial fault-injection campaigns: randomized
+//!   stress tuples (fault bursts, correlated multi-stage faults, sensor
+//!   flapping, forced predictor false-positives/negatives) run under the
+//!   golden-model oracle on a crash-isolated fleet, with a per-row resume
+//!   journal that makes interrupted campaigns bit-identical on resume;
 //! * [`report`] — result aggregation (per-benchmark rows, averages) shared
 //!   by the benchmark harnesses;
 //! * [`diff`] — the scheme-equivalence differential harness: every scheme
@@ -40,6 +45,7 @@
 //! assert!(rel >= 0.0);
 //! ```
 
+pub mod campaign;
 pub mod diff;
 pub mod experiment;
 pub mod fleet;
@@ -47,9 +53,10 @@ pub mod report;
 pub mod schemes;
 pub mod select;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CampaignTuple, FaultScenario};
 pub use diff::{run_differential, DiffConfig, DiffReport, DiffRun, DiffTuple};
 pub use experiment::{run_evaluations, Evaluation, Experiment, RunConfig, SchemeResult};
-pub use fleet::{Fleet, FleetRun, FleetStats, Job, JobTiming};
+pub use fleet::{Fleet, FleetRun, FleetStats, Job, JobPanic, JobTiming};
 pub use report::{average_row, FigureRow, Table1Row};
 pub use schemes::Scheme;
 pub use select::{CriticalityDrivenSelect, FaultyFirstSelect};

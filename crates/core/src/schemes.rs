@@ -8,9 +8,16 @@
 //! | Abs | violation-aware scheduling | ABS | TEP |
 //! | Ffs | violation-aware scheduling | FFS | TEP |
 //! | Cds | violation-aware scheduling | CDS (CT = 8) | TEP |
+//! | NoTolerance | *none — control* | ABS | – |
 //!
 //! Per §4.2, "for both fault-free execution and Error Padding scheme, we
 //! use the age based instruction selection policy".
+//!
+//! [`Scheme::NoTolerance`] is not one of the paper's schemes and never
+//! appears in [`Scheme::ALL`]: it is the deliberately broken control the
+//! fault-injection campaigns use to prove the golden-model oracle has
+//! teeth — faults are injected but nothing corrects them, so the oracle
+//! must flag corrupted commits.
 
 use tv_timing::Voltage;
 use tv_uarch::{AgeBasedSelect, Pipeline, PipelineBuilder, SelectPolicy, ToleranceMode};
@@ -33,6 +40,11 @@ pub enum Scheme {
     Ffs,
     /// Violation-aware scheduling with criticality-driven selection.
     Cds,
+    /// Deliberately broken control: faults are injected but never
+    /// tolerated, so committed state corrupts. Used by the fault-injection
+    /// campaigns to prove the golden-model oracle detects corruption; not
+    /// part of [`Scheme::ALL`].
+    NoTolerance,
 }
 
 impl Scheme {
@@ -58,6 +70,7 @@ impl Scheme {
             Scheme::Abs => "ABS",
             Scheme::Ffs => "FFS",
             Scheme::Cds => "CDS",
+            Scheme::NoTolerance => "NoTolerance",
         }
     }
 
@@ -68,6 +81,7 @@ impl Scheme {
             Scheme::Razor => ToleranceMode::Razor,
             Scheme::ErrorPadding => ToleranceMode::ErrorPadding,
             Scheme::Abs | Scheme::Ffs | Scheme::Cds => ToleranceMode::ViolationAware,
+            Scheme::NoTolerance => ToleranceMode::NoTolerance,
         }
     }
 
@@ -127,6 +141,15 @@ mod tests {
     #[test]
     fn scheme_metadata() {
         assert_eq!(Scheme::ALL.len(), 6);
+        assert!(
+            !Scheme::ALL.contains(&Scheme::NoTolerance),
+            "the broken control must never enter the paper's scheme set"
+        );
+        assert_eq!(
+            Scheme::NoTolerance.tolerance_mode(),
+            ToleranceMode::NoTolerance
+        );
+        assert!(!Scheme::NoTolerance.is_proposed());
         assert_eq!(Scheme::PROPOSED.len(), 3);
         assert!(Scheme::Abs.is_proposed());
         assert!(!Scheme::ErrorPadding.is_proposed());

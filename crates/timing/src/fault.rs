@@ -400,6 +400,26 @@ impl FaultModel {
             }
         }
     }
+
+    /// Corruption mask for an *untolerated* violation on the dynamic
+    /// instance `(pc, seq)`.
+    ///
+    /// A violation that slips past every tolerance mechanism latches a
+    /// metastable result; the value plane XORs this mask into the victim's
+    /// committed value. The mask is a pure function of `(die seed, pc,
+    /// seq)` — campaigns replay bit-identically — and is never zero, so an
+    /// untolerated fault always leaves a mark the golden-model oracle can
+    /// see.
+    pub fn corruption_mask(&self, pc: u64, seq: u64) -> u64 {
+        let mut x = self.seed
+            ^ pc.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ seq.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+            ^ 7u64.wrapping_mul(0x1656_67b1_9e37_79f9);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x.max(1)
+    }
 }
 
 /// Uniform hash of `(seed, a, b, salt)` into `[0, 1)`.
@@ -594,5 +614,25 @@ mod tests {
     #[should_panic(expected = "must not lower the fault rate")]
     fn inverted_rates_panic() {
         let _ = FaultCalibration::from_rates(1.0, 2.0);
+    }
+
+    #[test]
+    fn corruption_mask_is_deterministic_and_nonzero() {
+        let a = FaultModel::new(astar_cal(), Voltage::high_fault(), 42);
+        let b = FaultModel::new(astar_cal(), Voltage::low_fault(), 42);
+        let c = FaultModel::new(astar_cal(), Voltage::high_fault(), 43);
+        for i in 0..10_000u64 {
+            let pc = 0x1000 + 4 * (i % 257);
+            let m = a.corruption_mask(pc, i);
+            assert_ne!(m, 0, "mask must always flip at least one bit");
+            // voltage does not enter the mask; the die seed does
+            assert_eq!(m, b.corruption_mask(pc, i));
+            let _ = c.corruption_mask(pc, i); // distinct seed: just exercise
+        }
+        assert_ne!(
+            a.corruption_mask(0x1000, 5),
+            c.corruption_mask(0x1000, 5),
+            "different dies corrupt differently"
+        );
     }
 }

@@ -109,6 +109,10 @@ pub struct CoreConfig {
     pub replay_penalty: u64,
     /// Replay recovery mechanism.
     pub recovery: RecoveryModel,
+    /// Watchdog threshold: cycles without a commit before the simulation
+    /// gives up with a structured [`WatchdogError`](crate::WatchdogError)
+    /// diagnostic instead of spinning forever.
+    pub watchdog_cycles: u64,
 }
 
 impl CoreConfig {
@@ -144,6 +148,7 @@ impl CoreConfig {
             replay_latency: 3,
             replay_penalty: 8,
             recovery: RecoveryModel::InSitu,
+            watchdog_cycles: 500_000,
         }
     }
 
@@ -171,6 +176,7 @@ impl CoreConfig {
             self.lanes.iter().any(|l| l.accepts(OpClass::CondBranch)),
             "need a branch-capable lane"
         );
+        assert!(self.watchdog_cycles >= 1, "watchdog threshold must be positive");
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(self.l1_bytes % (self.l1_ways * self.line_bytes) == 0, "L1 geometry invalid");
         assert!(self.l2_bytes % (self.l2_ways * self.line_bytes) == 0, "L2 geometry invalid");

@@ -55,10 +55,14 @@ pub mod profile;
 pub mod rename;
 pub mod rob;
 pub mod stats;
+mod values;
+pub mod watchdog;
 
 pub use config::{CoreConfig, LaneKind, RecoveryModel};
 pub use inflight::InFlightInst;
 pub use pipeline::{Pipeline, PipelineBuilder, ToleranceMode};
 pub use tv_audit::{AuditLevel, AuditReport};
+pub use tv_oracle::OracleReport;
 pub use policy::{mod64_age, AgeBasedSelect, IssueCandidate, SelectPolicy};
 pub use stats::SimStats;
+pub use watchdog::{RobHeadDump, WatchdogError};

@@ -42,6 +42,10 @@ use crate::profile::{stage, timed_stage};
 use crate::rename::RenameTable;
 use crate::rob::Rob;
 use crate::stats::SimStats;
+use crate::values::ValuePlane;
+use crate::watchdog::{RobHeadDump, WatchdogError};
+
+pub use tv_oracle::OracleReport;
 
 /// How the machine tolerates timing violations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +60,12 @@ pub enum ToleranceMode {
     /// The paper's violation-aware scheduling (VTE + delayed broadcast +
     /// slot freezing); selection priority comes from the [`SelectPolicy`].
     ViolationAware,
+    /// Deliberately broken control: faults are injected but *nothing*
+    /// tolerates them — no prediction, no stall, no replay. Violations
+    /// survive to retirement and corrupt the committed value. Exists to
+    /// prove the golden-model oracle detects corruption (it is not a real
+    /// scheme and never appears in the paper's figures).
+    NoTolerance,
 }
 
 impl ToleranceMode {
@@ -63,12 +73,18 @@ impl ToleranceMode {
     pub fn uses_predictor(self) -> bool {
         matches!(self, ToleranceMode::ErrorPadding | ToleranceMode::ViolationAware)
     }
+
+    /// Whether this mode corrects violations at all ([`NoTolerance`]
+    /// being the sole mode that lets them through).
+    ///
+    /// [`NoTolerance`]: ToleranceMode::NoTolerance
+    pub fn tolerates(self) -> bool {
+        self != ToleranceMode::NoTolerance
+    }
 }
 
 /// Maximum occupancy of each inter-stage buffer.
 const FRONT_BUF: usize = 8;
-/// Deadlock guard: panic if nothing commits for this many cycles.
-const DEADLOCK_CYCLES: u64 = 500_000;
 /// Instructions profiled to calibrate the fault model's critical-PC set.
 const FAULT_CALIBRATION_PROBE: u64 = 300_000;
 
@@ -129,6 +145,7 @@ pub struct PipelineBuilder {
     calibration: Option<FaultCalibration>,
     audit_level: AuditLevel,
     record_commits: bool,
+    oracle: bool,
 }
 
 impl PipelineBuilder {
@@ -204,6 +221,17 @@ impl PipelineBuilder {
         self
     }
 
+    /// Enables the architectural value plane and golden-model oracle
+    /// (default: off, which costs nothing per cycle): every committed
+    /// destination value is checked against an independent in-order
+    /// reference machine, and untolerated violations corrupt the victim's
+    /// committed value so silent-data-corruption escapes are caught. See
+    /// [`Pipeline::oracle_report`].
+    pub fn oracle(mut self, enable: bool) -> Self {
+        self.oracle = enable;
+        self
+    }
+
     /// Builds the pipeline.
     ///
     /// # Panics
@@ -246,6 +274,7 @@ impl PipelineBuilder {
         let caches = CacheHierarchy::new(&self.cfg);
         let exec = ExecUnits::new(&self.cfg);
         let iq_entries = self.cfg.iq_entries;
+        let phys_regs = self.cfg.phys_regs;
         Pipeline {
             rename: RenameTable::new(self.cfg.phys_regs),
             rob: Rob::new(self.cfg.rob_entries),
@@ -290,6 +319,7 @@ impl PipelineBuilder {
             audit_admits: [0; 3],
             audit_charges: Vec::new(),
             commit_log: self.record_commits.then(Vec::new),
+            values: self.oracle.then(|| ValuePlane::new(phys_regs)),
             cand_buf: Vec::with_capacity(iq_entries),
             lane_blocked: Vec::new(),
             sq_renamed: Vec::new(),
@@ -367,6 +397,9 @@ pub struct Pipeline {
     audit_charges: Vec<(PipeStage, u64, u32)>,
     /// Architectural commit stream `(seq, pc, op)`, when recording.
     commit_log: Option<Vec<(u64, u64, u8)>>,
+    /// Architectural value plane + golden-model oracle, when enabled via
+    /// the builder ([`PipelineBuilder::oracle`]). `None` costs nothing.
+    values: Option<ValuePlane>,
     /// Scratch buffers reused across cycles so the steady-state hot path
     /// allocates nothing: issue candidates, the per-lane select mask, and
     /// the squash-path drain/rollback/reorder lists.
@@ -401,6 +434,7 @@ impl Pipeline {
             calibration: None,
             audit_level: AuditLevel::Off,
             record_commits: false,
+            oracle: false,
         }
     }
 
@@ -436,24 +470,76 @@ impl Pipeline {
     /// # Panics
     ///
     /// Panics if the pipeline deadlocks (an internal invariant violation).
+    /// Campaign-style callers that must survive deadlocks should use
+    /// [`try_run`](Pipeline::try_run) instead.
     pub fn run(&mut self, commits: u64) -> SimStats {
+        self.try_run(commits)
+            .unwrap_or_else(|e| panic!("pipeline deadlock: {e}"))
+    }
+
+    /// Like [`run`](Pipeline::run), but when nothing commits for
+    /// [`CoreConfig::watchdog_cycles`] cycles the watchdog trips and the
+    /// simulation returns a structured [`WatchdogError`] diagnostic dump
+    /// instead of panicking — a crash-isolated experiment harness records
+    /// it as a per-tuple verdict and carries on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the watchdog dump (cycle, ROB-head state, queue occupancy,
+    /// active stall state) when the commit watchdog trips.
+    pub fn try_run(&mut self, commits: u64) -> Result<SimStats, WatchdogError> {
         let target = self.stats.committed + commits;
         self.commit_limit = target;
         let mut last_commit_cycle = self.cycle;
         let mut last_committed = self.stats.committed;
+        let threshold = self.cfg.watchdog_cycles;
         while self.stats.committed < target {
             self.step();
             if self.stats.committed != last_committed {
                 last_committed = self.stats.committed;
                 last_commit_cycle = self.cycle;
             }
-            assert!(
-                self.cycle - last_commit_cycle < DEADLOCK_CYCLES,
-                "pipeline deadlock: no commit since cycle {last_commit_cycle}"
-            );
+            if self.cycle - last_commit_cycle >= threshold {
+                return Err(self.watchdog_error(last_commit_cycle));
+            }
         }
         self.finalize_stats();
-        self.stats.clone()
+        Ok(self.stats.clone())
+    }
+
+    /// Materializes the watchdog's diagnostic dump of the stuck machine.
+    fn watchdog_error(&self, last_commit_cycle: u64) -> WatchdogError {
+        let rob_head = self.rob.head().map(|slot| {
+            let inst = self.slab.get(slot);
+            RobHeadDump {
+                seq: inst.seq(),
+                pc: inst.trace.pc,
+                op: inst.trace.op,
+                issue_cycle: inst.issue_cycle,
+                complete_cycle: inst.complete_cycle,
+                predicted_fault: inst.predicted_fault,
+                actual_fault: inst.actual_fault,
+            }
+        });
+        WatchdogError {
+            cycle: self.cycle,
+            last_commit_cycle,
+            threshold: self.cfg.watchdog_cycles,
+            committed: self.stats.committed,
+            next_commit_seq: self.next_commit_seq,
+            rob_head,
+            rob_len: self.rob.len(),
+            iq_len: self.iq.len(),
+            lsq_occupancy: self.lsq.occupancy(),
+            frontend_len: self.fetch_q.len() + self.decode_q.len() + self.rename_q.len(),
+            pending_ep_stalls: self.pending_ep_stalls,
+            pending_recovery_stalls: self.pending_recovery_stalls,
+            fetch_blocked_on: self.fetch_blocked_on,
+            rename_stall_until: self.rename_stall_until,
+            dispatch_stall_until: self.dispatch_stall_until,
+            retire_stall_until: self.retire_stall_until,
+            fetch_stall_until: self.fetch_stall_until,
+        }
     }
 
     fn finalize_stats(&mut self) {
@@ -642,6 +728,14 @@ impl Pipeline {
     /// The recorded architectural commit stream, when enabled.
     pub fn commit_log(&self) -> Option<&[(u64, u64, u8)]> {
         self.commit_log.as_deref()
+    }
+
+    /// The golden-model oracle's verdict over everything committed so far
+    /// (value mismatches plus the final architectural register file
+    /// comparison), when the oracle is enabled via
+    /// [`PipelineBuilder::oracle`].
+    pub fn oracle_report(&self) -> Option<OracleReport> {
+        self.values.as_ref().map(ValuePlane::report)
     }
 
     /// Slips every pending datapath timestamp by one cycle (the EP global
@@ -969,7 +1063,7 @@ impl Pipeline {
                     tep.train_clean_at(key);
                 }
             }
-        } else if actual == Some(stage) {
+        } else if actual == Some(stage) && self.mode.tolerates() {
             // Unpredicted violation in an in-order stage: replay.
             self.replay_in_place(now, slot, stage);
         }
@@ -1029,6 +1123,28 @@ impl Pipeline {
             if let Some(log) = self.commit_log.as_mut() {
                 log.push((inst.seq(), inst.trace.pc, inst.trace.op as u8));
             }
+            if self.values.is_some() {
+                // A violation that survives to retirement untolerated
+                // (only possible under NoTolerance, or an escape bug in a
+                // real scheme) latches a corrupted result. Covered faults
+                // — predicted OoO violations absorbed by padding — commit
+                // clean: the extra stage cycle restored the slack.
+                let covered = self.mode.uses_predictor()
+                    && inst
+                        .actual_fault
+                        .filter(|s| s.is_ooo())
+                        .is_some_and(|s| inst.predicted_fault == Some(s));
+                let corruption = match inst.actual_fault {
+                    Some(_) if !covered => self
+                        .fault_model
+                        .as_ref()
+                        .expect("a fault implies a fault model")
+                        .corruption_mask(inst.trace.pc, inst.seq()),
+                    _ => 0,
+                };
+                let vp = self.values.as_mut().expect("checked above");
+                vp.commit(&inst.trace, inst.src_phys, inst.dst_phys, corruption);
+            }
 
             match inst.trace.op {
                 OpClass::Store => {
@@ -1055,26 +1171,36 @@ impl Pipeline {
                 self.rename.retire_free(old);
             }
 
-            // Predictor training with the stage-level detector's verdict.
-            let predicted = inst.predicted_fault.filter(|s| s.is_ooo());
-            let actual = inst.actual_fault.filter(|s| s.is_ooo());
-            match (predicted, actual) {
-                (Some(_), Some(stage)) => {
-                    self.stats.record_fault(stage, true);
-                    if let (Some(tep), Some(key)) = (self.tep.as_mut(), inst.tep_key) {
-                        tep.train_fault_at(key, stage);
+            if self.mode == ToleranceMode::NoTolerance {
+                // Control mode: nothing intervened, so any injected fault
+                // (any stage) survives to retirement as silent corruption.
+                if let Some(stage) = inst.actual_fault {
+                    self.stats.record_fault(stage, false);
+                    self.stats.untolerated_faults += 1;
+                }
+            } else {
+                // Predictor training with the stage-level detector's
+                // verdict.
+                let predicted = inst.predicted_fault.filter(|s| s.is_ooo());
+                let actual = inst.actual_fault.filter(|s| s.is_ooo());
+                match (predicted, actual) {
+                    (Some(_), Some(stage)) => {
+                        self.stats.record_fault(stage, true);
+                        if let (Some(tep), Some(key)) = (self.tep.as_mut(), inst.tep_key) {
+                            tep.train_fault_at(key, stage);
+                        }
                     }
-                }
-                (Some(_), None) => {
-                    self.stats.false_positives += 1;
-                    if let (Some(tep), Some(key)) = (self.tep.as_mut(), inst.tep_key) {
-                        tep.train_clean_at(key);
+                    (Some(_), None) => {
+                        self.stats.false_positives += 1;
+                        if let (Some(tep), Some(key)) = (self.tep.as_mut(), inst.tep_key) {
+                            tep.train_clean_at(key);
+                        }
                     }
+                    (None, Some(_)) => {
+                        unreachable!("unpredicted faults are cleared by replay before retire")
+                    }
+                    (None, None) => {}
                 }
-                (None, Some(_)) => {
-                    unreachable!("unpredicted faults are cleared by replay before retire")
-                }
-                (None, None) => {}
             }
         }
     }
@@ -1205,7 +1331,8 @@ impl Pipeline {
         let complete = now + 1 + exec_total + complete_pad;
 
         // Unpredicted fault ⇒ detection + replay at the stage's latch.
-        if let Some(stage) = actual {
+        // The NoTolerance control has no detector: the fault rides through.
+        if let Some(stage) = actual.filter(|_| self.mode.tolerates()) {
             let covered = treated_faulty && predicted_stage == Some(stage);
             if !covered {
                 let detect = match stage {
@@ -1406,7 +1533,9 @@ impl Pipeline {
                 .actual_fault
                 .filter(|s| s.is_replay_only());
             if let Some(stage) = front_fault {
-                self.replay_in_place(now, slot, stage);
+                if self.mode.tolerates() {
+                    self.replay_in_place(now, slot, stage);
+                }
             }
 
             let (pc, op, taken, seq) = {

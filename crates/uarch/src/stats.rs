@@ -75,6 +75,9 @@ pub struct SimStats {
     pub false_positives: u64,
     /// Replay recoveries triggered.
     pub replays: u64,
+    /// Violations that survived to retirement uncorrected — nonzero only
+    /// under the NoTolerance control mode (or a tolerance escape bug).
+    pub untolerated_faults: u64,
     /// Whole-pipeline stall cycles inserted by the EP scheme.
     pub ep_stall_cycles: u64,
     /// Whole-pipeline recovery bubbles inserted by in-situ replays.

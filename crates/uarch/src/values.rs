@@ -1,0 +1,92 @@
+//! The pipeline's architectural value plane.
+//!
+//! When the golden-model oracle is enabled
+//! ([`PipelineBuilder::oracle`](crate::PipelineBuilder::oracle)), each
+//! committed instruction computes an actual result value at retirement —
+//! reading its sources through the *physical* registers its rename
+//! carried, so the whole rename/rollback machinery is part of what the
+//! oracle cross-checks — and an untolerated violation XORs the fault
+//! model's corruption mask into that result before it lands in the
+//! register file or memory. Corruption then propagates architecturally
+//! through dependents, exactly like real silent data corruption.
+//!
+//! Values are computed at *retire* time in commit order, never on the
+//! timing path: a dependent may issue speculatively before its producer's
+//! violation is even detected, but architectural state only changes at
+//! commit, after every replay has re-executed the producer violation-free.
+//! The plane is purely observational — enabling it cannot perturb a
+//! single cycle of the simulation.
+
+use tv_oracle::{value_of, Oracle, OracleReport, SparseMemory};
+use tv_workloads::{OpClass, TraceInst};
+
+/// Physical-register-indexed value state plus the streaming oracle.
+#[derive(Debug)]
+pub(crate) struct ValuePlane {
+    /// Value held by each physical register (entry 0 pinned to zero).
+    phys: Vec<u64>,
+    /// Architectural register file, updated in commit order.
+    arch: [u64; 32],
+    /// Data memory image, updated by retiring stores.
+    mem: SparseMemory,
+    /// The golden machine checking every commit.
+    oracle: Oracle,
+}
+
+impl ValuePlane {
+    /// A reset plane: all registers zero (matching the reset rename map,
+    /// where physical `i` holds architectural `r<i>`), memory at its
+    /// deterministic initial image.
+    pub(crate) fn new(phys_regs: usize) -> Self {
+        ValuePlane {
+            phys: vec![0; phys_regs],
+            arch: [0; 32],
+            mem: SparseMemory::new(),
+            oracle: Oracle::new(),
+        }
+    }
+
+    /// Commits one instruction's value: reads sources from the physical
+    /// registers, computes the result (XORing in `corruption` when
+    /// nonzero), writes destination register / memory, and feeds the
+    /// oracle. Must be called in commit order.
+    pub(crate) fn commit(
+        &mut self,
+        t: &TraceInst,
+        src_phys: [Option<u16>; 2],
+        dst_phys: Option<u16>,
+        corruption: u64,
+    ) {
+        let a = src_phys[0].map_or(0, |p| self.phys[p as usize]);
+        let b = src_phys[1].map_or(0, |p| self.phys[p as usize]);
+        let committed = match t.op {
+            OpClass::Load => {
+                let addr = t.mem_addr.expect("loads carry addresses");
+                Some(self.mem.read(addr) ^ corruption)
+            }
+            OpClass::Store => {
+                let addr = t.mem_addr.expect("stores carry addresses");
+                self.mem
+                    .write(addr, value_of(OpClass::Store, t.pc, a, b) ^ corruption);
+                None
+            }
+            op if op.writes_register() => Some(value_of(op, t.pc, a, b) ^ corruption),
+            _ => None,
+        };
+        if let Some(v) = committed {
+            if let Some(d) = dst_phys.filter(|&d| d != 0) {
+                self.phys[d as usize] = v;
+            }
+            if let Some(d) = t.dst.filter(|d| !d.is_zero()) {
+                self.arch[d.index() as usize] = v;
+            }
+        }
+        self.oracle.observe(t, committed);
+    }
+
+    /// The oracle's verdict so far, including the architectural register
+    /// file comparison.
+    pub(crate) fn report(&self) -> OracleReport {
+        self.oracle.report(&self.arch)
+    }
+}

@@ -1,0 +1,181 @@
+//! Structured commit-watchdog diagnostics.
+//!
+//! When nothing retires for [`CoreConfig::watchdog_cycles`] cycles the
+//! machine is wedged — historically that was a hard `panic!`, which
+//! poisons a whole multi-thousand-tuple campaign. [`Pipeline::try_run`]
+//! instead returns a [`WatchdogError`] carrying a dump of the stuck
+//! machine (cycle, ROB-head state, queue occupancy, active stall state)
+//! so a crash-isolated harness can record the wedge as a per-tuple verdict
+//! and keep going.
+//!
+//! [`CoreConfig::watchdog_cycles`]: crate::CoreConfig::watchdog_cycles
+//! [`Pipeline::try_run`]: crate::Pipeline::try_run
+
+use std::fmt;
+
+use tv_timing::PipeStage;
+use tv_workloads::OpClass;
+
+/// Snapshot of the ROB head at the moment the watchdog tripped — the
+/// instruction the machine is stuck behind, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobHeadDump {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Static PC.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Cycle the instruction issued, if it has.
+    pub issue_cycle: Option<u64>,
+    /// Cycle it will (or did) complete, if scheduled.
+    pub complete_cycle: Option<u64>,
+    /// Predicted faulty stage, if the TEP flagged one.
+    pub predicted_fault: Option<PipeStage>,
+    /// Injected fault not yet corrected, if any.
+    pub actual_fault: Option<PipeStage>,
+}
+
+impl fmt::Display for RobHeadDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn c(x: Option<u64>) -> String {
+            x.map_or("-".into(), |x| x.to_string())
+        }
+        fn s(x: Option<PipeStage>) -> String {
+            x.map_or("-".into(), |x| x.to_string())
+        }
+        write!(
+            f,
+            "seq={} pc={:#x} op={} issued={} complete={} predicted={} fault={}",
+            self.seq,
+            self.pc,
+            self.op,
+            c(self.issue_cycle),
+            c(self.complete_cycle),
+            s(self.predicted_fault),
+            s(self.actual_fault),
+        )
+    }
+}
+
+/// The commit watchdog tripped: nothing retired for `threshold` cycles.
+///
+/// Carries enough of the machine state to diagnose the wedge post-mortem
+/// without a debugger attached. [`Display`](fmt::Display) renders a
+/// single comma-free line, safe to embed in a CSV field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogError {
+    /// Cycle at which the watchdog tripped.
+    pub cycle: u64,
+    /// Cycle of the last successful commit.
+    pub last_commit_cycle: u64,
+    /// Configured threshold ([`watchdog_cycles`]) that was exceeded.
+    ///
+    /// [`watchdog_cycles`]: crate::CoreConfig::watchdog_cycles
+    pub threshold: u64,
+    /// Instructions committed before the machine wedged.
+    pub committed: u64,
+    /// Sequence number the retire stage is waiting for.
+    pub next_commit_seq: u64,
+    /// The ROB head the machine is stuck behind (`None` = empty ROB, the
+    /// wedge is in the front end).
+    pub rob_head: Option<RobHeadDump>,
+    /// Reorder-buffer occupancy.
+    pub rob_len: usize,
+    /// Issue-queue occupancy.
+    pub iq_len: usize,
+    /// Load/store-queue occupancy.
+    pub lsq_occupancy: usize,
+    /// Instructions sitting in the fetch/decode/rename buffers.
+    pub frontend_len: usize,
+    /// Outstanding Error-Padding stall cycles.
+    pub pending_ep_stalls: u64,
+    /// Outstanding replay-recovery stall cycles.
+    pub pending_recovery_stalls: u64,
+    /// Branch sequence number fetch is blocked on, if any.
+    pub fetch_blocked_on: Option<u64>,
+    /// In-order stall deadline for the rename stage.
+    pub rename_stall_until: u64,
+    /// In-order stall deadline for the dispatch stage.
+    pub dispatch_stall_until: u64,
+    /// In-order stall deadline for the retire stage.
+    pub retire_stall_until: u64,
+    /// Fetch stall deadline.
+    pub fetch_stall_until: u64,
+}
+
+impl fmt::Display for WatchdogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no commit for {} cycles (cycle {}; last commit {}; {} committed; \
+             awaiting seq {}); rob head [{}]; occupancy rob={} iq={} lsq={} \
+             frontend={}; stalls ep={} recovery={} rename<{} dispatch<{} \
+             retire<{} fetch<{}; fetch blocked on {}",
+            self.cycle - self.last_commit_cycle,
+            self.cycle,
+            self.last_commit_cycle,
+            self.committed,
+            self.next_commit_seq,
+            self.rob_head
+                .as_ref()
+                .map_or("empty".to_string(), |h| h.to_string()),
+            self.rob_len,
+            self.iq_len,
+            self.lsq_occupancy,
+            self.frontend_len,
+            self.pending_ep_stalls,
+            self.pending_recovery_stalls,
+            self.rename_stall_until,
+            self.dispatch_stall_until,
+            self.retire_stall_until,
+            self.fetch_stall_until,
+            self.fetch_blocked_on
+                .map_or("-".to_string(), |s| s.to_string()),
+        )
+    }
+}
+
+impl std::error::Error for WatchdogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_csv_safe_line() {
+        let err = WatchdogError {
+            cycle: 600_123,
+            last_commit_cycle: 100_123,
+            threshold: 500_000,
+            committed: 42_000,
+            next_commit_seq: 42_000,
+            rob_head: Some(RobHeadDump {
+                seq: 42_000,
+                pc: 0x1040,
+                op: OpClass::Load,
+                issue_cycle: Some(100_120),
+                complete_cycle: None,
+                predicted_fault: None,
+                actual_fault: Some(PipeStage::Memory),
+            }),
+            rob_len: 128,
+            iq_len: 32,
+            lsq_occupancy: 48,
+            frontend_len: 3,
+            pending_ep_stalls: 0,
+            pending_recovery_stalls: 0,
+            fetch_blocked_on: None,
+            rename_stall_until: 0,
+            dispatch_stall_until: 0,
+            retire_stall_until: 0,
+            fetch_stall_until: 0,
+        };
+        let line = err.to_string();
+        assert!(line.contains("no commit for 500000 cycles"));
+        assert!(line.contains("seq=42000"));
+        assert!(line.contains("fault=memory"));
+        assert!(!line.contains(','), "must embed cleanly in a CSV field");
+        assert!(!line.contains('\n'));
+    }
+}

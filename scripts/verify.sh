@@ -34,6 +34,30 @@ echo "==> simulator-throughput gate (vs committed BENCH_simspeed.json)"
 cargo run --release -q -p tv-bench --bin simspeed --offline -- \
     --reps 2 --check BENCH_simspeed.json
 
+echo "==> smoke fault-injection campaign (oracle on, all schemes + control)"
+# Every real scheme must commit oracle-clean state under the stress fault
+# models, and the oracle must catch the NoTolerance control corrupting
+# state; the binary's exit status enforces both.
+tmp_campaign="$(mktemp -d)"
+cargo run --release -q -p tv-bench --bin campaign --offline -- \
+    --smoke --out "$tmp_campaign" 2>/dev/null
+
+echo "==> campaign kill -9 + --resume determinism"
+# SIGKILL the campaign binary mid-run (invoked directly, not via cargo,
+# so the kill hits the simulator itself), resume from its journal, and
+# require the resumed CSV to be byte-identical to the uninterrupted run's.
+./target/release/campaign \
+    --smoke --out "$tmp_campaign/killed" >/dev/null 2>&1 &
+campaign_pid=$!
+sleep 0.2
+kill -9 "$campaign_pid" 2>/dev/null || true
+wait "$campaign_pid" 2>/dev/null || true
+cargo run --release -q -p tv-bench --bin campaign --offline -- \
+    --smoke --out "$tmp_campaign/killed" --resume >/dev/null 2>/dev/null
+cmp "$tmp_campaign/campaign.csv" "$tmp_campaign/killed/campaign.csv"
+echo "    campaign.csv byte-identical after kill -9 + --resume"
+rm -rf "$tmp_campaign"
+
 if [[ "$SKIP_SWEEP" == 1 ]]; then
     echo "==> sweep skipped (--skip-sweep)"
     exit 0

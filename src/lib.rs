@@ -9,7 +9,7 @@
 //! and dependents are held back through delayed tag broadcast — instead of
 //! stalling the whole pipeline (Error Padding) or replaying (Razor).
 //!
-//! This facade crate re-exports the eight component crates:
+//! This facade crate re-exports the nine component crates:
 //!
 //! | crate | contents |
 //! |---|---|
@@ -18,8 +18,9 @@
 //! | [`timing`] | process variation, voltage scaling, statistical STA, fault model |
 //! | [`tep`] | the Timing Error Predictor |
 //! | [`audit`] | cycle-level pipeline invariant auditing |
+//! | [`oracle`] | architectural value semantics and the golden-model oracle |
 //! | [`uarch`] | the 4-wide out-of-order pipeline simulator |
-//! | [`core`] | scheduling policies, schemes, experiment + differential drivers |
+//! | [`core`] | scheduling policies, schemes, experiment/differential/campaign drivers |
 //! | [`energy`] | energy/ED accounting and the VTE hardware-cost analysis |
 //!
 //! # Quickstart
@@ -44,6 +45,7 @@ pub use tv_audit as audit;
 pub use tv_core as core;
 pub use tv_energy as energy;
 pub use tv_netlist as netlist;
+pub use tv_oracle as oracle;
 pub use tv_tep as tep;
 pub use tv_timing as timing;
 pub use tv_uarch as uarch;
