@@ -3,13 +3,16 @@
 //! cycle-level invariant auditor reporting zero violations.
 //!
 //! ```text
-//! --commits N   measured commits per run        (default 20 000)
-//! --warmup N    warm-up commits per run         (default 5 000)
-//! --seed N      base seed; runs use N and N+1   (default 42)
-//! --out DIR     result directory                (default bench_results)
-//! --workers N   fleet worker threads
-//! --basic       Basic audit level (default: Full)
-//! --fast        CI preset: 1 benchmark x 4 schemes x 2 seeds, 8k commits
+//! --commits N       measured commits per run        (default 20 000)
+//! --warmup N        warm-up commits per run         (default 5 000)
+//! --seed N          base seed; runs use N and N+1   (default 42)
+//! --out DIR         result directory                (default bench_results)
+//! --workers N       fleet worker threads
+//! --basic           Basic audit level (default: Full)
+//! --fast            CI preset: 1 benchmark x 4 schemes x 2 seeds, 8k commits
+//! --workload NAME   diff a single workload instead of the benchmark sweep;
+//!                   NAME is a benchmark or riscv:<program|file.asm>, and
+//!                   RISC-V workloads also run the golden-model oracle
 //! ```
 //!
 //! Exits non-zero on any stream mismatch or invariant violation.
@@ -17,7 +20,7 @@
 use std::path::PathBuf;
 
 use tv_bench::write_csv;
-use tv_core::{run_differential, DiffConfig, DiffTuple, Fleet, Scheme};
+use tv_core::{run_differential, DiffConfig, DiffTuple, Fleet, Scheme, Workload};
 use tv_timing::Voltage;
 use tv_uarch::AuditLevel;
 use tv_workloads::Benchmark;
@@ -30,6 +33,7 @@ struct Args {
     workers: Option<usize>,
     audit: AuditLevel,
     fast: bool,
+    workload: Option<Workload>,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +45,7 @@ fn parse_args() -> Args {
         workers: None,
         audit: AuditLevel::Full,
         fast: false,
+        workload: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,9 +63,15 @@ fn parse_args() -> Args {
             }
             "--basic" => parsed.audit = AuditLevel::Basic,
             "--fast" => parsed.fast = true,
+            "--workload" => {
+                parsed.workload = Some(
+                    Workload::parse(&value("--workload"))
+                        .unwrap_or_else(|e| panic!("--workload: {e}")),
+                )
+            }
             other => panic!(
                 "unknown argument {other}; supported: \
-                 --commits --warmup --seed --out --workers --basic --fast"
+                 --commits --warmup --seed --out --workers --basic --fast --workload"
             ),
         }
     }
@@ -70,7 +81,19 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let seeds = [args.seed, args.seed + 1];
-    let (tuples, schemes, commits, warmup) = if args.fast {
+    let oracle = args.workload.as_ref().is_some_and(Workload::is_riscv);
+    let (tuples, schemes, commits, warmup) = if let Some(workload) = &args.workload {
+        (
+            DiffTuple::sweep_workloads(
+                std::slice::from_ref(workload),
+                &[Voltage::low_fault(), Voltage::high_fault()],
+                &seeds,
+            ),
+            Scheme::ALL.to_vec(),
+            args.commits,
+            args.warmup,
+        )
+    } else if args.fast {
         (
             DiffTuple::sweep(&[Benchmark::Gcc], &[Voltage::high_fault()], &seeds),
             vec![Scheme::FaultFree, Scheme::Razor, Scheme::ErrorPadding, Scheme::Abs],
@@ -94,6 +117,7 @@ fn main() {
         warmup,
         audit: args.audit,
         schemes: schemes.clone(),
+        oracle,
     };
     let fleet = match args.workers {
         Some(n) => Fleet::new(n),
@@ -119,7 +143,7 @@ fn main() {
         for run in group {
             rows.push(format!(
                 "{},{:.3},{},{},{},{},{:016x},{},{},{},{}",
-                run.bench.name(),
+                run.workload,
                 run.vdd.volts(),
                 run.scheme.name(),
                 run.seed,
@@ -154,7 +178,7 @@ fn main() {
     for run in report.runs.iter().filter(|r| r.audit_violations > 0) {
         eprintln!(
             "VIOLATIONS: {}/{}@{:.3}V seed {}: {} ({})",
-            run.bench.name(),
+            run.workload,
             run.scheme.name(),
             run.vdd.volts(),
             run.seed,
@@ -162,7 +186,21 @@ fn main() {
             run.first_violation.as_deref().unwrap_or("?"),
         );
     }
-    if !report.clean() {
+    let corrupted: Vec<_> = report
+        .runs
+        .iter()
+        .filter(|r| r.oracle_clean == Some(false))
+        .collect();
+    for run in &corrupted {
+        eprintln!(
+            "ORACLE CORRUPTION: {}/{}@{:.3}V seed {}",
+            run.workload,
+            run.scheme.name(),
+            run.vdd.volts(),
+            run.seed,
+        );
+    }
+    if !report.clean() || !corrupted.is_empty() {
         std::process::exit(1);
     }
     println!("all schemes commit identical architectural streams; all invariants hold");

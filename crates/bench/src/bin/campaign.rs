@@ -9,10 +9,14 @@
 //! produces a bit-identical CSV while only executing the missing cells.
 //!
 //! ```text
-//! campaign [--tuples N] [--seed N] [--commits N] [--warmup N]
+//! campaign [--tuples N] [--riscv N] [--seed N] [--commits N] [--warmup N]
 //!          [--watchdog N] [--no-control] [--smoke] [--resume]
 //!          [--out DIR] [--workers N]
 //! ```
+//!
+//! `--riscv N` appends N tuples running the built-in RISC-V compute
+//! programs (matmul, quicksort, checksum) through the same scenario and
+//! scheme sweep (default: 4; 2 under `--smoke`).
 //!
 //! Exit status is non-zero when any real scheme fails its oracle check,
 //! any cell panics, or (with the control enabled) the oracle fails to
@@ -43,6 +47,9 @@ fn parse_args() -> Args {
         };
         match arg.as_str() {
             "--tuples" => config.tuples = value("--tuples").parse().expect("--tuples: integer"),
+            "--riscv" => {
+                config.riscv_tuples = value("--riscv").parse().expect("--riscv: integer")
+            }
             "--seed" => {
                 config.campaign_seed = value("--seed").parse().expect("--seed: integer")
             }
@@ -68,8 +75,8 @@ fn parse_args() -> Args {
                 workers = Some(value("--workers").parse().expect("--workers: integer"))
             }
             other => panic!(
-                "unknown argument {other}; supported: --tuples --seed --commits --warmup \
-                 --watchdog --no-control --smoke --resume --out --workers"
+                "unknown argument {other}; supported: --tuples --riscv --seed --commits \
+                 --warmup --watchdog --no-control --smoke --resume --out --workers"
             ),
         }
     }
@@ -86,8 +93,10 @@ fn main() -> ExitCode {
     let cfg = &args.config;
     let schemes = cfg.schemes();
     println!(
-        "Fault-injection campaign — {} tuples x {} schemes ({} commits + {} warmup per cell, seed {})",
+        "Fault-injection campaign — {} tuples (+{} RISC-V) x {} schemes \
+         ({} commits + {} warmup per cell, seed {})",
         cfg.tuples,
+        cfg.riscv_tuples,
         schemes.len(),
         cfg.commits,
         cfg.warmup,

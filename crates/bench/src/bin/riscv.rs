@@ -1,0 +1,179 @@
+//! Real-program runner: executes RISC-V workloads through the full
+//! pipeline under every scheme, with the golden-model oracle on and the
+//! committed architectural end state differenced against the standalone
+//! in-order executor.
+//!
+//! ```text
+//! riscv [--workload NAME]...   riscv:<builtin|file.asm> or bare builtin
+//!                              name (default: every built-in program)
+//!       [--seed N]             workload/die seed          (default 42)
+//!       [--low-vdd]            0.97 V instead of 1.04 V for faulty runs
+//!       [--max-commits N]      per-run commit cap         (default 2 000 000)
+//!       [--out DIR]            result directory           (default bench_results)
+//! ```
+//!
+//! Writes one CSV row per `(workload, scheme)` cell to `riscv.csv` and
+//! exits non-zero when any cell is not oracle-clean or its committed
+//! register file / memory image differs from the executor's.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tv_bench::write_csv;
+use tv_core::{Scheme, Workload};
+use tv_timing::Voltage;
+use tv_workloads::riscv::RiscvMachine;
+
+struct Args {
+    workloads: Vec<Workload>,
+    seed: u64,
+    vdd: Voltage,
+    max_commits: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        workloads: Vec::new(),
+        seed: 42,
+        vdd: Voltage::high_fault(),
+        max_commits: 2_000_000,
+        out: PathBuf::from("bench_results"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--workload" => {
+                let name = value("--workload");
+                // Accept both `riscv:matmul` and bare `matmul`.
+                let workload = Workload::parse(&name)
+                    .or_else(|e| {
+                        Workload::builtin(&name).ok_or(e)
+                    })
+                    .unwrap_or_else(|e| panic!("--workload: {e}"));
+                assert!(
+                    workload.is_riscv(),
+                    "--workload {name}: this runner takes RISC-V programs; \
+                     synthetic benchmarks go through the figure harnesses"
+                );
+                parsed.workloads.push(workload);
+            }
+            "--seed" => parsed.seed = value("--seed").parse().expect("--seed: integer"),
+            "--low-vdd" => parsed.vdd = Voltage::low_fault(),
+            "--max-commits" => {
+                parsed.max_commits = value("--max-commits")
+                    .parse()
+                    .expect("--max-commits: integer")
+            }
+            "--out" => parsed.out = PathBuf::from(value("--out")),
+            other => panic!(
+                "unknown argument {other}; supported: \
+                 --workload --seed --low-vdd --max-commits --out"
+            ),
+        }
+    }
+    if parsed.workloads.is_empty() {
+        parsed.workloads = Workload::builtin_names()
+            .into_iter()
+            .map(|n| Workload::builtin(n).expect("built-in program"))
+            .collect();
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "RISC-V pipeline runner — {} programs x {} schemes, seed {}, {:.3} V faulty",
+        args.workloads.len(),
+        Scheme::ALL.len(),
+        args.seed,
+        args.vdd.volts(),
+    );
+
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for workload in &args.workloads {
+        // Reference end state from the standalone in-order executor.
+        let Workload::Riscv { program, .. } = workload else {
+            unreachable!("parse_args admits only RISC-V workloads");
+        };
+        let mut exec = RiscvMachine::new(program.clone());
+        exec.run_to_halt(args.max_commits);
+        let ref_regs: Vec<u64> = exec.regs().iter().map(|&r| u64::from(r)).collect();
+        let ref_mem: Vec<(u64, u64)> = exec
+            .mem_image()
+            .into_iter()
+            .map(|(a, w)| (u64::from(a), u64::from(w)))
+            .collect();
+
+        for scheme in Scheme::ALL {
+            let mut pipe = scheme
+                .pipeline_builder_for(workload, args.seed, args.vdd)
+                .oracle(true)
+                .build();
+            let t0 = Instant::now();
+            let stats = pipe.run_to_halt(args.max_commits);
+            let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+            let report = pipe.oracle_report().expect("oracle enabled");
+            let oracle_clean = report.clean();
+            let regs_match = pipe
+                .arch_regs()
+                .is_some_and(|r| r[..] == ref_regs[..]);
+            let mem_match = pipe
+                .memory_image()
+                .is_some_and(|m| m == ref_mem);
+            let kcommits = stats.committed as f64 / wall_s / 1e3;
+            let ok = oracle_clean && regs_match && mem_match;
+            failed |= !ok;
+            println!(
+                "  {:<22} {:>9}: {:>8} commits, {:>9} cycles, {} faults, \
+                 {:>7.1} kcommits/s, oracle {}{}",
+                workload.name(),
+                scheme.name(),
+                stats.committed,
+                stats.cycles,
+                stats.faults_total(),
+                kcommits,
+                if oracle_clean { "clean" } else { "CORRUPT" },
+                if regs_match && mem_match {
+                    ""
+                } else {
+                    ", END-STATE MISMATCH"
+                },
+            );
+            rows.push(format!(
+                "{},{},{:.3},{},{},{},{},{},{},{},{},{:.1}",
+                workload.name(),
+                scheme.name(),
+                args.vdd.volts(),
+                args.seed,
+                stats.committed,
+                stats.cycles,
+                stats.faults_total(),
+                stats.replays,
+                oracle_clean,
+                regs_match,
+                mem_match,
+                kcommits,
+            ));
+        }
+    }
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    write_csv(
+        &args.out.join("riscv.csv"),
+        "workload,scheme,vdd,seed,commits,cycles,faults,replays,oracle_clean,regs_match,mem_match,kcommits_per_sec",
+        &rows,
+    );
+
+    if failed {
+        eprintln!("FAIL: at least one cell corrupted or diverged from the executor");
+        std::process::exit(1);
+    }
+    println!("all programs oracle-clean with executor-identical end states");
+}

@@ -40,6 +40,11 @@ use tv_workloads::{Benchmark, Profile};
 
 use crate::fleet::{Fleet, FleetStats};
 use crate::schemes::Scheme;
+use crate::workload::Workload;
+
+/// The built-in RISC-V programs the campaign cycles through — the
+/// compute-heavy ones, so injected faults have values to corrupt.
+const RISCV_CAMPAIGN_PROGRAMS: [&str; 3] = ["matmul", "quicksort", "checksum"];
 
 /// Number of comma-separated fields in one verdict row.
 const FIELDS: usize = 19;
@@ -107,7 +112,13 @@ impl FaultScenario {
 
     /// The fault calibration this scenario applies to `profile`.
     pub fn calibration(self, profile: &Profile) -> FaultCalibration {
-        let base = FaultCalibration::from_rates(profile.fault_rate_097, profile.fault_rate_104);
+        self.calibration_from_rates(profile.fault_rate_097, profile.fault_rate_104)
+    }
+
+    /// The scenario's calibration over explicit `(0.97 V, 1.04 V)` base
+    /// rates — RISC-V workloads carry no profile.
+    pub fn calibration_from_rates(self, rate_097: f64, rate_104: f64) -> FaultCalibration {
+        let base = FaultCalibration::from_rates(rate_097, rate_104);
         match self {
             FaultScenario::Paper | FaultScenario::Burst | FaultScenario::SensorFlap => base,
             FaultScenario::MultiStage => FaultCalibration {
@@ -164,14 +175,14 @@ impl std::fmt::Display for FaultScenario {
 }
 
 /// One randomized campaign tuple; every scheme runs once per tuple.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignTuple {
     /// Tuple index within the campaign (stable across resumes).
     pub id: u32,
     /// The stress fault model.
     pub scenario: FaultScenario,
-    /// Benchmark under test.
-    pub bench: Benchmark,
+    /// Workload under test — synthetic benchmark or RISC-V program.
+    pub workload: Workload,
     /// Faulty-environment supply voltage.
     pub vdd: Voltage,
     /// Workload/die seed for this tuple.
@@ -194,10 +205,14 @@ pub struct CampaignConfig {
     /// Whether the broken [`Scheme::NoTolerance`] control rides along to
     /// prove the oracle flags corruption.
     pub include_control: bool,
+    /// Extra tuples running real RISC-V programs (appended after the
+    /// synthetic tuples, cycling through the built-in compute programs).
+    pub riscv_tuples: usize,
 }
 
 impl CampaignConfig {
-    /// The acceptance-grade campaign: 64 tuples across all schemes.
+    /// The acceptance-grade campaign: 64 synthetic + 4 RISC-V tuples
+    /// across all schemes.
     pub fn full() -> Self {
         CampaignConfig {
             tuples: 64,
@@ -206,6 +221,7 @@ impl CampaignConfig {
             warmup: 10_000,
             watchdog_cycles: 500_000,
             include_control: true,
+            riscv_tuples: 4,
         }
     }
 
@@ -215,6 +231,7 @@ impl CampaignConfig {
             tuples: 6,
             commits: 12_000,
             warmup: 4_000,
+            riscv_tuples: 2,
             ..Self::full()
         }
     }
@@ -230,14 +247,16 @@ impl CampaignConfig {
 
     /// The campaign's randomized tuple sweep — a pure function of the
     /// configuration, so resumed runs regenerate the identical sweep.
+    /// Synthetic tuples come first; the RISC-V tuples follow with ids
+    /// continuing where the synthetic ones stop.
     pub fn generate_tuples(&self) -> Vec<CampaignTuple> {
-        (0..self.tuples)
+        let mut tuples: Vec<CampaignTuple> = (0..self.tuples)
             .map(|i| {
                 let h = mix2(self.campaign_seed, 0x7475_706c_65 ^ i as u64);
                 CampaignTuple {
                     id: i as u32,
                     scenario: FaultScenario::ALL[(h % 6) as usize],
-                    bench: Benchmark::ALL[((h >> 3) % 12) as usize],
+                    workload: Workload::Bench(Benchmark::ALL[((h >> 3) % 12) as usize]),
                     vdd: if (h >> 8) & 1 == 0 {
                         Voltage::high_fault()
                     } else {
@@ -246,19 +265,37 @@ impl CampaignConfig {
                     seed: mix2(h, 0x5eed),
                 }
             })
-            .collect()
+            .collect();
+        for j in 0..self.riscv_tuples {
+            let i = self.tuples + j;
+            let h = mix2(self.campaign_seed, 0x7269_7363_76 ^ j as u64);
+            let name = RISCV_CAMPAIGN_PROGRAMS[j % RISCV_CAMPAIGN_PROGRAMS.len()];
+            tuples.push(CampaignTuple {
+                id: i as u32,
+                scenario: FaultScenario::ALL[(h % 6) as usize],
+                workload: Workload::builtin(name).expect("built-in program"),
+                vdd: if (h >> 8) & 1 == 0 {
+                    Voltage::high_fault()
+                } else {
+                    Voltage::low_fault()
+                },
+                seed: mix2(h, 0x5eed),
+            });
+        }
+        tuples
     }
 
     /// The journal's configuration fingerprint line.
     pub fn meta_line(&self) -> String {
         format!(
-            "# tv-campaign v1 seed={} tuples={} commits={} warmup={} watchdog={} control={}",
+            "# tv-campaign v1 seed={} tuples={} commits={} warmup={} watchdog={} control={} riscv={}",
             self.campaign_seed,
             self.tuples,
             self.commits,
             self.warmup,
             self.watchdog_cycles,
             u8::from(self.include_control),
+            self.riscv_tuples,
         )
     }
 }
@@ -277,7 +314,7 @@ fn cell_prefix(tuple: &CampaignTuple, scheme: Scheme) -> String {
         "{},{},{},{:.3},{},{}",
         tuple.id,
         tuple.scenario,
-        tuple.bench.name(),
+        tuple.workload.name(),
         tuple.vdd.volts(),
         scheme.name(),
         tuple.seed,
@@ -296,7 +333,7 @@ fn cell_label(tuple: &CampaignTuple, scheme: Scheme) -> String {
         "#{} {} {}/{}@{:.3}V seed={}",
         tuple.id,
         tuple.scenario,
-        tuple.bench.name(),
+        tuple.workload.name(),
         scheme.name(),
         tuple.vdd.volts(),
         tuple.seed,
@@ -371,15 +408,18 @@ pub fn run_cell(tuple: &CampaignTuple, scheme: Scheme, config: &CampaignConfig) 
         watchdog_cycles: config.watchdog_cycles,
         ..CoreConfig::core1()
     };
-    let profile = tuple.bench.profile();
+    let spec = tuple.workload.spec();
+    let (rate_097, rate_104) = spec.fault_rates();
     let mut pipe = scheme
-        .pipeline_builder(tuple.bench, tuple.seed, tuple.vdd)
-        .calibration(tuple.scenario.calibration(&profile))
+        .pipeline_builder_with_spec(spec, tuple.seed, tuple.vdd)
+        .calibration(tuple.scenario.calibration_from_rates(rate_097, rate_104))
         .sensor(tuple.scenario.sensor(tuple.seed))
         .config(core)
         .oracle(true)
         .build();
-    if config.warmup > 0 {
+    // Finite programs run start-to-halt (no warm-up phase to consume the
+    // program); synthetic streams warm up first.
+    if config.warmup > 0 && !tuple.workload.is_riscv() {
         match pipe.try_run(config.warmup) {
             Ok(_) => pipe.reset_stats(),
             Err(e) => {
@@ -395,7 +435,12 @@ pub fn run_cell(tuple: &CampaignTuple, scheme: Scheme, config: &CampaignConfig) 
             }
         }
     }
-    match pipe.try_run(config.commits) {
+    let measured = if tuple.workload.is_riscv() {
+        pipe.try_run_to_halt(config.commits)
+    } else {
+        pipe.try_run(config.commits)
+    };
+    match measured {
         Ok(stats) => {
             let report = pipe.oracle_report().expect("oracle enabled");
             let (verdict, detail) = if report.clean() {
@@ -545,7 +590,7 @@ pub fn run_campaign(
     let schemes = config.schemes();
     let cells: Vec<(CampaignTuple, Scheme)> = tuples
         .iter()
-        .flat_map(|t| schemes.iter().map(move |&s| (*t, s)))
+        .flat_map(|t| schemes.iter().map(|&s| (t.clone(), s)))
         .collect();
     let keys: Vec<String> = cells.iter().map(|(t, s)| cell_key(t, *s)).collect();
 
@@ -570,7 +615,7 @@ pub fn run_campaign(
         .filter(|&i| !completed.contains_key(&keys[i]))
         .collect();
     let pending: Vec<(CampaignTuple, Scheme)> =
-        pending_idx.iter().map(|&i| cells[i]).collect();
+        pending_idx.iter().map(|&i| cells[i].clone()).collect();
     let labels: Vec<String> = pending.iter().map(|(t, s)| cell_label(t, *s)).collect();
     let pending_keys: Vec<String> = pending_idx.iter().map(|&i| keys[i].clone()).collect();
     let prefixes: Vec<String> = pending.iter().map(|(t, s)| cell_prefix(t, *s)).collect();
@@ -644,6 +689,7 @@ mod tests {
             tuples: 3,
             commits: 4_000,
             warmup: 2_000,
+            riscv_tuples: 1,
             ..CampaignConfig::full()
         }
     }
@@ -663,15 +709,24 @@ mod tests {
         let a = cfg.generate_tuples();
         let b = cfg.generate_tuples();
         assert_eq!(a, b, "the sweep is a pure function of the config");
-        assert_eq!(a.len(), 64);
+        assert_eq!(a.len(), 64 + 4, "synthetic tuples plus the RISC-V appendix");
         assert!(a.iter().enumerate().all(|(i, t)| t.id == i as u32));
         let scenarios: std::collections::HashSet<_> =
             a.iter().map(|t| t.scenario).collect();
-        let benches: std::collections::HashSet<_> = a.iter().map(|t| t.bench).collect();
+        let names: std::collections::HashSet<_> =
+            a.iter().map(|t| t.workload.name()).collect();
         assert!(scenarios.len() >= 5, "64 tuples must cover the scenarios");
-        assert!(benches.len() >= 8, "64 tuples must cover the benchmarks");
+        assert!(names.len() >= 8, "64 tuples must cover the benchmarks");
         let seeds: std::collections::HashSet<_> = a.iter().map(|t| t.seed).collect();
         assert_eq!(seeds.len(), a.len(), "per-tuple seeds must be distinct");
+        assert!(
+            a[..64].iter().all(|t| !t.workload.is_riscv()),
+            "synthetic tuples come first"
+        );
+        assert!(
+            a[64..].iter().all(|t| t.workload.is_riscv()),
+            "the appendix runs real programs"
+        );
     }
 
     #[test]
@@ -680,7 +735,11 @@ mod tests {
         let journal = temp_journal("smoke");
         let report =
             run_campaign(&Fleet::new(2), &cfg, &journal, false).expect("campaign runs");
-        assert_eq!(report.rows.len(), cfg.tuples * 7, "6 schemes + control");
+        assert_eq!(
+            report.rows.len(),
+            (cfg.tuples + cfg.riscv_tuples) * 7,
+            "6 schemes + control"
+        );
         assert_eq!(report.executed, report.rows.len());
         assert_eq!(report.reused, 0);
         assert_eq!(report.panicked, 0);

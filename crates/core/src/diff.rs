@@ -12,6 +12,10 @@
 //! 1. all schemes commit bit-identical streams (FNV-1a over
 //!    `(seq, pc, op)` triples), and
 //! 2. no run violates a single pipeline invariant.
+//!
+//! Tuples name a [`Workload`], so the same harness diffs synthetic
+//! benchmarks and real RISC-V programs (which additionally run under the
+//! golden-model oracle when [`DiffConfig::oracle`] is set).
 
 use tv_audit::AuditLevel;
 use tv_timing::Voltage;
@@ -19,12 +23,13 @@ use tv_workloads::Benchmark;
 
 use crate::fleet::Fleet;
 use crate::schemes::Scheme;
+use crate::workload::Workload;
 
 /// One differential test point.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiffTuple {
-    /// Benchmark under test.
-    pub bench: Benchmark,
+    /// Workload under test.
+    pub workload: Workload,
     /// Faulty-environment supply voltage (FaultFree still runs nominal).
     pub vdd: Voltage,
     /// Workload/die seed.
@@ -34,11 +39,25 @@ pub struct DiffTuple {
 impl DiffTuple {
     /// Cartesian sweep over benchmarks × voltages × seeds.
     pub fn sweep(benches: &[Benchmark], voltages: &[Voltage], seeds: &[u64]) -> Vec<DiffTuple> {
+        let workloads: Vec<Workload> = benches.iter().map(|&b| Workload::Bench(b)).collect();
+        Self::sweep_workloads(&workloads, voltages, seeds)
+    }
+
+    /// Cartesian sweep over arbitrary workloads × voltages × seeds.
+    pub fn sweep_workloads(
+        workloads: &[Workload],
+        voltages: &[Voltage],
+        seeds: &[u64],
+    ) -> Vec<DiffTuple> {
         let mut tuples = Vec::new();
-        for &bench in benches {
+        for workload in workloads {
             for &vdd in voltages {
                 for &seed in seeds {
-                    tuples.push(DiffTuple { bench, vdd, seed });
+                    tuples.push(DiffTuple {
+                        workload: workload.clone(),
+                        vdd,
+                        seed,
+                    });
                 }
             }
         }
@@ -58,6 +77,9 @@ pub struct DiffConfig {
     pub audit: AuditLevel,
     /// Schemes to compare (default: all six).
     pub schemes: Vec<Scheme>,
+    /// Also run the golden-model oracle and record its verdict per run
+    /// (default: off; the synthetic golden CSVs predate the field).
+    pub oracle: bool,
 }
 
 impl Default for DiffConfig {
@@ -67,6 +89,7 @@ impl Default for DiffConfig {
             warmup: 5_000,
             audit: AuditLevel::Full,
             schemes: Scheme::ALL.to_vec(),
+            oracle: false,
         }
     }
 }
@@ -74,8 +97,8 @@ impl Default for DiffConfig {
 /// The outcome of one scheme's run within a tuple.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffRun {
-    /// Benchmark of the tuple.
-    pub bench: Benchmark,
+    /// Workload name of the tuple (`gcc`, `riscv:matmul`, …).
+    pub workload: String,
     /// Supply voltage of the tuple.
     pub vdd: Voltage,
     /// Seed of the tuple.
@@ -96,6 +119,9 @@ pub struct DiffRun {
     pub audit_violations: u64,
     /// First violation's description, if any.
     pub first_violation: Option<String>,
+    /// Golden-model verdict when [`DiffConfig::oracle`] is on: `Some(true)`
+    /// iff every committed value and the final register file matched.
+    pub oracle_clean: Option<bool>,
 }
 
 /// Aggregate result of a differential sweep.
@@ -138,20 +164,28 @@ fn stream_hash(log: &[(u64, u64, u8)]) -> u64 {
     h
 }
 
-fn run_one(tuple: DiffTuple, scheme: Scheme, cfg: &DiffConfig) -> DiffRun {
+fn run_one(tuple: &DiffTuple, scheme: Scheme, cfg: &DiffConfig) -> DiffRun {
     let mut builder = scheme
-        .pipeline_builder(tuple.bench, tuple.seed, tuple.vdd)
-        .record_commits(true);
+        .pipeline_builder_for(&tuple.workload, tuple.seed, tuple.vdd)
+        .record_commits(true)
+        .oracle(cfg.oracle);
     if cfg.audit.enabled() {
         builder = builder.audit(cfg.audit);
     }
     let mut pipe = builder.build();
-    pipe.warm_up(cfg.warmup);
-    let stats = pipe.run(cfg.commits);
+    // Finite programs run start-to-halt (warming up would consume the
+    // program); synthetic streams warm up then measure, as the golden
+    // CSVs were produced.
+    let stats = if tuple.workload.is_riscv() {
+        pipe.run_to_halt(cfg.commits)
+    } else {
+        pipe.warm_up(cfg.warmup);
+        pipe.run(cfg.commits)
+    };
     let log = pipe.commit_log().expect("recording enabled");
     let report = pipe.audit_report();
     DiffRun {
-        bench: tuple.bench,
+        workload: tuple.workload.name(),
         vdd: tuple.vdd,
         seed: tuple.seed,
         scheme,
@@ -165,6 +199,7 @@ fn run_one(tuple: DiffTuple, scheme: Scheme, cfg: &DiffConfig) -> DiffRun {
             .as_ref()
             .and_then(|r| r.violations.first())
             .map(|v| format!("cycle {}: {}: {}", v.cycle, v.invariant, v.detail)),
+        oracle_clean: pipe.oracle_report().map(|r| r.clean()),
     }
 }
 
@@ -174,10 +209,10 @@ fn run_one(tuple: DiffTuple, scheme: Scheme, cfg: &DiffConfig) -> DiffRun {
 pub fn run_differential(fleet: &Fleet, tuples: &[DiffTuple], cfg: &DiffConfig) -> DiffReport {
     let items: Vec<(DiffTuple, Scheme)> = tuples
         .iter()
-        .flat_map(|&t| cfg.schemes.iter().map(move |&s| (t, s)))
+        .flat_map(|t| cfg.schemes.iter().map(|&s| (t.clone(), s)))
         .collect();
     let runs = fleet
-        .map(items, |&(tuple, scheme)| run_one(tuple, scheme, cfg))
+        .map(items, |(tuple, scheme)| run_one(tuple, *scheme, cfg))
         .results;
 
     let mut mismatches = Vec::new();
@@ -188,7 +223,7 @@ pub fn run_differential(fleet: &Fleet, tuples: &[DiffTuple], cfg: &DiffConfig) -
                 mismatches.push(format!(
                     "{}@{:.3}V seed {}: {} stream (hash {:016x}, {} commits) \
                      diverges from {} (hash {:016x}, {} commits)",
-                    run.bench.name(),
+                    run.workload,
                     run.vdd.volts(),
                     run.seed,
                     run.scheme.name(),
@@ -229,9 +264,10 @@ mod tests {
             warmup: 500,
             audit: AuditLevel::Basic,
             schemes: vec![Scheme::FaultFree, Scheme::Razor],
+            oracle: false,
         };
         let tuples = [DiffTuple {
-            bench: Benchmark::Gcc,
+            workload: Workload::Bench(Benchmark::Gcc),
             vdd: Voltage::high_fault(),
             seed: 3,
         }];
@@ -240,5 +276,40 @@ mod tests {
         assert!(report.clean(), "mismatches: {:?}", report.mismatches);
         assert!(report.runs.iter().all(|r| r.commits == 3_500));
         assert!(report.runs.iter().all(|r| r.audit_checks > 0));
+        assert!(report.runs.iter().all(|r| r.oracle_clean.is_none()));
+    }
+
+    #[test]
+    fn differential_riscv_program_all_schemes_oracle_clean() {
+        let mut schemes = Scheme::ALL.to_vec();
+        schemes.push(Scheme::NoTolerance);
+        let cfg = DiffConfig {
+            commits: 1_000_000,
+            warmup: 0,
+            audit: AuditLevel::Basic,
+            schemes,
+            oracle: true,
+        };
+        let tuples = [DiffTuple {
+            workload: Workload::builtin("hazard_raw").unwrap(),
+            vdd: Voltage::high_fault(),
+            seed: 9,
+        }];
+        let report = run_differential(&Fleet::serial(), &tuples, &cfg);
+        assert_eq!(report.runs.len(), 7);
+        assert!(
+            report.mismatches.is_empty(),
+            "all schemes must commit the same real-program stream: {:?}",
+            report.mismatches
+        );
+        assert_eq!(report.total_violations(), 0);
+        // Every run commits the whole program (same dynamic length).
+        let commits = report.runs[0].commits;
+        assert!(commits > 0);
+        assert!(report.runs.iter().all(|r| r.commits == commits));
+        assert!(report
+            .runs
+            .iter()
+            .all(|r| r.oracle_clean.is_some()));
     }
 }

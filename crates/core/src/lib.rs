@@ -52,6 +52,7 @@ pub mod fleet;
 pub mod report;
 pub mod schemes;
 pub mod select;
+pub mod workload;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CampaignTuple, FaultScenario};
 pub use diff::{run_differential, DiffConfig, DiffReport, DiffRun, DiffTuple};
@@ -60,3 +61,4 @@ pub use fleet::{Fleet, FleetRun, FleetStats, Job, JobPanic, JobTiming};
 pub use report::{average_row, FigureRow, Table1Row};
 pub use schemes::Scheme;
 pub use select::{CriticalityDrivenSelect, FaultyFirstSelect};
+pub use workload::Workload;

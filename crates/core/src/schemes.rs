@@ -21,9 +21,10 @@
 
 use tv_timing::Voltage;
 use tv_uarch::{AgeBasedSelect, Pipeline, PipelineBuilder, SelectPolicy, ToleranceMode};
-use tv_workloads::{Benchmark, Profile};
+use tv_workloads::{Benchmark, Profile, WorkloadSpec};
 
 use crate::select::{CriticalityDrivenSelect, FaultyFirstSelect};
+use crate::workload::Workload;
 
 /// One of the paper's comparative schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -109,10 +110,32 @@ impl Scheme {
     }
 
     /// [`pipeline_builder`](Scheme::pipeline_builder) for an explicit
-    /// workload profile.
+    /// synthetic workload profile.
     pub fn pipeline_builder_with_profile(
         self,
         profile: Profile,
+        seed: u64,
+        vdd: Voltage,
+    ) -> PipelineBuilder {
+        self.pipeline_builder_with_spec(WorkloadSpec::Synthetic(profile), seed, vdd)
+    }
+
+    /// [`pipeline_builder`](Scheme::pipeline_builder) for a named
+    /// [`Workload`] — synthetic benchmark or RISC-V program.
+    pub fn pipeline_builder_for(
+        self,
+        workload: &Workload,
+        seed: u64,
+        vdd: Voltage,
+    ) -> PipelineBuilder {
+        self.pipeline_builder_with_spec(workload.spec(), seed, vdd)
+    }
+
+    /// [`pipeline_builder`](Scheme::pipeline_builder) for any workload
+    /// recipe.
+    pub fn pipeline_builder_with_spec(
+        self,
+        workload: WorkloadSpec,
         seed: u64,
         vdd: Voltage,
     ) -> PipelineBuilder {
@@ -121,7 +144,7 @@ impl Scheme {
         } else {
             vdd
         };
-        Pipeline::builder_with_profile(profile, seed)
+        Pipeline::builder_with_workload(workload, seed)
             .tolerance(self.tolerance_mode())
             .voltage(vdd)
             .policy(self.policy())

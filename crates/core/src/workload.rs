@@ -1,0 +1,208 @@
+//! Workload naming: one string names either a synthetic SPEC-like
+//! benchmark or a real RISC-V program.
+//!
+//! Harness binaries accept `--workload <name>`, where `<name>` is a
+//! benchmark name (`gcc`, `astar`, …) or `riscv:<program>` with
+//! `<program>` one of the built-in assembly programs shipped under
+//! `examples/asm/` (`riscv:matmul`) or a path to an `.asm` file on disk
+//! (`riscv:examples/asm/matmul.asm`). The built-ins are compiled into the
+//! binary, so campaigns and tests never depend on the working directory.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tv_workloads::riscv::assemble;
+use tv_workloads::{Benchmark, RiscvProgram, WorkloadSpec};
+
+/// The built-in RISC-V programs, embedded from `examples/asm/`.
+pub const BUILTIN_ASM: [(&str, &str); 5] = [
+    ("matmul", include_str!("../../../examples/asm/matmul.asm")),
+    ("quicksort", include_str!("../../../examples/asm/quicksort.asm")),
+    ("checksum", include_str!("../../../examples/asm/checksum.asm")),
+    ("hazard_raw", include_str!("../../../examples/asm/hazard_raw.asm")),
+    ("hazard_branch", include_str!("../../../examples/asm/hazard_branch.asm")),
+];
+
+/// A named workload: a synthetic benchmark or an assembled RISC-V program.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// A synthetic SPEC CPU2006-like benchmark profile.
+    Bench(Benchmark),
+    /// An assembled RISC-V program and the name it was resolved under.
+    Riscv {
+        /// Registry name or source path, as given to [`Workload::parse`].
+        name: String,
+        /// The assembled program.
+        program: Arc<RiscvProgram>,
+    },
+}
+
+impl PartialEq for Workload {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Workload::Bench(a), Workload::Bench(b)) => a == b,
+            (Workload::Riscv { program: a, .. }, Workload::Riscv { program: b, .. }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Workload {
+    /// Resolves a workload name: `riscv:<builtin-or-path>` or a benchmark
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the valid choices when the
+    /// name matches no benchmark and no built-in, the file cannot be read,
+    /// or the assembly is malformed.
+    pub fn parse(name: &str) -> Result<Workload, String> {
+        if let Some(spec) = name.strip_prefix("riscv:") {
+            return Self::parse_riscv(spec);
+        }
+        Benchmark::ALL
+            .iter()
+            .find(|b| b.name() == name)
+            .map(|&b| Workload::Bench(b))
+            .ok_or_else(|| {
+                let benches: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+                format!(
+                    "unknown workload `{name}`: expected one of {} or riscv:<{}|path.asm>",
+                    benches.join("|"),
+                    builtin_names().join("|"),
+                )
+            })
+    }
+
+    fn parse_riscv(spec: &str) -> Result<Workload, String> {
+        if let Some(workload) = Self::builtin(spec) {
+            return Ok(workload);
+        }
+        let src = std::fs::read_to_string(spec)
+            .map_err(|e| format!("riscv workload `{spec}` is neither a built-in program ({}) nor a readable file: {e}", builtin_names().join("|")))?;
+        let program = assemble(&src).map_err(|e| format!("{spec}: {e}"))?;
+        Ok(Workload::Riscv {
+            name: spec.to_string(),
+            program: Arc::new(program),
+        })
+    }
+
+    /// One of the [`BUILTIN_ASM`] programs by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an embedded program fails to assemble (a build-time bug;
+    /// the unit tests assemble every built-in).
+    pub fn builtin(name: &str) -> Option<Workload> {
+        BUILTIN_ASM
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(n, src)| Workload::Riscv {
+                name: (*n).to_string(),
+                program: Arc::new(
+                    assemble(src).unwrap_or_else(|e| panic!("built-in {n}.asm: {e}")),
+                ),
+            })
+    }
+
+    /// The names of the built-in RISC-V programs.
+    pub fn builtin_names() -> Vec<&'static str> {
+        builtin_names()
+    }
+
+    /// The workload's display name (`gcc`, `riscv:matmul`, …), stable for
+    /// CSV rows and journal keys.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Bench(b) => b.name().to_string(),
+            Workload::Riscv { name, .. } => format!("riscv:{name}"),
+        }
+    }
+
+    /// The pipeline-facing workload recipe.
+    pub fn spec(&self) -> WorkloadSpec {
+        match self {
+            Workload::Bench(b) => WorkloadSpec::Synthetic(b.profile()),
+            Workload::Riscv { program, .. } => WorkloadSpec::Riscv(program.clone()),
+        }
+    }
+
+    /// Whether this is a finite real-program workload.
+    pub fn is_riscv(&self) -> bool {
+        matches!(self, Workload::Riscv { .. })
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl From<Benchmark> for Workload {
+    fn from(bench: Benchmark) -> Self {
+        Workload::Bench(bench)
+    }
+}
+
+fn builtin_names() -> Vec<&'static str> {
+    BUILTIN_ASM.iter().map(|(n, _)| *n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_assembles_and_parses() {
+        for (name, _) in BUILTIN_ASM {
+            let w = Workload::parse(&format!("riscv:{name}")).expect(name);
+            assert!(w.is_riscv());
+            assert_eq!(w.name(), format!("riscv:{name}"));
+            match &w {
+                Workload::Riscv { program, .. } => assert!(!program.is_empty()),
+                Workload::Bench(_) => unreachable!(),
+            }
+        }
+        assert_eq!(Workload::builtin_names().len(), BUILTIN_ASM.len());
+    }
+
+    #[test]
+    fn benchmark_names_parse() {
+        let w = Workload::parse("gcc").unwrap();
+        assert_eq!(w, Workload::Bench(Benchmark::Gcc));
+        assert!(!w.is_riscv());
+        assert_eq!(w.name(), "gcc");
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_choices() {
+        let err = Workload::parse("nonesuch").unwrap_err();
+        assert!(err.contains("gcc"), "{err}");
+        assert!(err.contains("matmul"), "{err}");
+        let err = Workload::parse("riscv:nonesuch").unwrap_err();
+        assert!(err.contains("matmul"), "{err}");
+    }
+
+    #[test]
+    fn riscv_paths_load_from_disk() {
+        let dir = std::env::temp_dir().join("tv_workload_parse_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.asm");
+        std::fs::write(&path, "li a0, 7\necall\n").unwrap();
+        let w = Workload::parse(&format!("riscv:{}", path.display())).unwrap();
+        assert!(w.is_riscv());
+        // Malformed files report the assembler's line number.
+        std::fs::write(&path, "li a0, 7\nbogus x1\necall\n").unwrap();
+        let err = Workload::parse(&format!("riscv:{}", path.display())).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn equality_is_by_program_not_name() {
+        let a = Workload::builtin("matmul").unwrap();
+        let b = Workload::parse("riscv:matmul").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, Workload::builtin("checksum").unwrap());
+    }
+}

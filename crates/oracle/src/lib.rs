@@ -19,8 +19,10 @@
 //! overwritten, which is what gives the oracle its teeth.
 
 use std::fmt;
+use std::sync::Arc;
 
 use tv_prng::{fast_map, FastHashMap};
+use tv_workloads::riscv::{isa, RiscvProgram};
 use tv_workloads::{OpClass, TraceInst};
 
 /// Maximum number of mismatch samples retained for diagnostics.
@@ -99,9 +101,124 @@ impl SparseMemory {
         self.written.insert(addr, value);
     }
 
+    /// The word at `addr` if it was ever written, without synthesizing an
+    /// initial value. RISC-V semantics use this: real memory starts
+    /// all-zero, so an unwritten word reads as `0`, not as the synthetic
+    /// hash.
+    pub fn get(&self, addr: u64) -> Option<u64> {
+        self.written.get(&addr).copied()
+    }
+
+    /// The written image as sorted `(address, word)` pairs.
+    pub fn image(&self) -> Vec<(u64, u64)> {
+        let mut image: Vec<(u64, u64)> = self.written.iter().map(|(&a, &w)| (a, w)).collect();
+        image.sort_unstable();
+        image
+    }
+
     /// Number of distinct addresses written so far.
     pub fn written_words(&self) -> usize {
         self.written.len()
+    }
+}
+
+/// Architectural effect of one committed instruction, as computed by a
+/// [`Semantics`] from the instruction's operand values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitEffect {
+    /// The instruction produces this destination (or link) value.
+    Value(u64),
+    /// The instruction stores `data` at `addr` (word-granular under
+    /// RISC-V semantics: sub-word stores arrive pre-merged into their
+    /// containing word).
+    Store { addr: u64, data: u64 },
+    /// No architectural value effect (branches, the halting `ecall`).
+    None,
+}
+
+/// The value semantics of the simulated ISA.
+///
+/// The pipeline's value plane and the golden model share one `Semantics`
+/// instance, so they agree exactly on clean executions — the plane merely
+/// adds the fault model's corruption mask on top. [`Synthetic`]
+/// (`Semantics::Synthetic`) is the paper-study hash semantics
+/// ([`value_of`]); [`Riscv`](Semantics::Riscv) executes the real RV32I+M
+/// instruction at the committed PC.
+#[derive(Debug, Clone, Default)]
+pub enum Semantics {
+    /// Hash-based synthetic values: [`value_of`] over 64-bit operands,
+    /// memory with deterministic nonzero initial contents.
+    #[default]
+    Synthetic,
+    /// Real RV32I+M execution of the given program: 32-bit values,
+    /// word-granular memory starting all-zero.
+    Riscv(Arc<RiscvProgram>),
+}
+
+impl Semantics {
+    /// Width mask applied to every committed value (and corruption mask).
+    pub fn mask(&self) -> u64 {
+        match self {
+            Semantics::Synthetic => u64::MAX,
+            Semantics::Riscv(_) => 0xffff_ffff,
+        }
+    }
+
+    /// Computes the architectural effect of committing `t` with operand
+    /// values `a`/`b` (slot 0 / slot 1) against memory `mem`.
+    ///
+    /// Addresses are recomputed from the operand values — not taken from
+    /// the trace — so a corrupted base register mis-addresses memory on
+    /// the corrupted side exactly as real hardware would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a synthetic memory op carries no effective address, or if
+    /// a RISC-V commit PC lies outside the program.
+    pub fn effect(&self, t: &TraceInst, a: u64, b: u64, mem: &SparseMemory) -> CommitEffect {
+        match self {
+            Semantics::Synthetic => match t.op {
+                OpClass::Load => {
+                    let addr = t.mem_addr.expect("load carries an address");
+                    CommitEffect::Value(mem.read(addr))
+                }
+                OpClass::Store => {
+                    let addr = t.mem_addr.expect("store carries an address");
+                    CommitEffect::Store {
+                        addr,
+                        data: value_of(OpClass::Store, t.pc, a, b),
+                    }
+                }
+                op if op.writes_register() => CommitEffect::Value(value_of(op, t.pc, a, b)),
+                _ => CommitEffect::None,
+            },
+            Semantics::Riscv(program) => {
+                let inst = program
+                    .inst_at(t.pc)
+                    .expect("riscv commit PC lies inside the program");
+                match inst.eval(t.pc as u32, a as u32, b as u32) {
+                    isa::Action::Alu(v) => CommitEffect::Value(u64::from(v)),
+                    isa::Action::Load { addr, width, signed } => {
+                        let word = mem.get(u64::from(isa::word_addr(addr))).unwrap_or(0) as u32;
+                        CommitEffect::Value(u64::from(isa::load_from_word(
+                            word, addr, width, signed,
+                        )))
+                    }
+                    isa::Action::Store { addr, width, data } => {
+                        let wa = isa::word_addr(addr);
+                        let old = mem.get(u64::from(wa)).unwrap_or(0) as u32;
+                        CommitEffect::Store {
+                            addr: u64::from(wa),
+                            data: u64::from(isa::store_into_word(old, addr, width, data)),
+                        }
+                    }
+                    isa::Action::Branch { .. } | isa::Action::Halt => CommitEffect::None,
+                    // The link value is produced even for `rd = x0` (both
+                    // sides then discard the register write identically).
+                    isa::Action::Jump { link, .. } => CommitEffect::Value(u64::from(link)),
+                }
+            }
+        }
     }
 }
 
@@ -114,6 +231,7 @@ impl SparseMemory {
 /// the whole point of a golden model.
 #[derive(Debug, Clone)]
 pub struct GoldenModel {
+    semantics: Semantics,
     regs: [u64; 32],
     mem: SparseMemory,
 }
@@ -125,9 +243,16 @@ impl Default for GoldenModel {
 }
 
 impl GoldenModel {
-    /// A reset machine: all registers zero, memory at initial values.
+    /// A reset machine under synthetic semantics: all registers zero,
+    /// memory at initial values.
     pub fn new() -> Self {
+        Self::with_semantics(Semantics::Synthetic)
+    }
+
+    /// A reset machine under the given value semantics.
+    pub fn with_semantics(semantics: Semantics) -> Self {
         GoldenModel {
+            semantics,
             regs: [0; 32],
             mem: SparseMemory::new(),
         }
@@ -144,18 +269,13 @@ impl GoldenModel {
     pub fn step(&mut self, t: &TraceInst) -> Option<u64> {
         let a = t.srcs[0].map_or(0, |r| self.regs[r.index() as usize]);
         let b = t.srcs[1].map_or(0, |r| self.regs[r.index() as usize]);
-        let value = match t.op {
-            OpClass::Load => {
-                let addr = t.mem_addr.expect("load carries an address");
-                Some(self.mem.read(addr))
-            }
-            OpClass::Store => {
-                let addr = t.mem_addr.expect("store carries an address");
-                self.mem.write(addr, value_of(OpClass::Store, t.pc, a, b));
+        let value = match self.semantics.effect(t, a, b, &self.mem) {
+            CommitEffect::Value(v) => Some(v),
+            CommitEffect::Store { addr, data } => {
+                self.mem.write(addr, data);
                 None
             }
-            op if op.writes_register() => Some(value_of(op, t.pc, a, b)),
-            _ => None,
+            CommitEffect::None => None,
         };
         if let (Some(v), Some(d)) = (value, t.dst) {
             if !d.is_zero() {
@@ -251,14 +371,26 @@ pub struct Oracle {
 }
 
 impl Oracle {
-    /// A fresh oracle over a reset golden machine.
+    /// A fresh oracle over a reset golden machine with synthetic
+    /// semantics.
     pub fn new() -> Self {
+        Self::with_semantics(Semantics::Synthetic)
+    }
+
+    /// A fresh oracle over a reset golden machine with the given value
+    /// semantics.
+    pub fn with_semantics(semantics: Semantics) -> Self {
         Oracle {
-            model: GoldenModel::new(),
+            model: GoldenModel::with_semantics(semantics),
             checked: 0,
             value_mismatches: 0,
             samples: Vec::new(),
         }
+    }
+
+    /// The golden machine being advanced (for end-state comparisons).
+    pub fn model(&self) -> &GoldenModel {
+        &self.model
     }
 
     /// Checks one commit: `committed` is the destination value the pipeline

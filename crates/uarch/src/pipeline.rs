@@ -3,8 +3,10 @@
 //!
 //! # Modelling notes (substitutions documented in DESIGN.md)
 //!
-//! * **Trace-driven**: instructions arrive pre-resolved from
-//!   [`TraceGenerator`]. On a branch misprediction the machine does not
+//! * **Trace-driven**: instructions arrive pre-resolved from a
+//!   [`WorkloadSource`] — the synthetic
+//!   [`TraceGenerator`](tv_workloads::TraceGenerator) or a real RISC-V
+//!   program. On a branch misprediction the machine does not
 //!   fetch wrong-path instructions; fetch blocks until the branch resolves
 //!   and then pays the redirect latency, reproducing the ~10-cycle
 //!   misprediction loop of the Core-1 configuration.
@@ -28,7 +30,8 @@ use std::collections::{BinaryHeap, VecDeque};
 use tv_audit::{AuditLevel, AuditReport, AuditSnapshot, Auditor};
 use tv_tep::{Tep, TepConfig};
 use tv_timing::{FaultCalibration, FaultModel, PipeStage, SensorModel, Voltage};
-use tv_workloads::{Benchmark, OpClass, Profile, TraceGenerator, TraceInst};
+use tv_oracle::Semantics;
+use tv_workloads::{Benchmark, OpClass, Profile, TraceInst, WorkloadSource, WorkloadSpec};
 
 use crate::branch::BranchPredictor;
 use crate::cache::CacheHierarchy;
@@ -132,7 +135,7 @@ impl Ord for ScheduledEvent {
 
 /// Configures and builds a [`Pipeline`].
 pub struct PipelineBuilder {
-    profile: Profile,
+    workload: WorkloadSpec,
     seed: u64,
     cfg: CoreConfig,
     mode: ToleranceMode,
@@ -239,7 +242,7 @@ impl PipelineBuilder {
     /// Panics if the machine configuration is invalid.
     pub fn build(self) -> Pipeline {
         self.cfg.validate();
-        let mut gen = TraceGenerator::new(self.profile.clone(), self.seed);
+        let mut gen = self.workload.source(self.seed);
         if self.fast_forward > 0 {
             gen.fast_forward(self.fast_forward);
         }
@@ -247,25 +250,31 @@ impl PipelineBuilder {
             None
         } else {
             let cal = self.calibration.unwrap_or_else(|| {
-                FaultCalibration::from_rates(
-                    self.profile.fault_rate_097,
-                    self.profile.fault_rate_104,
-                )
+                let (rate_097, rate_104) = self.workload.fault_rates();
+                FaultCalibration::from_rates(rate_097, rate_104)
             });
             let sensor = self.sensor.unwrap_or_else(SensorModel::quiescent);
             // Profile the dynamic PC frequencies once so the critical-PC
-            // set can be calibrated to the benchmark's measured fault rate
-            // (the trace is regenerated; the simulated stream is untouched).
-            let mut probe = TraceGenerator::new(self.profile.clone(), self.seed);
+            // set can be calibrated to the workload's measured fault rate
+            // (the trace is regenerated; the simulated stream is untouched;
+            // finite workloads may end before the probe budget runs out).
+            let mut probe = self.workload.source(self.seed);
             probe.fast_forward(self.fast_forward);
             let mut weights: std::collections::HashMap<u64, u64> =
                 std::collections::HashMap::new();
             for _ in 0..FAULT_CALIBRATION_PROBE {
-                *weights.entry(probe.next_inst().pc).or_default() += 1;
+                match probe.next_inst() {
+                    Some(t) => *weights.entry(t.pc).or_default() += 1,
+                    None => break,
+                }
             }
             Some(FaultModel::calibrated(
                 cal, self.vdd, self.seed, sensor, weights,
             ))
+        };
+        let semantics = match &self.workload {
+            WorkloadSpec::Synthetic(_) => Semantics::Synthetic,
+            WorkloadSpec::Riscv(program) => Semantics::Riscv(program.clone()),
         };
         let tep = self
             .mode
@@ -287,6 +296,7 @@ impl PipelineBuilder {
             exec,
             slab: Slab::new(),
             gen,
+            workload_done: false,
             fault_model,
             tep,
             mode: self.mode,
@@ -319,7 +329,7 @@ impl PipelineBuilder {
             audit_admits: [0; 3],
             audit_charges: Vec::new(),
             commit_log: self.record_commits.then(Vec::new),
-            values: self.oracle.then(|| ValuePlane::new(phys_regs)),
+            values: self.oracle.then(|| ValuePlane::new(phys_regs, semantics)),
             cand_buf: Vec::with_capacity(iq_entries),
             lane_blocked: Vec::new(),
             sq_renamed: Vec::new(),
@@ -335,7 +345,9 @@ impl PipelineBuilder {
 pub struct Pipeline {
     cfg: CoreConfig,
     mode: ToleranceMode,
-    gen: TraceGenerator,
+    gen: Box<dyn WorkloadSource>,
+    /// The workload stream has ended (a finite RISC-V program halted).
+    workload_done: bool,
     fault_model: Option<FaultModel>,
     tep: Option<Tep>,
     policy: Box<dyn SelectPolicy>,
@@ -418,10 +430,16 @@ impl Pipeline {
         Self::builder_with_profile(bench.profile(), seed)
     }
 
-    /// Starts a builder for an explicit workload profile.
+    /// Starts a builder for an explicit synthetic workload profile.
     pub fn builder_with_profile(profile: Profile, seed: u64) -> PipelineBuilder {
+        Self::builder_with_workload(WorkloadSpec::Synthetic(profile), seed)
+    }
+
+    /// Starts a builder for any workload — synthetic or a real RISC-V
+    /// program.
+    pub fn builder_with_workload(workload: WorkloadSpec, seed: u64) -> PipelineBuilder {
         PipelineBuilder {
-            profile,
+            workload,
             seed,
             cfg: CoreConfig::core1(),
             mode: ToleranceMode::FaultFree,
@@ -494,6 +512,55 @@ impl Pipeline {
         let mut last_committed = self.stats.committed;
         let threshold = self.cfg.watchdog_cycles;
         while self.stats.committed < target {
+            self.step();
+            if self.stats.committed != last_committed {
+                last_committed = self.stats.committed;
+                last_commit_cycle = self.cycle;
+            }
+            if self.cycle - last_commit_cycle >= threshold {
+                return Err(self.watchdog_error(last_commit_cycle));
+            }
+        }
+        self.finalize_stats();
+        Ok(self.stats.clone())
+    }
+
+    /// Whether a finite workload has ended *and* every in-flight
+    /// instruction has drained: nothing more will ever commit. Synthetic
+    /// workloads never drain.
+    pub fn drained(&self) -> bool {
+        self.workload_done && self.refetch.is_empty() && self.slab.len() == 0
+    }
+
+    /// Runs a finite workload to its halt (or until `max_commits` more
+    /// instructions retire, whichever comes first) and returns the final
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks; see
+    /// [`try_run_to_halt`](Pipeline::try_run_to_halt).
+    pub fn run_to_halt(&mut self, max_commits: u64) -> SimStats {
+        self.try_run_to_halt(max_commits)
+            .unwrap_or_else(|e| panic!("pipeline deadlock: {e}"))
+    }
+
+    /// Like [`try_run`](Pipeline::try_run), but also stops — successfully —
+    /// once the workload is [`drained`](Pipeline::drained), so real
+    /// programs run to their `ecall` halt. The commit watchdog stays
+    /// armed throughout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the watchdog's diagnostic dump when nothing commits for
+    /// [`CoreConfig::watchdog_cycles`] cycles.
+    pub fn try_run_to_halt(&mut self, max_commits: u64) -> Result<SimStats, WatchdogError> {
+        let target = self.stats.committed.saturating_add(max_commits);
+        self.commit_limit = target;
+        let mut last_commit_cycle = self.cycle;
+        let mut last_committed = self.stats.committed;
+        let threshold = self.cfg.watchdog_cycles;
+        while self.stats.committed < target && !self.drained() {
             self.step();
             if self.stats.committed != last_committed {
                 last_committed = self.stats.committed;
@@ -736,6 +803,19 @@ impl Pipeline {
     /// [`PipelineBuilder::oracle`].
     pub fn oracle_report(&self) -> Option<OracleReport> {
         self.values.as_ref().map(ValuePlane::report)
+    }
+
+    /// The committed architectural register file, when the oracle is
+    /// enabled. Under RISC-V semantics every entry is a zero-extended
+    /// 32-bit value directly comparable with the standalone executor's.
+    pub fn arch_regs(&self) -> Option<&[u64; 32]> {
+        self.values.as_ref().map(ValuePlane::arch_regs)
+    }
+
+    /// The committed memory image as sorted `(address, word)` pairs, when
+    /// the oracle is enabled.
+    pub fn memory_image(&self) -> Option<Vec<(u64, u64)>> {
+        self.values.as_ref().map(|v| v.memory().image())
     }
 
     /// Slips every pending datapath timestamp by one cycle (the EP global
@@ -1587,7 +1667,15 @@ impl Pipeline {
             }
             let (trace, cleared) = match self.refetch.pop_front() {
                 Some(entry) => entry,
-                None => (self.gen.next_inst(), false),
+                None => match self.gen.next_inst() {
+                    Some(trace) => (trace, false),
+                    None => {
+                        // Finite workload exhausted: stop fetching and let
+                        // everything in flight drain through retirement.
+                        self.workload_done = true;
+                        break;
+                    }
+                },
             };
             let mut inst = InFlightInst::new(trace);
             if !cleared {

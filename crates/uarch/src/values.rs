@@ -10,6 +10,10 @@
 //! register file or memory. Corruption then propagates architecturally
 //! through dependents, exactly like real silent data corruption.
 //!
+//! The value semantics itself is pluggable ([`Semantics`]): synthetic
+//! workloads use the hash semantics of [`tv_oracle::value_of`], RISC-V
+//! workloads execute the real RV32I+M instruction at the committed PC.
+//!
 //! Values are computed at *retire* time in commit order, never on the
 //! timing path: a dependent may issue speculatively before its producer's
 //! violation is even detected, but architectural state only changes at
@@ -17,12 +21,15 @@
 //! The plane is purely observational — enabling it cannot perturb a
 //! single cycle of the simulation.
 
-use tv_oracle::{value_of, Oracle, OracleReport, SparseMemory};
-use tv_workloads::{OpClass, TraceInst};
+use tv_oracle::{CommitEffect, Oracle, OracleReport, Semantics, SparseMemory};
+use tv_workloads::TraceInst;
 
 /// Physical-register-indexed value state plus the streaming oracle.
 #[derive(Debug)]
 pub(crate) struct ValuePlane {
+    /// The shared value semantics (also held by the oracle's golden
+    /// machine).
+    semantics: Semantics,
     /// Value held by each physical register (entry 0 pinned to zero).
     phys: Vec<u64>,
     /// Architectural register file, updated in commit order.
@@ -36,13 +43,14 @@ pub(crate) struct ValuePlane {
 impl ValuePlane {
     /// A reset plane: all registers zero (matching the reset rename map,
     /// where physical `i` holds architectural `r<i>`), memory at its
-    /// deterministic initial image.
-    pub(crate) fn new(phys_regs: usize) -> Self {
+    /// semantics-defined initial image.
+    pub(crate) fn new(phys_regs: usize, semantics: Semantics) -> Self {
         ValuePlane {
+            oracle: Oracle::with_semantics(semantics.clone()),
+            semantics,
             phys: vec![0; phys_regs],
             arch: [0; 32],
             mem: SparseMemory::new(),
-            oracle: Oracle::new(),
         }
     }
 
@@ -57,21 +65,16 @@ impl ValuePlane {
         dst_phys: Option<u16>,
         corruption: u64,
     ) {
+        let mask = self.semantics.mask();
         let a = src_phys[0].map_or(0, |p| self.phys[p as usize]);
         let b = src_phys[1].map_or(0, |p| self.phys[p as usize]);
-        let committed = match t.op {
-            OpClass::Load => {
-                let addr = t.mem_addr.expect("loads carry addresses");
-                Some(self.mem.read(addr) ^ corruption)
-            }
-            OpClass::Store => {
-                let addr = t.mem_addr.expect("stores carry addresses");
-                self.mem
-                    .write(addr, value_of(OpClass::Store, t.pc, a, b) ^ corruption);
+        let committed = match self.semantics.effect(t, a, b, &self.mem) {
+            CommitEffect::Value(v) => Some((v ^ corruption) & mask),
+            CommitEffect::Store { addr, data } => {
+                self.mem.write(addr, (data ^ corruption) & mask);
                 None
             }
-            op if op.writes_register() => Some(value_of(op, t.pc, a, b) ^ corruption),
-            _ => None,
+            CommitEffect::None => None,
         };
         if let Some(v) = committed {
             if let Some(d) = dst_phys.filter(|&d| d != 0) {
@@ -82,6 +85,16 @@ impl ValuePlane {
             }
         }
         self.oracle.observe(t, committed);
+    }
+
+    /// The committed architectural register file.
+    pub(crate) fn arch_regs(&self) -> &[u64; 32] {
+        &self.arch
+    }
+
+    /// The committed memory image.
+    pub(crate) fn memory(&self) -> &SparseMemory {
+        &self.mem
     }
 
     /// The oracle's verdict so far, including the architectural register

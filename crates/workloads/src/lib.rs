@@ -34,12 +34,16 @@ pub mod generate;
 pub mod inst;
 pub mod profile;
 pub mod program;
+pub mod riscv;
 pub mod simpoint;
+pub mod source;
 pub mod values;
 
 pub use generate::TraceGenerator;
 pub use inst::{ArchReg, OpClass, TraceInst};
 pub use profile::{Benchmark, Profile, Spec2000};
 pub use program::{BasicBlock, StaticInst, StaticProgram};
+pub use riscv::{RiscvMachine, RiscvProgram};
 pub use simpoint::{Phase, SimPoint};
+pub use source::{WorkloadSource, WorkloadSpec};
 pub use values::{ValueSample, ValueStream};

@@ -1,0 +1,436 @@
+//! A two-pass RV32I+M assembler with labels and line-numbered errors.
+//!
+//! # Grammar
+//!
+//! ```text
+//! line    := [label ':'] [inst] [comment]
+//! comment := '#' ... | '//' ...
+//! inst    := mnemonic operand (',' operand)*
+//! operand := reg | imm | imm '(' reg ')' | label
+//! reg     := 'x0'..'x31' | ABI name (zero ra sp gp tp t0-t6 s0-s11 a0-a7 fp)
+//! imm     := ['-'] digits | ['-'] '0x' hexdigits
+//! ```
+//!
+//! Pass 1 resolves label addresses (accounting for multi-word `li`
+//! expansions, whose length depends only on the literal); pass 2 encodes.
+//! Branch/jump operands accept a label or a numeric byte offset, so the
+//! canonical disassembly of [`RiscvProgram`] re-assembles verbatim.
+//!
+//! Pseudo-instructions: `nop`, `mv rd, rs`, `li rd, imm` (expands to
+//! `lui`+`addi` when the immediate exceeds 12 bits), `j label`, `ret`,
+//! `beqz rs, label`, `bnez rs, label`.
+
+use std::fmt;
+
+use tv_prng::FastHashMap;
+
+use super::isa::{Format, Inst, Op, RiscvProgram};
+
+/// Default base PC for assembled programs (matches the synthetic
+/// workloads' hot-code region start, so TEP geometry sees familiar PCs).
+pub const DEFAULT_BASE: u32 = 0x1000;
+
+/// An assembly failure, carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// Assembles `src` at [`DEFAULT_BASE`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] with its source line number.
+pub fn assemble(src: &str) -> Result<RiscvProgram, AsmError> {
+    assemble_at(src, DEFAULT_BASE)
+}
+
+/// Assembles `src` with an explicit base PC.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] with its source line number.
+pub fn assemble_at(src: &str, base: u32) -> Result<RiscvProgram, AsmError> {
+    let mut labels: FastHashMap<String, u32> = FastHashMap::default();
+    let mut word = 0u32;
+    // Pass 1: label addresses. `li` is the only statement whose word count
+    // varies, and its length is a pure function of the literal.
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let (label, rest) = split_label(raw, line)?;
+        if let Some(name) = label {
+            if labels.insert(name.clone(), base + 4 * word).is_some() {
+                return err(line, format!("duplicate label \"{name}\""));
+            }
+        }
+        if let Some(stmt) = rest {
+            word += statement_words(&stmt, line)?;
+        }
+    }
+
+    // Pass 2: encode.
+    let mut insts = Vec::with_capacity(word as usize);
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let (_, rest) = split_label(raw, line)?;
+        if let Some(stmt) = rest {
+            let pc = base + 4 * insts.len() as u32;
+            encode_statement(&stmt, pc, &labels, line, &mut insts)?;
+        }
+    }
+    Ok(RiscvProgram::new(base, insts))
+}
+
+/// Strips the comment and splits an optional leading `label:` from the
+/// statement text. Returns `(label, statement)`.
+fn split_label(raw: &str, line: usize) -> Result<(Option<String>, Option<String>), AsmError> {
+    let mut text = raw;
+    if let Some((code, _)) = text.split_once('#') {
+        text = code;
+    }
+    if let Some((code, _)) = text.split_once("//") {
+        text = code;
+    }
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok((None, None));
+    }
+    if let Some((label, rest)) = text.split_once(':') {
+        let label = label.trim();
+        if label.is_empty() || !is_ident(label) {
+            return err(line, format!("invalid label \"{label}\""));
+        }
+        let rest = rest.trim();
+        let stmt = (!rest.is_empty()).then(|| rest.to_string());
+        return Ok((Some(label.to_string()), stmt));
+    }
+    Ok((None, Some(text.to_string())))
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// How many instruction words a statement expands to.
+fn statement_words(stmt: &str, line: usize) -> Result<u32, AsmError> {
+    let (mnemonic, operands) = split_statement(stmt);
+    if mnemonic == "li" {
+        if operands.len() != 2 {
+            return err(line, "li expects: li rd, imm");
+        }
+        let imm = parse_int(&operands[1], line)?;
+        return Ok(li_words(imm));
+    }
+    Ok(1)
+}
+
+/// `li` expansion length for an immediate.
+fn li_words(imm: i64) -> u32 {
+    if (-2048..=2047).contains(&imm) {
+        1
+    } else if (imm as i32) & 0xfff == 0 {
+        1 // bare lui
+    } else {
+        2 // lui + addi
+    }
+}
+
+fn split_statement(stmt: &str) -> (String, Vec<String>) {
+    let mut parts = stmt.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or("").to_ascii_lowercase();
+    let operands = parts
+        .next()
+        .map(|rest| {
+            rest.split(',')
+                .map(|o| o.trim().to_string())
+                .collect::<Vec<_>>()
+        })
+        .unwrap_or_default();
+    (mnemonic, operands)
+}
+
+/// Parses one statement into `insts` (pseudo-ops may push two words).
+fn encode_statement(
+    stmt: &str,
+    pc: u32,
+    labels: &FastHashMap<String, u32>,
+    line: usize,
+    insts: &mut Vec<Inst>,
+) -> Result<(), AsmError> {
+    let (mnemonic, ops) = split_statement(stmt);
+    let argc = |want: usize| -> Result<(), AsmError> {
+        if ops.len() == want {
+            Ok(())
+        } else {
+            err(
+                line,
+                format!("{mnemonic} expects {want} operand(s), got {}", ops.len()),
+            )
+        }
+    };
+
+    // Pseudo-instructions first.
+    match mnemonic.as_str() {
+        "nop" => {
+            argc(0)?;
+            insts.push(Inst::nop());
+            return Ok(());
+        }
+        "mv" => {
+            argc(2)?;
+            let rd = reg(&ops[0], line)?;
+            let rs1 = reg(&ops[1], line)?;
+            insts.push(Inst { op: Op::Addi, rd, rs1, rs2: 0, imm: 0 });
+            return Ok(());
+        }
+        "li" => {
+            argc(2)?;
+            let rd = reg(&ops[0], line)?;
+            let imm = parse_int(&ops[1], line)?;
+            if !(-(1i64 << 31)..(1i64 << 32)).contains(&imm) {
+                return err(line, format!("li immediate {imm} exceeds 32 bits"));
+            }
+            let v = imm as i32;
+            if li_words(imm) == 1 && (-2048..=2047).contains(&imm) {
+                insts.push(Inst { op: Op::Addi, rd, rs1: 0, rs2: 0, imm: v });
+            } else {
+                let lo = (v << 20) >> 20; // sign-extended low 12 bits
+                let hi = (v.wrapping_sub(lo) as u32 >> 12) & 0xfffff;
+                insts.push(Inst { op: Op::Lui, rd, rs1: 0, rs2: 0, imm: hi as i32 });
+                if lo != 0 {
+                    insts.push(Inst { op: Op::Addi, rd, rs1: rd, rs2: 0, imm: lo });
+                }
+            }
+            return Ok(());
+        }
+        "j" => {
+            argc(1)?;
+            let imm = target(&ops[0], pc, labels, line, 20)?;
+            insts.push(Inst { op: Op::Jal, rd: 0, rs1: 0, rs2: 0, imm });
+            return Ok(());
+        }
+        "ret" => {
+            argc(0)?;
+            insts.push(Inst { op: Op::Jalr, rd: 0, rs1: 1, rs2: 0, imm: 0 });
+            return Ok(());
+        }
+        "beqz" | "bnez" => {
+            argc(2)?;
+            let rs1 = reg(&ops[0], line)?;
+            let imm = target(&ops[1], pc, labels, line, 12)?;
+            let op = if mnemonic == "beqz" { Op::Beq } else { Op::Bne };
+            insts.push(Inst { op, rd: 0, rs1, rs2: 0, imm });
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let Some(op) = op_by_mnemonic(&mnemonic) else {
+        return err(line, format!("unknown mnemonic \"{mnemonic}\""));
+    };
+    let inst = match op.format() {
+        Format::R => {
+            argc(3)?;
+            Inst {
+                op,
+                rd: reg(&ops[0], line)?,
+                rs1: reg(&ops[1], line)?,
+                rs2: reg(&ops[2], line)?,
+                imm: 0,
+            }
+        }
+        Format::I => {
+            argc(3)?;
+            Inst {
+                op,
+                rd: reg(&ops[0], line)?,
+                rs1: reg(&ops[1], line)?,
+                rs2: 0,
+                imm: imm_range(&ops[2], line, -2048, 2047)?,
+            }
+        }
+        Format::Shift => {
+            argc(3)?;
+            Inst {
+                op,
+                rd: reg(&ops[0], line)?,
+                rs1: reg(&ops[1], line)?,
+                rs2: 0,
+                imm: imm_range(&ops[2], line, 0, 31)?,
+            }
+        }
+        Format::Load => {
+            argc(2)?;
+            let (imm, rs1) = base_offset(&ops[1], line)?;
+            Inst { op, rd: reg(&ops[0], line)?, rs1, rs2: 0, imm }
+        }
+        Format::Store => {
+            argc(2)?;
+            let (imm, rs1) = base_offset(&ops[1], line)?;
+            Inst { op, rd: 0, rs1, rs2: reg(&ops[0], line)?, imm }
+        }
+        Format::Branch => {
+            argc(3)?;
+            Inst {
+                op,
+                rd: 0,
+                rs1: reg(&ops[0], line)?,
+                rs2: reg(&ops[1], line)?,
+                imm: target(&ops[2], pc, labels, line, 12)?,
+            }
+        }
+        Format::Jal => {
+            let (rd, t) = match ops.len() {
+                1 => (1, &ops[0]),
+                2 => (reg(&ops[0], line)?, &ops[1]),
+                n => return err(line, format!("jal expects 1 or 2 operands, got {n}")),
+            };
+            Inst { op, rd, rs1: 0, rs2: 0, imm: target(t, pc, labels, line, 20)? }
+        }
+        Format::Jalr => {
+            let (rd, rs1, imm) = match ops.len() {
+                1 => (1, reg(&ops[0], line)?, 0),
+                3 => (
+                    reg(&ops[0], line)?,
+                    reg(&ops[1], line)?,
+                    imm_range(&ops[2], line, -2048, 2047)?,
+                ),
+                n => return err(line, format!("jalr expects 1 or 3 operands, got {n}")),
+            };
+            Inst { op, rd, rs1, rs2: 0, imm }
+        }
+        Format::Upper => {
+            argc(2)?;
+            Inst {
+                op,
+                rd: reg(&ops[0], line)?,
+                rs1: 0,
+                rs2: 0,
+                imm: imm_range(&ops[1], line, 0, 0xf_ffff)?,
+            }
+        }
+        Format::Sys => {
+            argc(0)?;
+            Inst { op, rd: 0, rs1: 0, rs2: 0, imm: 0 }
+        }
+    };
+    insts.push(inst);
+    Ok(())
+}
+
+fn op_by_mnemonic(m: &str) -> Option<Op> {
+    Op::ALL.iter().copied().find(|op| op.mnemonic() == m)
+}
+
+/// Parses a register operand: `x0`–`x31` or an ABI name.
+fn reg(tok: &str, line: usize) -> Result<u8, AsmError> {
+    const ABI: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+        "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+        "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+    ];
+    let tok_l = tok.to_ascii_lowercase();
+    if let Some(rest) = tok_l.strip_prefix('x') {
+        if let Ok(n) = rest.parse::<u8>() {
+            if n < 32 {
+                return Ok(n);
+            }
+        }
+    }
+    if tok_l == "fp" {
+        return Ok(8);
+    }
+    if let Some(i) = ABI.iter().position(|&a| a == tok_l) {
+        return Ok(i as u8);
+    }
+    err(line, format!("invalid register \"{tok}\""))
+}
+
+/// Parses a signed integer literal (decimal or `0x` hex).
+fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let parsed = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match parsed {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("invalid integer \"{tok}\"")),
+    }
+}
+
+fn imm_range(tok: &str, line: usize, lo: i64, hi: i64) -> Result<i32, AsmError> {
+    let v = parse_int(tok, line)?;
+    if !(lo..=hi).contains(&v) {
+        return err(line, format!("immediate {v} out of range [{lo}, {hi}]"));
+    }
+    Ok(v as i32)
+}
+
+/// Parses `imm(reg)` (the memory operand).
+fn base_offset(tok: &str, line: usize) -> Result<(i32, u8), AsmError> {
+    let Some((off, rest)) = tok.split_once('(') else {
+        return err(line, format!("expected offset(reg), got \"{tok}\""));
+    };
+    let Some(base) = rest.strip_suffix(')') else {
+        return err(line, format!("expected offset(reg), got \"{tok}\""));
+    };
+    let off = off.trim();
+    let imm = if off.is_empty() {
+        0
+    } else {
+        imm_range(off, line, -2048, 2047)?
+    };
+    Ok((imm, reg(base.trim(), line)?))
+}
+
+/// Resolves a branch/jump target: a label, or a numeric byte offset
+/// relative to the instruction's own PC. `bits` is the signed offset
+/// width (12 for branches, 20 for `jal`).
+fn target(
+    tok: &str,
+    pc: u32,
+    labels: &FastHashMap<String, u32>,
+    line: usize,
+    bits: u32,
+) -> Result<i32, AsmError> {
+    let offset = if let Some(&addr) = labels.get(tok) {
+        i64::from(addr) - i64::from(pc)
+    } else if is_ident(tok) {
+        return err(line, format!("undefined label \"{tok}\""));
+    } else {
+        parse_int(tok, line)?
+    };
+    let limit = 1i64 << bits;
+    if offset % 2 != 0 {
+        return err(line, format!("branch offset {offset} is odd"));
+    }
+    if !(-limit..limit).contains(&offset) {
+        return err(
+            line,
+            format!("branch offset {offset} exceeds {bits}+1 bits"),
+        );
+    }
+    Ok(offset as i32)
+}

@@ -1,0 +1,31 @@
+//! Real-ISA workload frontend: an RV32I+M subset.
+//!
+//! The synthetic Markov-CFG workloads exercise the pipeline with
+//! *statistically* realistic streams; this module feeds it *real*
+//! control and data flow instead. [`asm`] assembles a small RISC-V dialect
+//! into a [`RiscvProgram`], [`isa`] models the instructions (decode,
+//! encode, disassembly and pure value semantics), and [`exec`] runs the
+//! program on a deterministic in-order architectural machine that emits
+//! the pipeline's [`TraceInst`](crate::TraceInst) stream — resolved branch
+//! outcomes, effective addresses and real operand values — until the
+//! program's `ecall` halt.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tv_workloads::riscv::{assemble, RiscvMachine};
+//!
+//! let program = assemble("li a0, 2\nadd a0, a0, a0\necall\n").unwrap();
+//! let mut m = RiscvMachine::new(Arc::new(program));
+//! m.run_to_halt(1_000);
+//! assert_eq!(m.regs()[10], 4);
+//! ```
+
+pub mod asm;
+pub mod exec;
+pub mod isa;
+
+pub use asm::{assemble, assemble_at, AsmError, DEFAULT_BASE};
+pub use exec::{RiscvMachine, DEFAULT_STEP_LIMIT};
+pub use isa::{Action, DecodeError, Format, Inst, MemWidth, Op, RiscvProgram};

@@ -1,0 +1,36 @@
+# FNV-style rolling checksum over a generated 1 KiB buffer at 0x5000,
+# eight passes; the final hash lands in a0. Load-heavy with a long
+# multiply/xor dependence chain through a0 every iteration.
+
+        li s0, 0x5000          # buffer base
+        li s1, 256             # words
+        li t0, 0
+        li t1, 0x9e3779b9
+fill:
+        mul t2, t0, t1
+        xor t2, t2, t0
+        slli t3, t0, 2
+        add t3, t3, s0
+        sw t2, 0(t3)
+        addi t0, t0, 1
+        bne t0, s1, fill
+
+        li a0, 0x811c9dc5      # FNV offset basis
+        li s2, 0x01000193      # FNV prime
+        li s3, 0               # pass
+        li s4, 8
+pass_loop:
+        li t0, 0
+word_loop:
+        slli t1, t0, 2
+        add t1, t1, s0
+        lw t2, 0(t1)
+        xor a0, a0, t2
+        mul a0, a0, s2
+        srli t3, a0, 13
+        xor a0, a0, t3
+        addi t0, t0, 1
+        bne t0, s1, word_loop
+        addi s3, s3, 1
+        bne s3, s4, pass_loop
+        ecall

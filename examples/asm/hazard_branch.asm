@@ -1,0 +1,32 @@
+# Branch-dense control hazards: a loop with three data-dependent branches
+# per iteration, then a forward taken/not-taken mix. The expected end
+# state is pinned in tests/riscv_diff.rs — update both together.
+
+        li x5, 0               # odd counter
+        li x6, 0               # i
+        li x7, 32              # limit
+br_loop:
+        andi x8, x6, 1
+        beqz x8, even
+        addi x5, x5, 1         # odd i
+        j next
+even:
+        addi x9, x9, 2         # even i
+next:
+        andi x10, x6, 3
+        bnez x10, skip4
+        addi x11, x11, 1       # i % 4 == 0
+skip4:
+        addi x6, x6, 1
+        blt x6, x7, br_loop
+        li x12, 0
+        blt x7, x6, fwd_skip   # 32 < 32: not taken
+        addi x12, x12, 5
+fwd_skip:
+        beq x5, x9, eq_skip    # 16 == 32: not taken
+        addi x12, x12, 7
+eq_skip:
+        bge x9, x5, ge_taken   # 32 >= 16: taken
+        addi x12, x12, 100
+ge_taken:
+        ecall

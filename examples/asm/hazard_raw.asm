@@ -1,0 +1,33 @@
+# Back-to-back RAW hazard chains: every instruction depends on the one
+# before it, including a store-to-load round trip through memory and a
+# tight accumulating loop. The expected end state is pinned in
+# tests/riscv_diff.rs — update both together.
+
+        li x1, 1
+        add x2, x1, x1         # 2
+        add x3, x2, x2         # 4
+        add x4, x3, x2         # 6
+        mul x5, x4, x3         # 24
+        sub x6, x5, x4         # 18
+        xor x7, x6, x5         # 10
+        or x8, x7, x1          # 11
+        and x9, x8, x6         # 2
+        sll x10, x9, x2        # 8
+        srl x11, x5, x9        # 6
+        sra x12, x6, x1        # 9
+        slt x13, x4, x5        # 1
+        sltu x14, x5, x4       # 0
+        addi x15, x14, 100     # 100
+        li x16, 0x6000
+        sw x15, 0(x16)         # store-load RAW through memory
+        lw x17, 0(x16)         # 100
+        add x18, x17, x10      # 108
+        li x19, 0
+        li x20, 10
+        li x21, 0
+raw_loop:
+        add x21, x21, x19      # sum 0..9 = 45
+        addi x19, x19, 1
+        bne x19, x20, raw_loop
+        add x22, x21, x18      # 153
+        ecall

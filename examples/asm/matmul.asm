@@ -1,0 +1,70 @@
+# 8x8 integer matrix multiply: C = A * B with A at 0x2000, B at 0x2100,
+# C at 0x2200. Matrices are generated in place (memory starts all-zero),
+# and a mixing checksum of C lands in a0 before the halting ecall.
+
+        li s0, 0x2000          # A base
+        li s1, 0x2100          # B base
+        li s2, 0x2200          # C base
+        li t0, 0               # flat index k
+        li t1, 64
+init:
+        slli t2, t0, 1
+        add t2, t2, t0         # 3k
+        addi t2, t2, 7         # A[k] = 3k + 7
+        slli t3, t0, 2
+        add t3, t3, t0         # 5k
+        addi t3, t3, 1         # B[k] = 5k + 1
+        slli t4, t0, 2         # byte offset
+        add t5, s0, t4
+        sw t2, 0(t5)
+        add t5, s1, t4
+        sw t3, 0(t5)
+        addi t0, t0, 1
+        bne t0, t1, init
+
+        li s3, 0               # i
+outer_i:
+        li s4, 0               # j
+outer_j:
+        li s5, 0               # k
+        li s6, 0               # acc
+inner:
+        slli t2, s3, 3         # A[i*8 + k]
+        add t2, t2, s5
+        slli t2, t2, 2
+        add t2, t2, s0
+        lw t3, 0(t2)
+        slli t4, s5, 3         # B[k*8 + j]
+        add t4, t4, s4
+        slli t4, t4, 2
+        add t4, t4, s1
+        lw t5, 0(t4)
+        mul t6, t3, t5
+        add s6, s6, t6
+        addi s5, s5, 1
+        li t2, 8
+        bne s5, t2, inner
+        slli t2, s3, 3         # C[i*8 + j] = acc
+        add t2, t2, s4
+        slli t2, t2, 2
+        add t2, t2, s2
+        sw s6, 0(t2)
+        addi s4, s4, 1
+        li t2, 8
+        bne s4, t2, outer_j
+        addi s3, s3, 1
+        li t2, 8
+        bne s3, t2, outer_i
+
+        li a0, 0               # checksum C into a0
+        li t0, 0
+        li t1, 64
+sum:
+        slli t2, t0, 2
+        add t2, t2, s2
+        lw t3, 0(t2)
+        add a0, a0, t3
+        xor a0, a0, t0
+        addi t0, t0, 1
+        bne t0, t1, sum
+        ecall

@@ -1,0 +1,88 @@
+# Iterative quicksort (Lomuto partition, explicit range stack) over 128
+# LCG-generated words at 0x3000. a0 = 1 iff the array ends up sorted.
+
+        li s0, 0x3000          # array base
+        li s1, 128             # N
+        li t0, 0               # idx
+        li t1, 42              # LCG state
+        li t2, 1103515245
+        li t3, 12345
+        li t4, 0x7fffffff
+init:
+        mul t1, t1, t2
+        add t1, t1, t3
+        and t1, t1, t4         # keep values positive for signed compares
+        slli t5, t0, 2
+        add t5, t5, s0
+        sw t1, 0(t5)
+        addi t0, t0, 1
+        bne t0, s1, init
+
+        li sp, 0x4000          # range stack grows upward from 0x4000
+        li t0, 0
+        sw t0, 0(sp)           # push lo = 0
+        addi t1, s1, -1
+        sw t1, 4(sp)           # push hi = N - 1
+        addi sp, sp, 8
+qs_loop:
+        li t0, 0x4000
+        beq sp, t0, qs_done    # stack empty
+        addi sp, sp, -8
+        lw s2, 0(sp)           # lo
+        lw s3, 4(sp)           # hi
+        bge s2, s3, qs_loop    # ranges of size <= 1 are sorted
+        slli t0, s3, 2         # pivot = a[hi]
+        add t0, t0, s0
+        lw s4, 0(t0)
+        addi s5, s2, -1        # i
+        add s6, s2, zero       # j
+part_loop:
+        bge s6, s3, part_done
+        slli t0, s6, 2
+        add t0, t0, s0
+        lw t1, 0(t0)           # a[j]
+        bge t1, s4, part_next
+        addi s5, s5, 1         # swap a[i], a[j]
+        slli t2, s5, 2
+        add t2, t2, s0
+        lw t3, 0(t2)
+        sw t1, 0(t2)
+        sw t3, 0(t0)
+part_next:
+        addi s6, s6, 1
+        j part_loop
+part_done:
+        addi s5, s5, 1         # pivot's final slot: swap a[i], a[hi]
+        slli t0, s5, 2
+        add t0, t0, s0
+        lw t1, 0(t0)
+        slli t2, s3, 2
+        add t2, t2, s0
+        lw t3, 0(t2)
+        sw t3, 0(t0)
+        sw t1, 0(t2)
+        addi t0, s5, -1        # push (lo, p - 1)
+        sw s2, 0(sp)
+        sw t0, 4(sp)
+        addi sp, sp, 8
+        addi t0, s5, 1         # push (p + 1, hi)
+        sw t0, 0(sp)
+        sw s3, 4(sp)
+        addi sp, sp, 8
+        j qs_loop
+qs_done:
+        li a0, 1               # verify: nondecreasing?
+        li t0, 1
+verify:
+        bge t0, s1, done
+        slli t1, t0, 2
+        add t1, t1, s0
+        lw t2, 0(t1)
+        lw t3, -4(t1)
+        bge t2, t3, verify_next
+        li a0, 0
+verify_next:
+        addi t0, t0, 1
+        j verify
+done:
+        ecall

@@ -27,6 +27,37 @@ cargo run --release -q -p tv-bench --bin audit_diff --offline -- \
     --fast --out "$tmp_audit"
 rm -rf "$tmp_audit"
 
+echo "==> RISC-V differential + hazard regression tests"
+# Every shipped program: pipeline-vs-executor end-state identity under
+# all schemes with faults injected, pinned hazard end states, assembler
+# round-trip and rejection tests.
+cargo test -q --offline --test riscv_diff
+
+echo "==> RISC-V real-program run (all built-ins x 6 schemes, oracle on)"
+# The riscv harness exits non-zero on any oracle corruption or
+# end-state divergence; keep its CSV as the campaign artifact.
+mkdir -p bench_results
+cargo run --release -q -p tv-bench --bin riscv --offline -- \
+    --out bench_results
+
+echo "==> RISC-V real-program simspeed spot-check (~30s budget)"
+# Sanity-check that real programs sustain reasonable simulation
+# throughput: run the largest built-in through every scheme and require
+# > 20k commits/s per cell (an order of magnitude below typical).
+tmp_spot="$(mktemp -d)"
+start_s=$SECONDS
+cargo run --release -q -p tv-bench --bin riscv --offline -- \
+    --workload riscv:checksum --out "$tmp_spot" >/dev/null
+elapsed=$(( SECONDS - start_s ))
+if (( elapsed > 30 )); then
+    echo "    FAIL: checksum x 6 schemes took ${elapsed}s (> 30s budget)" >&2
+    exit 1
+fi
+awk -F, 'NR > 1 && $12 + 0 < 20 { bad = 1; print "    FAIL: slow cell: " $0 }
+         END { exit bad }' "$tmp_spot/riscv.csv"
+rm -rf "$tmp_spot"
+echo "    checksum x 6 schemes in ${elapsed}s, every cell > 20 kcommits/s"
+
 echo "==> simulator-throughput gate (vs committed BENCH_simspeed.json)"
 # Wall-clock smoke gate: fail only on a gross regression (>25% below the
 # committed per-scheme baseline; SIMSPEED_GATE=0.4 loosens it on noisy
@@ -41,6 +72,9 @@ echo "==> smoke fault-injection campaign (oracle on, all schemes + control)"
 tmp_campaign="$(mktemp -d)"
 cargo run --release -q -p tv-bench --bin campaign --offline -- \
     --smoke --out "$tmp_campaign" 2>/dev/null
+# Keep the smoke campaign's verdicts (now including the RISC-V tuples)
+# as a CI artifact alongside the other bench_results CSVs.
+cp "$tmp_campaign/campaign.csv" bench_results/campaign_smoke.csv
 
 echo "==> campaign kill -9 + --resume determinism"
 # SIGKILL the campaign binary mid-run (invoked directly, not via cargo,

@@ -19,6 +19,7 @@ fn tiny() -> CampaignConfig {
         tuples: 4,
         commits: 5_000,
         warmup: 2_000,
+        riscv_tuples: 1,
         ..CampaignConfig::full()
     }
 }
@@ -38,7 +39,7 @@ fn journal_is_written_during_the_run_not_at_the_end() {
     let cfg = tiny();
     let journal = temp_journal("live");
     let report = run_campaign(&Fleet::new(2), &cfg, &journal, false).expect("campaign runs");
-    let cells = cfg.tuples * cfg.schemes().len();
+    let cells = (cfg.tuples + cfg.riscv_tuples) * cfg.schemes().len();
     assert_eq!(report.rows.len(), cells);
 
     let text = fs::read_to_string(&journal).expect("journal exists");

@@ -1,0 +1,227 @@
+//! Differential architectural tests for the RISC-V workload frontend.
+//!
+//! Every shipped `.asm` program runs through the full out-of-order
+//! pipeline under all six schemes with fault injection and the
+//! golden-model oracle on, and the committed architectural end state —
+//! register file and memory image — must be bit-identical to the
+//! standalone in-order executor's. The hazard regression programs pin
+//! hand-computed register end states, the assembler round-trips random
+//! instructions through encode/decode/disassemble, and malformed sources
+//! are rejected with the offending line number.
+
+use std::sync::Arc;
+
+use tv_prng::{ChaCha12Rng, RngCore, SeedableRng};
+use tv_sched::core::{Scheme, Workload};
+use tv_sched::timing::Voltage;
+use tv_sched::workloads::riscv::{
+    assemble, Format, Inst, Op, RiscvMachine, RiscvProgram,
+};
+
+/// The standalone executor's `(regs, memory, steps)` end state.
+fn executor_end_state(program: &Arc<RiscvProgram>) -> (Vec<u64>, Vec<(u64, u64)>, u64) {
+    let mut exec = RiscvMachine::new(program.clone());
+    exec.run_to_halt(2_000_000);
+    let regs = exec.regs().iter().map(|&r| u64::from(r)).collect();
+    let mem = exec
+        .mem_image()
+        .into_iter()
+        .map(|(a, w)| (u64::from(a), u64::from(w)))
+        .collect();
+    (regs, mem, exec.steps())
+}
+
+/// Satellite 1: pipeline-committed end state is bit-identical to the
+/// executor's for every program under every scheme, faults injected.
+#[test]
+fn pipeline_end_state_matches_executor_for_every_program_and_scheme() {
+    for name in Workload::builtin_names() {
+        let workload = Workload::builtin(name).expect("built-in program");
+        let Workload::Riscv { program, .. } = &workload else {
+            panic!("builtin {name} is not a RISC-V workload");
+        };
+        let (ref_regs, ref_mem, steps) = executor_end_state(program);
+        assert!(steps > 0, "{name}: the executor must reach its ecall halt");
+
+        for scheme in Scheme::ALL {
+            let mut pipe = scheme
+                .pipeline_builder_for(&workload, 42, Voltage::high_fault())
+                .oracle(true)
+                .build();
+            let stats = pipe.run_to_halt(2_000_000);
+            assert_eq!(
+                stats.committed, steps,
+                "{name}/{}: the pipeline must commit exactly the executor's \
+                 dynamic instruction count",
+                scheme.name()
+            );
+            if scheme != Scheme::FaultFree {
+                assert!(
+                    stats.faults_total() > 0,
+                    "{name}/{}: the faulty voltage must actually inject faults",
+                    scheme.name()
+                );
+            }
+            let report = pipe.oracle_report().expect("oracle enabled");
+            assert!(
+                report.clean(),
+                "{name}/{}: oracle flagged corruption: {}",
+                scheme.name(),
+                report.summary()
+            );
+            let regs = pipe.arch_regs().expect("value plane enabled");
+            assert_eq!(
+                regs[..],
+                ref_regs[..],
+                "{name}/{}: committed register file diverged from the executor",
+                scheme.name()
+            );
+            let mem = pipe.memory_image().expect("value plane enabled");
+            assert_eq!(
+                mem, ref_mem,
+                "{name}/{}: committed memory image diverged from the executor",
+                scheme.name()
+            );
+        }
+    }
+}
+
+/// Satellite 2a: the RAW-chain regression program's hand-computed end
+/// state, pinned against both the executor and the pipeline.
+#[test]
+fn hazard_raw_end_state_is_pinned() {
+    let workload = Workload::builtin("hazard_raw").expect("built-in program");
+    let Workload::Riscv { program, .. } = &workload else {
+        unreachable!()
+    };
+    let (regs, mem, _) = executor_end_state(program);
+    // Hand-computed from examples/asm/hazard_raw.asm — update together.
+    let expected: [(usize, u64); 22] = [
+        (1, 1), (2, 2), (3, 4), (4, 6), (5, 24), (6, 18), (7, 10),
+        (8, 11), (9, 2), (10, 8), (11, 6), (12, 9), (13, 1), (14, 0),
+        (15, 100), (16, 0x6000), (17, 100), (18, 108), (19, 10),
+        (20, 10), (21, 45), (22, 153),
+    ];
+    for (reg, value) in expected {
+        assert_eq!(regs[reg], value, "x{reg}");
+    }
+    assert_eq!(mem, vec![(0x6000, 100)], "one stored word at 0x6000");
+
+    let mut pipe = Scheme::Cds
+        .pipeline_builder_for(&workload, 7, Voltage::high_fault())
+        .oracle(true)
+        .build();
+    pipe.run_to_halt(100_000);
+    assert_eq!(pipe.arch_regs().expect("value plane")[..], regs[..]);
+    assert_eq!(pipe.memory_image().expect("value plane"), mem);
+}
+
+/// Satellite 2b: the branch-dense regression program's hand-computed end
+/// state.
+#[test]
+fn hazard_branch_end_state_is_pinned() {
+    let workload = Workload::builtin("hazard_branch").expect("built-in program");
+    let Workload::Riscv { program, .. } = &workload else {
+        unreachable!()
+    };
+    let (regs, mem, _) = executor_end_state(program);
+    // Hand-computed from examples/asm/hazard_branch.asm — 32 iterations:
+    // 16 odd (x5), 16 even doubled (x9), 8 multiples of four (x11), then
+    // the forward not-taken/not-taken/taken mix leaves x12 = 5 + 7.
+    let expected: [(usize, u64); 8] = [
+        (5, 16), (6, 32), (7, 32), (8, 1), (9, 32), (10, 3), (11, 8), (12, 12),
+    ];
+    for (reg, value) in expected {
+        assert_eq!(regs[reg], value, "x{reg}");
+    }
+    assert!(mem.is_empty(), "the program never stores");
+
+    let mut pipe = Scheme::Razor
+        .pipeline_builder_for(&workload, 11, Voltage::high_fault())
+        .oracle(true)
+        .build();
+    pipe.run_to_halt(100_000);
+    assert_eq!(pipe.arch_regs().expect("value plane")[..], regs[..]);
+    assert_eq!(pipe.memory_image().expect("value plane"), mem);
+}
+
+/// A random well-formed instruction of `op`, fields drawn in each
+/// format's valid ranges.
+fn random_inst(op: Op, rng: &mut ChaCha12Rng) -> Inst {
+    let reg = |rng: &mut ChaCha12Rng| (rng.next_u32() % 32) as u8;
+    let imm12 = |rng: &mut ChaCha12Rng| (rng.next_u32() % 4096) as i32 - 2048;
+    let (rd, rs1, rs2, imm) = match op.format() {
+        Format::R => (reg(rng), reg(rng), reg(rng), 0),
+        Format::I | Format::Jalr | Format::Load => (reg(rng), reg(rng), 0, imm12(rng)),
+        Format::Shift => (reg(rng), reg(rng), 0, (rng.next_u32() % 32) as i32),
+        Format::Store => (0, reg(rng), reg(rng), imm12(rng)),
+        // Branch/jump offsets stay word-aligned so the disassembly
+        // re-assembles as a numeric byte offset.
+        Format::Branch => (0, reg(rng), reg(rng), ((rng.next_u32() % 2048) as i32 - 1024) * 4),
+        Format::Jal => (reg(rng), 0, 0, ((rng.next_u32() % 0x40000) as i32 - 0x20000) * 4),
+        Format::Upper => (reg(rng), 0, 0, (rng.next_u32() % 0x100000) as i32),
+        Format::Sys => (0, 0, 0, 0),
+    };
+    Inst { op, rd, rs1, rs2, imm }
+}
+
+/// Satellite 3a: encode → decode → disassemble → re-assemble is the
+/// identity for random instructions over every opcode.
+#[test]
+fn assembler_round_trips_random_instructions() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0x5eed_a5ca_12);
+    for &op in &Op::ALL {
+        for _ in 0..64 {
+            let inst = random_inst(op, &mut rng);
+            let decoded = Inst::decode(inst.encode())
+                .unwrap_or_else(|e| panic!("{inst}: {e}"));
+            assert_eq!(decoded, inst, "encode/decode must round-trip {inst}");
+            let program = assemble(&inst.to_string())
+                .unwrap_or_else(|e| panic!("disassembly of {inst} must re-assemble: {e}"));
+            assert_eq!(program.len(), 1, "{inst}");
+            assert_eq!(
+                program.inst_at(u64::from(program.base())),
+                Some(&inst),
+                "disassemble/assemble must round-trip {inst}"
+            );
+        }
+    }
+}
+
+/// Satellite 3b: whole programs survive a binary round trip.
+#[test]
+fn builtin_programs_round_trip_through_machine_words() {
+    for name in Workload::builtin_names() {
+        let workload = Workload::builtin(name).expect("built-in program");
+        let Workload::Riscv { program, .. } = &workload else {
+            unreachable!()
+        };
+        let words = program.encode_words();
+        let decoded = RiscvProgram::decode_words(program.base(), &words)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(&decoded, program.as_ref(), "{name}");
+    }
+}
+
+/// Satellite 3c: malformed sources are rejected with the 1-based line
+/// number of the offending statement.
+#[test]
+fn malformed_sources_report_line_numbers() {
+    let cases: [(&str, usize, &str); 6] = [
+        ("li x1, 1\nfrob x2, x3\necall\n", 2, "frob"),
+        ("li x1, 1\nadd x1, x99, x2\necall\n", 2, "x99"),
+        ("# header\n\naddi x1, x0, 5000\necall\n", 3, "range"),
+        ("a:\nli x1, 1\na:\necall\n", 3, "duplicate"),
+        ("beq x1, x2, nowhere\necall\n", 1, "nowhere"),
+        ("li x1, 1\nadd x1 x2 x3\necall\n", 2, "operand"),
+    ];
+    for (src, line, needle) in cases {
+        let err = assemble(src).expect_err(src);
+        assert_eq!(err.line, line, "wrong line for: {src:?} ({})", err.msg);
+        assert!(
+            err.msg.contains(needle),
+            "error for {src:?} should mention {needle:?}: {}",
+            err.msg
+        );
+    }
+}
