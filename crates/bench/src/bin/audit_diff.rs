@@ -9,6 +9,9 @@
 //! --out DIR         result directory                (default bench_results)
 //! --workers N       fleet worker threads
 //! --basic           Basic audit level (default: Full)
+//! --cosim           run each tuple's schemes as one co-simulation job
+//!                   (shared frontend, N timing lanes; rows bit-identical
+//!                   to solo mode by the tests/cosim_equiv.rs contract)
 //! --fast            CI preset: 1 benchmark x 4 schemes x 2 seeds, 8k commits
 //! --workload NAME   diff a single workload instead of the benchmark sweep;
 //!                   NAME is a benchmark or riscv:<program|file.asm>, and
@@ -32,6 +35,7 @@ struct Args {
     out: PathBuf,
     workers: Option<usize>,
     audit: AuditLevel,
+    cosim: bool,
     fast: bool,
     workload: Option<Workload>,
 }
@@ -44,6 +48,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("bench_results"),
         workers: None,
         audit: AuditLevel::Full,
+        cosim: false,
         fast: false,
         workload: None,
     };
@@ -62,6 +67,7 @@ fn parse_args() -> Args {
                 parsed.workers = Some(value("--workers").parse().expect("--workers: integer"))
             }
             "--basic" => parsed.audit = AuditLevel::Basic,
+            "--cosim" => parsed.cosim = true,
             "--fast" => parsed.fast = true,
             "--workload" => {
                 parsed.workload = Some(
@@ -71,7 +77,7 @@ fn parse_args() -> Args {
             }
             other => panic!(
                 "unknown argument {other}; supported: \
-                 --commits --warmup --seed --out --workers --basic --fast --workload"
+                 --commits --warmup --seed --out --workers --basic --cosim --fast --workload"
             ),
         }
     }
@@ -118,6 +124,7 @@ fn main() {
         audit: args.audit,
         schemes: schemes.clone(),
         oracle,
+        cosim: args.cosim,
     };
     let fleet = match args.workers {
         Some(n) => Fleet::new(n),
@@ -127,12 +134,13 @@ fn main() {
 
     println!(
         "scheme-equivalence differential audit — {} tuples x {} schemes, \
-         {} commits (+{} warm-up) per run, {:?} audit",
+         {} commits (+{} warm-up) per run, {:?} audit{}",
         tuples.len(),
         cfg.schemes.len(),
         cfg.commits,
         cfg.warmup,
         args.audit,
+        if cfg.cosim { ", co-sim jobs" } else { "" },
     );
 
     let report = run_differential(&fleet, &tuples, &cfg);

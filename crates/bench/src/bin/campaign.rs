@@ -10,9 +10,14 @@
 //!
 //! ```text
 //! campaign [--tuples N] [--riscv N] [--seed N] [--commits N] [--warmup N]
-//!          [--watchdog N] [--no-control] [--smoke] [--resume]
+//!          [--watchdog N] [--no-control] [--smoke] [--resume] [--cosim]
 //!          [--out DIR] [--workers N]
 //! ```
+//!
+//! `--cosim` runs each tuple's schemes as one co-simulation bundle
+//! (shared frontend, one fault-calibration probe) instead of per-cell
+//! jobs. Rows are bit-identical to per-cell mode, and journals are
+//! interchangeable between the modes on `--resume`.
 //!
 //! `--riscv N` appends N tuples running the built-in RISC-V compute
 //! programs (matmul, quicksort, checksum) through the same scenario and
@@ -63,20 +68,21 @@ fn parse_args() -> Args {
             }
             "--no-control" => config.include_control = false,
             "--smoke" => {
-                let keep_control = config.include_control;
                 config = CampaignConfig {
-                    include_control: keep_control,
+                    include_control: config.include_control,
+                    cosim: config.cosim,
                     ..CampaignConfig::smoke()
                 };
             }
             "--resume" => resume = true,
+            "--cosim" => config.cosim = true,
             "--out" => out = PathBuf::from(value("--out")),
             "--workers" => {
                 workers = Some(value("--workers").parse().expect("--workers: integer"))
             }
             other => panic!(
                 "unknown argument {other}; supported: --tuples --riscv --seed --commits \
-                 --warmup --watchdog --no-control --smoke --resume --out --workers"
+                 --warmup --watchdog --no-control --smoke --resume --cosim --out --workers"
             ),
         }
     }

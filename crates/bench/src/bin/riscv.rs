@@ -10,7 +10,14 @@
 //!       [--low-vdd]            0.97 V instead of 1.04 V for faulty runs
 //!       [--max-commits N]      per-run commit cap         (default 2 000 000)
 //!       [--out DIR]            result directory           (default bench_results)
+//!       [--cosim]              run each program's schemes as one
+//!                              co-simulation bundle (shared frontend)
 //! ```
+//!
+//! Under `--cosim` every per-scheme column is bit-identical to a solo
+//! run (the `tests/cosim_equiv.rs` contract) except `kcommits_per_sec`:
+//! the six lanes share one interleaved wall-clock window, so each row
+//! reports its lane's commits over the *bundle* wall time.
 //!
 //! Writes one CSV row per `(workload, scheme)` cell to `riscv.csv` and
 //! exits non-zero when any cell is not oracle-clean or its committed
@@ -20,8 +27,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use tv_bench::write_csv;
-use tv_core::{Scheme, Workload};
+use tv_core::{build_cosim, Scheme, Workload};
 use tv_timing::Voltage;
+use tv_uarch::{Pipeline, SimStats};
 use tv_workloads::riscv::RiscvMachine;
 
 struct Args {
@@ -30,6 +38,7 @@ struct Args {
     vdd: Voltage,
     max_commits: u64,
     out: PathBuf,
+    cosim: bool,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +48,7 @@ fn parse_args() -> Args {
         vdd: Voltage::high_fault(),
         max_commits: 2_000_000,
         out: PathBuf::from("bench_results"),
+        cosim: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,9 +80,10 @@ fn parse_args() -> Args {
                     .expect("--max-commits: integer")
             }
             "--out" => parsed.out = PathBuf::from(value("--out")),
+            "--cosim" => parsed.cosim = true,
             other => panic!(
                 "unknown argument {other}; supported: \
-                 --workload --seed --low-vdd --max-commits --out"
+                 --workload --seed --low-vdd --max-commits --out --cosim"
             ),
         }
     }
@@ -83,6 +94,60 @@ fn parse_args() -> Args {
             .collect();
     }
     parsed
+}
+
+/// Grades one `(workload, scheme)` cell — oracle verdict plus end-state
+/// diff against the executor — printing its line and appending its CSV
+/// row. Returns whether the cell passed.
+#[allow(clippy::too_many_arguments)]
+fn grade_cell(
+    args: &Args,
+    workload: &Workload,
+    scheme: Scheme,
+    stats: &SimStats,
+    wall_s: f64,
+    pipe: &Pipeline,
+    ref_regs: &[u64],
+    ref_mem: &[(u64, u64)],
+    rows: &mut Vec<String>,
+) -> bool {
+    let report = pipe.oracle_report().expect("oracle enabled");
+    let oracle_clean = report.clean();
+    let regs_match = pipe.arch_regs().is_some_and(|r| r[..] == ref_regs[..]);
+    let mem_match = pipe.memory_image().is_some_and(|m| m == ref_mem);
+    let kcommits = stats.committed as f64 / wall_s / 1e3;
+    println!(
+        "  {:<22} {:>9}: {:>8} commits, {:>9} cycles, {} faults, \
+         {:>7.1} kcommits/s, oracle {}{}",
+        workload.name(),
+        scheme.name(),
+        stats.committed,
+        stats.cycles,
+        stats.faults_total(),
+        kcommits,
+        if oracle_clean { "clean" } else { "CORRUPT" },
+        if regs_match && mem_match {
+            ""
+        } else {
+            ", END-STATE MISMATCH"
+        },
+    );
+    rows.push(format!(
+        "{},{},{:.3},{},{},{},{},{},{},{},{},{:.1}",
+        workload.name(),
+        scheme.name(),
+        args.vdd.volts(),
+        args.seed,
+        stats.committed,
+        stats.cycles,
+        stats.faults_total(),
+        stats.replays,
+        oracle_clean,
+        regs_match,
+        mem_match,
+        kcommits,
+    ));
+    oracle_clean && regs_match && mem_match
 }
 
 fn main() {
@@ -111,56 +176,42 @@ fn main() {
             .map(|(a, w)| (u64::from(a), u64::from(w)))
             .collect();
 
-        for scheme in Scheme::ALL {
-            let mut pipe = scheme
-                .pipeline_builder_for(workload, args.seed, args.vdd)
-                .oracle(true)
-                .build();
+        if args.cosim {
+            // All six schemes as one bundle: the frontend and the
+            // fault-calibration probe are paid once; per-scheme state is
+            // bit-identical to a solo run by the co-sim contract.
+            let mut cosim = build_cosim(workload, args.seed, args.vdd, &Scheme::ALL, |_, b| {
+                b.oracle(true)
+            });
             let t0 = Instant::now();
-            let stats = pipe.run_to_halt(args.max_commits);
+            let stats = cosim.run_to_halt(args.max_commits);
             let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
-            let report = pipe.oracle_report().expect("oracle enabled");
-            let oracle_clean = report.clean();
-            let regs_match = pipe
-                .arch_regs()
-                .is_some_and(|r| r[..] == ref_regs[..]);
-            let mem_match = pipe
-                .memory_image()
-                .is_some_and(|m| m == ref_mem);
-            let kcommits = stats.committed as f64 / wall_s / 1e3;
-            let ok = oracle_clean && regs_match && mem_match;
-            failed |= !ok;
-            println!(
-                "  {:<22} {:>9}: {:>8} commits, {:>9} cycles, {} faults, \
-                 {:>7.1} kcommits/s, oracle {}{}",
-                workload.name(),
-                scheme.name(),
-                stats.committed,
-                stats.cycles,
-                stats.faults_total(),
-                kcommits,
-                if oracle_clean { "clean" } else { "CORRUPT" },
-                if regs_match && mem_match {
-                    ""
-                } else {
-                    ", END-STATE MISMATCH"
-                },
-            );
-            rows.push(format!(
-                "{},{},{:.3},{},{},{},{},{},{},{},{},{:.1}",
-                workload.name(),
-                scheme.name(),
-                args.vdd.volts(),
-                args.seed,
-                stats.committed,
-                stats.cycles,
-                stats.faults_total(),
-                stats.replays,
-                oracle_clean,
-                regs_match,
-                mem_match,
-                kcommits,
-            ));
+            for (i, scheme) in Scheme::ALL.into_iter().enumerate() {
+                failed |= !grade_cell(
+                    &args,
+                    workload,
+                    scheme,
+                    &stats[i],
+                    wall_s,
+                    cosim.lane(i),
+                    &ref_regs,
+                    &ref_mem,
+                    &mut rows,
+                );
+            }
+        } else {
+            for scheme in Scheme::ALL {
+                let mut pipe = scheme
+                    .pipeline_builder_for(workload, args.seed, args.vdd)
+                    .oracle(true)
+                    .build();
+                let t0 = Instant::now();
+                let stats = pipe.run_to_halt(args.max_commits);
+                let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+                failed |= !grade_cell(
+                    &args, workload, scheme, &stats, wall_s, &pipe, &ref_regs, &ref_mem, &mut rows,
+                );
+            }
         }
     }
 

@@ -1,10 +1,13 @@
 //! Simulator-throughput benchmark: simulated cycles per wall-clock second
-//! for every scheme, written as `BENCH_simspeed.json`.
+//! for every scheme — solo and co-simulated — written as
+//! `BENCH_simspeed.json`.
 //!
 //! This is the sim-speed trajectory gate: the committed JSON at the repo
 //! root is the baseline, and `--check` re-measures the default sweep and
-//! fails when throughput regresses by more than the gate factor (25% by
-//! default, `SIMSPEED_GATE` overrides).
+//! fails when solo throughput regresses by more than the gate factor (25%
+//! by default, `SIMSPEED_GATE` overrides) or the co-sim sweep speedup
+//! falls below its floor (1.5x by default, `SIMSPEED_COSIM_MIN`
+//! overrides).
 //!
 //! ```text
 //! --commits N     measured commits per run            (default 500 000)
@@ -14,19 +17,36 @@
 //! --reps N        repetitions per scheme, best kept   (default 3)
 //! --out FILE      output JSON                         (default BENCH_simspeed.json)
 //! --compare FILE  embed FILE's numbers as the baseline section
-//! --check FILE    gate mode: fail if slower than FILE by > the gate factor
+//! --check FILE    gate mode: fail on regression vs FILE, no file written
 //! --quick         shorthand for --commits 40000 --warmup 10000 --reps 1
 //! ```
 //!
-//! Cycles/sec is measured per scheme on a warmed pipeline; the warm-up is
-//! excluded from the timed window. With the `stage-profile` feature the
-//! per-stage cycle-time counters are printed and embedded in the JSON.
+//! Two kinds of measurement, both honest interleaved A/B on the same
+//! machine in the same process:
+//!
+//! * **Solo steady-state** (the historical rows): per scheme, cycles/sec
+//!   over a warmed pipeline's timed run window; build and warm-up are
+//!   excluded.
+//! * **Co-sim sweep cells** (the `cosim` section): a 6-scheme sweep cell —
+//!   build + warm-up + measured run for every scheme — timed end-to-end,
+//!   solo (6 pipelines, 6 trace passes, 5 fault-calibration probes) vs
+//!   co-sim (one shared frontend, one probe, 6 timing lanes). Sweep-cell
+//!   wall clock is what a design-space sweep actually pays per tuple, so
+//!   the shared-frontend amortization shows up here; the steady-state
+//!   entry reports the run-window-only gain, which is necessarily
+//!   smaller. `sweep_speedup` records the screening-cell speedup.
+//!
+//! With the `stage-profile` cargo feature the per-stage wall-clock
+//! breakdown is printed and embedded per phase (`solo` vs `cosim`), so
+//! the "frontend amortized N ways" claim is visible in the profile: the
+//! shared `frontend` stage (trace supply + fault sampling + branch
+//! outcomes) accumulates ~N× fewer nanoseconds under co-sim.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use tv_core::Scheme;
+use tv_core::{build_cosim, Scheme, Workload};
 use tv_timing::Voltage;
 use tv_workloads::Benchmark;
 
@@ -96,7 +116,8 @@ struct SchemeSpeed {
     cycles_per_sec: f64,
 }
 
-/// One timed measurement: build, warm, run, clock only the measured window.
+/// One timed solo measurement: build, warm, run, clock only the measured
+/// window.
 fn measure(args: &Args, scheme: Scheme) -> SchemeSpeed {
     let mut best: Option<SchemeSpeed> = None;
     for _ in 0..args.reps {
@@ -124,13 +145,114 @@ fn measure(args: &Args, scheme: Scheme) -> SchemeSpeed {
     best.expect("reps > 0")
 }
 
+/// One co-sim sweep-cell measurement: a 6-scheme cell end-to-end (builds,
+/// probes, warm-up, measured run), solo vs co-sim, best of `reps`
+/// interleaved A/B pairs.
+struct CellSpeed {
+    label: &'static str,
+    commits: u64,
+    warmup: u64,
+    solo_wall_s: f64,
+    cosim_wall_s: f64,
+    speedup: f64,
+}
+
+/// The sweep-cell shapes reported in the `cosim` section. The screening
+/// cell (a quick scheme×voltage scan) is the headline `sweep_speedup`;
+/// the diff cell matches the differential harness's default
+/// (20k + 5k warm-up); the amortized build/probe cost shrinks relative
+/// to lane-stepping as cells grow, so both are recorded.
+const SWEEP_CELLS: [(&str, u64, u64); 2] = [("screening", 5_000, 1_000), ("diff", 20_000, 5_000)];
+
+fn measure_cell(args: &Args, label: &'static str, commits: u64, warmup: u64) -> CellSpeed {
+    let workload = Workload::Bench(args.bench);
+    let mut best: Option<CellSpeed> = None;
+    for _ in 0..args.reps {
+        let t0 = Instant::now();
+        for scheme in Scheme::ALL {
+            let mut pipe = scheme
+                .pipeline_builder_for(&workload, args.seed, Voltage::high_fault())
+                .build();
+            pipe.warm_up(warmup);
+            let _ = pipe.run(commits);
+        }
+        let solo_wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let t0 = Instant::now();
+        let mut cosim = build_cosim(
+            &workload,
+            args.seed,
+            Voltage::high_fault(),
+            &Scheme::ALL,
+            |_, b| b,
+        );
+        cosim.warm_up(warmup);
+        let _ = cosim.run(commits);
+        let cosim_wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let sample = CellSpeed {
+            label,
+            commits,
+            warmup,
+            solo_wall_s,
+            cosim_wall_s,
+            speedup: solo_wall_s / cosim_wall_s,
+        };
+        if best.as_ref().map_or(true, |b| sample.speedup > b.speedup) {
+            best = Some(sample);
+        }
+    }
+    best.expect("reps > 0")
+}
+
+/// Steady-state co-sim: all six lanes interleaved, clocking only the
+/// measured run window (builds and warm-up excluded) — directly
+/// comparable to the sum of the solo rows' windows.
+struct CosimSteady {
+    cycles: u64,
+    wall_s: f64,
+    cycles_per_sec: f64,
+}
+
+fn measure_cosim_steady(args: &Args) -> CosimSteady {
+    let workload = Workload::Bench(args.bench);
+    let mut best: Option<CosimSteady> = None;
+    for _ in 0..args.reps {
+        let mut cosim = build_cosim(
+            &workload,
+            args.seed,
+            Voltage::high_fault(),
+            &Scheme::ALL,
+            |_, b| b,
+        );
+        cosim.warm_up(args.warmup);
+        let t0 = Instant::now();
+        let stats = cosim.run(args.commits);
+        let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+        let cycles: u64 = stats.iter().map(|s| s.cycles).sum();
+        let sample = CosimSteady {
+            cycles,
+            wall_s,
+            cycles_per_sec: cycles as f64 / wall_s,
+        };
+        if best
+            .as_ref()
+            .map_or(true, |b| sample.cycles_per_sec > b.cycles_per_sec)
+        {
+            best = Some(sample);
+        }
+    }
+    best.expect("reps > 0")
+}
+
 /// Minimal extractor for the JSON this binary writes: per-scheme
 /// `cycles_per_sec` from the top-level `schemes` array (stops at the
-/// `baseline` section so embedded baselines are not re-read).
+/// `cosim`/`baseline` sections so other entries are not re-read).
 fn parse_speeds(text: &str) -> Vec<(String, f64)> {
     let mut speeds = Vec::new();
     for line in text.lines() {
-        if line.trim_start().starts_with("\"baseline\"") {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("\"baseline\"") || trimmed.starts_with("\"cosim\"") {
             break;
         }
         let Some(name) = extract_str(line, "\"scheme\": \"") else {
@@ -141,6 +263,21 @@ fn parse_speeds(text: &str) -> Vec<(String, f64)> {
         }
     }
     speeds
+}
+
+/// Per-cell co-sim speedups from the `cosim.cells` array of a previously
+/// written JSON (empty for pre-co-sim baselines).
+fn parse_cosim_cells(text: &str) -> Vec<(String, f64)> {
+    let mut cells = Vec::new();
+    for line in text.lines() {
+        let Some(name) = extract_str(line, "\"cell\": \"") else {
+            continue;
+        };
+        if let Some(v) = extract_num(line, "\"speedup\": ") {
+            cells.push((name, v));
+        }
+    }
+    cells
 }
 
 fn extract_str(line: &str, key: &str) -> Option<String> {
@@ -158,6 +295,64 @@ fn extract_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// `{"git_rev": ..., "date": ...}` describing this run — embedded in the
+/// JSON so a file used as a `--compare`/`--check` baseline later names the
+/// commit and day it was measured on instead of a stale filesystem path.
+fn generated_block() -> (String, String) {
+    let run = |cmd: &str, argv: &[&str]| -> Option<String> {
+        let out = std::process::Command::new(cmd).args(argv).output().ok()?;
+        out.status.success().then(|| {
+            String::from_utf8_lossy(&out.stdout).trim().to_string()
+        })
+    };
+    let rev = run("git", &["rev-parse", "--short", "HEAD"]).unwrap_or_else(|| "unknown".into());
+    let date = run("date", &["-u", "+%Y-%m-%d"]).unwrap_or_else(|| {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        format!("epoch+{secs}s")
+    });
+    (rev, date)
+}
+
+/// The `generated` identity of a baseline file, when it has one.
+fn baseline_identity(text: &str) -> Option<(String, String)> {
+    let line = text.lines().find(|l| l.contains("\"generated\""))?;
+    Some((
+        extract_str(line, "\"git_rev\": \"")?,
+        extract_str(line, "\"date\": \"")?,
+    ))
+}
+
+fn append_stage_profile(json: &mut String, label: &str, profile: &[tv_uarch::profile::StageSample]) {
+    let _ = writeln!(json, "    \"{label}\": [");
+    for (i, s) in profile.iter().enumerate() {
+        let comma = if i + 1 < profile.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"stage\": \"{}\", \"nanos\": {}, \"calls\": {}}}{}",
+            s.name, s.nanos, s.calls, comma,
+        );
+    }
+    let _ = write!(json, "    ]");
+}
+
+fn print_stage_profile(label: &str, profile: &[tv_uarch::profile::StageSample]) {
+    if profile.is_empty() {
+        return;
+    }
+    println!("stage profile ({label}):");
+    for s in profile {
+        println!(
+            "  {:>10}: {:>9.3}s over {} calls",
+            s.name,
+            s.nanos as f64 / 1e9,
+            s.calls
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     println!(
@@ -170,6 +365,7 @@ fn main() {
         args.reps,
     );
 
+    tv_uarch::profile::reset();
     let mut rows = Vec::new();
     for scheme in Scheme::ALL {
         let speed = measure(&args, scheme);
@@ -185,7 +381,41 @@ fn main() {
     let total_cycles: u64 = rows.iter().map(|r| r.cycles).sum();
     let total_wall: f64 = rows.iter().map(|r| r.wall_s).sum();
     let total_cps = total_cycles as f64 / total_wall.max(1e-9);
-    println!("  sweep: {:.0} kcycles/s overall", total_cps / 1e3);
+    println!("  sweep: {:.0} kcycles/s overall (solo)", total_cps / 1e3);
+    let solo_profile = tv_uarch::profile::snapshot();
+    print_stage_profile("solo", &solo_profile);
+
+    // Co-sim: steady-state window plus end-to-end sweep cells.
+    tv_uarch::profile::reset();
+    let steady = measure_cosim_steady(&args);
+    let steady_speedup = steady.cycles_per_sec / total_cps.max(1e-9);
+    println!(
+        "  cosim steady: {:.0} kcycles/s over 6 lanes ({:.2}x solo run windows)",
+        steady.cycles_per_sec / 1e3,
+        steady_speedup,
+    );
+    let mut cells = Vec::new();
+    for (label, commits, warmup) in SWEEP_CELLS {
+        let cell = measure_cell(&args, label, commits, warmup);
+        println!(
+            "  cosim {:>9} cell ({}+{}): solo {:>7.1}ms vs cosim {:>7.1}ms — {:.2}x",
+            cell.label,
+            cell.commits,
+            cell.warmup,
+            cell.solo_wall_s * 1e3,
+            cell.cosim_wall_s * 1e3,
+            cell.speedup,
+        );
+        cells.push(cell);
+    }
+    let sweep_speedup = cells
+        .iter()
+        .find(|c| c.label == "screening")
+        .map(|c| c.speedup)
+        .unwrap_or(0.0);
+    println!("  cosim sweep speedup (screening cell): {sweep_speedup:.2}x");
+    let cosim_profile = tv_uarch::profile::snapshot();
+    print_stage_profile("cosim", &cosim_profile);
 
     // Gate mode: compare against a committed baseline, no file written.
     if let Some(baseline_path) = &args.check {
@@ -193,6 +423,10 @@ fn main() {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0.25);
+        let cosim_min: f64 = std::env::var("SIMSPEED_COSIM_MIN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.5);
         let text = std::fs::read_to_string(baseline_path)
             .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
         let baseline = parse_speeds(&text);
@@ -218,17 +452,59 @@ fn main() {
                 verdict,
             );
         }
+        // Co-sim deltas: per-cell speedup vs the baseline's recorded
+        // speedups, plus the absolute floor on the sweep headline.
+        let base_cells = parse_cosim_cells(&text);
+        for cell in &cells {
+            match base_cells.iter().find(|(n, _)| n == cell.label) {
+                Some((_, base)) => println!(
+                    "  gate cosim {:>9}: {:.2}x vs baseline {:.2}x ({:+.0}%)",
+                    cell.label,
+                    cell.speedup,
+                    base,
+                    (cell.speedup / base.max(1e-9) - 1.0) * 100.0,
+                ),
+                None => println!(
+                    "  gate cosim {:>9}: {:.2}x (no co-sim section in baseline)",
+                    cell.label, cell.speedup,
+                ),
+            }
+        }
+        let verdict = if sweep_speedup < cosim_min {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  gate cosim sweep: {sweep_speedup:.2}x (floor {cosim_min:.2}x) {verdict}"
+        );
         if failed {
-            eprintln!("simspeed gate FAILED: >{:.0}% below baseline", gate * 100.0);
+            eprintln!("simspeed gate FAILED");
             std::process::exit(1);
         }
-        println!("simspeed gate passed (within {:.0}% of baseline)", gate * 100.0);
+        println!(
+            "simspeed gate passed (solo within {:.0}% of baseline, cosim sweep >= {:.2}x)",
+            gate * 100.0,
+            cosim_min,
+        );
         return;
     }
 
+    // `--compare` is read before `--out` is written, so comparing against
+    // the committed JSON while overwriting it in place is well-defined.
+    let compare_text = args.compare.as_ref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+    });
+
+    let (git_rev, date) = generated_block();
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"tv-simspeed-v1\",");
+    let _ = writeln!(json, "  \"schema\": \"tv-simspeed-v2\",");
+    let _ = writeln!(
+        json,
+        "  \"generated\": {{\"git_rev\": \"{git_rev}\", \"date\": \"{date}\"}},"
+    );
     let _ = writeln!(json, "  \"bench\": \"{}\",", args.bench.name());
     let _ = writeln!(json, "  \"commits\": {},", args.commits);
     let _ = writeln!(json, "  \"warmup\": {},", args.warmup);
@@ -249,23 +525,60 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
-    let _ = write!(
+    let _ = writeln!(
         json,
-        "  \"total\": {{\"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}}}",
+        "  \"total\": {{\"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}}},",
         total_cycles, total_wall, total_cps,
     );
-
-    if let Some(compare_path) = &args.compare {
-        let text = std::fs::read_to_string(compare_path)
-            .unwrap_or_else(|e| panic!("read {}: {e}", compare_path.display()));
-        let baseline = parse_speeds(&text);
-        assert!(!baseline.is_empty(), "no scheme speeds in comparison JSON");
-        json.push_str(",\n  \"baseline\": {\n");
+    json.push_str("  \"cosim\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"steady\": {{\"commits\": {}, \"warmup\": {}, \"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"solo_cycles_per_sec\": {:.0}, \"speedup\": {:.2}}},",
+        args.commits,
+        args.warmup,
+        steady.cycles,
+        steady.wall_s,
+        steady.cycles_per_sec,
+        total_cps,
+        steady_speedup,
+    );
+    json.push_str("    \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    \"source\": \"{}\",",
-            compare_path.display()
+            "      {{\"cell\": \"{}\", \"commits\": {}, \"warmup\": {}, \"schemes\": {}, \"solo_wall_s\": {:.4}, \"cosim_wall_s\": {:.4}, \"speedup\": {:.2}}}{}",
+            c.label,
+            c.commits,
+            c.warmup,
+            Scheme::ALL.len(),
+            c.solo_wall_s,
+            c.cosim_wall_s,
+            c.speedup,
+            comma,
         );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"sweep_speedup\": {sweep_speedup:.2}");
+    json.push_str("  }");
+
+    if let Some(text) = &compare_text {
+        let baseline = parse_speeds(text);
+        assert!(!baseline.is_empty(), "no scheme speeds in comparison JSON");
+        json.push_str(",\n  \"baseline\": {\n");
+        let source = args.compare.as_ref().expect("compare path").display();
+        let _ = writeln!(json, "    \"source\": \"{source}\",");
+        match baseline_identity(text) {
+            Some((rev, date)) => {
+                let _ = writeln!(
+                    json,
+                    "    \"generated\": {{\"git_rev\": \"{rev}\", \"date\": \"{date}\"}},"
+                );
+            }
+            None => {
+                let _ = writeln!(json, "    \"generated\": null,");
+            }
+        }
         json.push_str("    \"schemes\": [\n");
         for (i, (name, cps)) in baseline.iter().enumerate() {
             let speedup = rows
@@ -305,7 +618,15 @@ fn main() {
             base_cps,
             total_cps / base_cps.max(1e-9),
         );
-        println!("  sweep speedup: {:.2}x", total_cps / base_cps.max(1e-9));
+        println!("  solo sweep vs baseline: {:.2}x", total_cps / base_cps.max(1e-9));
+    }
+
+    if !solo_profile.is_empty() {
+        json.push_str(",\n  \"stage_profile\": {\n");
+        append_stage_profile(&mut json, "solo", &solo_profile);
+        json.push_str(",\n");
+        append_stage_profile(&mut json, "cosim", &cosim_profile);
+        json.push_str("\n  }");
     }
     json.push_str("\n}\n");
 
@@ -316,17 +637,4 @@ fn main() {
     }
     std::fs::write(&args.out, json).expect("write simspeed JSON");
     println!("wrote {}", args.out.display());
-
-    let profile = tv_uarch::profile::snapshot();
-    if !profile.is_empty() {
-        println!("stage profile (cumulative across all runs):");
-        for s in &profile {
-            println!(
-                "  {:>10}: {:>9.3}s over {} calls",
-                s.name,
-                s.nanos as f64 / 1e9,
-                s.calls
-            );
-        }
-    }
 }

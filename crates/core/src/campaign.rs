@@ -35,10 +35,10 @@ use std::path::Path;
 use std::sync::Mutex;
 
 use tv_timing::{FaultCalibration, SensorModel, Voltage};
-use tv_uarch::{CoreConfig, OracleReport, SimStats};
+use tv_uarch::{CoSim, CoreConfig, OracleReport, SimStats};
 use tv_workloads::{Benchmark, Profile};
 
-use crate::fleet::{Fleet, FleetStats};
+use crate::fleet::{Fleet, FleetStats, JobPanic};
 use crate::schemes::Scheme;
 use crate::workload::Workload;
 
@@ -208,6 +208,15 @@ pub struct CampaignConfig {
     /// Extra tuples running real RISC-V programs (appended after the
     /// synthetic tuples, cycling through the built-in compute programs).
     pub riscv_tuples: usize,
+    /// Run each tuple's schemes as one co-simulation bundle (shared
+    /// frontend, one fault-calibration probe) instead of per-cell jobs.
+    /// A pure job-shape change: verdict rows are bit-identical either
+    /// way, so it is *not* part of the journal fingerprint — a journal
+    /// written in one mode resumes cleanly in the other. Crash isolation
+    /// coarsens to the bundle (a panic or watchdog re-runs or marks the
+    /// whole tuple), and the journal is appended per bundle rather than
+    /// per cell.
+    pub cosim: bool,
 }
 
 impl CampaignConfig {
@@ -222,6 +231,7 @@ impl CampaignConfig {
             watchdog_cycles: 500_000,
             include_control: true,
             riscv_tuples: 4,
+            cosim: false,
         }
     }
 
@@ -464,6 +474,77 @@ pub fn run_cell(tuple: &CampaignTuple, scheme: Scheme, config: &CampaignConfig) 
     }
 }
 
+/// Runs one tuple's schemes as a single co-simulation bundle, returning
+/// one verdict row per scheme in order.
+///
+/// The bundle shares the frontend (trace supply, scenario-shaped fault
+/// sampling, branch outcomes) and pays the fault-calibration probe once,
+/// so its rows are bit-identical to [`run_cell`]'s by the co-sim contract
+/// (`tests/cosim_equiv.rs`). A watchdog anywhere in the bundle leaves the
+/// *other* lanes mid-flight with no solo-equivalent state, so that case
+/// falls back to re-running every cell solo — the watchdog rows then
+/// carry the exact solo-mode dump, keeping rows byte-identical across
+/// modes by construction.
+pub fn run_cells_cosim(
+    tuple: &CampaignTuple,
+    schemes: &[Scheme],
+    config: &CampaignConfig,
+) -> Vec<String> {
+    let core = CoreConfig {
+        watchdog_cycles: config.watchdog_cycles,
+        ..CoreConfig::core1()
+    };
+    let (rate_097, rate_104) = tuple.workload.spec().fault_rates();
+    let builders = schemes
+        .iter()
+        .map(|&scheme| {
+            scheme
+                .pipeline_builder_with_spec(tuple.workload.spec(), tuple.seed, tuple.vdd)
+                .calibration(tuple.scenario.calibration_from_rates(rate_097, rate_104))
+                .sensor(tuple.scenario.sensor(tuple.seed))
+                .config(core.clone())
+                .oracle(true)
+        })
+        .collect();
+    let mut cosim = CoSim::build(builders);
+    let measured = (|| {
+        if config.warmup > 0 && !tuple.workload.is_riscv() {
+            cosim.try_warm_up(config.warmup)?;
+        }
+        if tuple.workload.is_riscv() {
+            cosim.try_run_to_halt(config.commits)
+        } else {
+            cosim.try_run(config.commits)
+        }
+    })();
+    match measured {
+        Ok(stats) => schemes
+            .iter()
+            .enumerate()
+            .map(|(i, &scheme)| {
+                let report = cosim.lane(i).oracle_report().expect("oracle enabled");
+                let (verdict, detail) = if report.clean() {
+                    ("clean", String::new())
+                } else {
+                    ("corrupt", report.summary())
+                };
+                render_row(
+                    &cell_prefix(tuple, scheme),
+                    verdict,
+                    stats[i].cycles,
+                    &stats[i],
+                    Some(&report),
+                    &detail,
+                )
+            })
+            .collect(),
+        Err(_) => schemes
+            .iter()
+            .map(|&scheme| run_cell(tuple, scheme, config))
+            .collect(),
+    }
+}
+
 /// Outcome of one campaign run: verdict rows in cell order plus resume
 /// and crash accounting.
 #[derive(Debug)]
@@ -616,9 +697,7 @@ pub fn run_campaign(
         .collect();
     let pending: Vec<(CampaignTuple, Scheme)> =
         pending_idx.iter().map(|&i| cells[i].clone()).collect();
-    let labels: Vec<String> = pending.iter().map(|(t, s)| cell_label(t, *s)).collect();
     let pending_keys: Vec<String> = pending_idx.iter().map(|&i| keys[i].clone()).collect();
-    let prefixes: Vec<String> = pending.iter().map(|(t, s)| cell_prefix(t, *s)).collect();
 
     let mut file = OpenOptions::new()
         .append(true)
@@ -633,40 +712,122 @@ pub fn run_campaign(
     }
     let file = Mutex::new(file);
 
-    let run = fleet.map_caught_observed(
-        pending,
-        labels,
-        |(tuple, scheme)| run_cell(tuple, *scheme, config),
-        |i, result| {
-            let row = match result {
-                Ok(row) => row.clone(),
-                Err(p) => panic_row(&prefixes[i], &p.payload),
+    let executed = pending.len();
+    let (mut fresh, panicked, fleet_stats): (HashMap<String, String>, usize, FleetStats) =
+        if config.cosim {
+            // Group pending cells by tuple (cells are tuple-major, so one
+            // linear pass suffices) and run each group as one co-sim
+            // bundle. Partially-journalled tuples simply get a smaller
+            // bundle — any scheme subset co-simulates bit-identically.
+            let mut bundles: Vec<(CampaignTuple, Vec<Scheme>)> = Vec::new();
+            for (tuple, scheme) in &pending {
+                match bundles.last_mut() {
+                    Some((t, schemes)) if t.id == tuple.id => schemes.push(*scheme),
+                    _ => bundles.push((tuple.clone(), vec![*scheme])),
+                }
+            }
+            let labels: Vec<String> = bundles
+                .iter()
+                .map(|(t, schemes)| {
+                    format!(
+                        "#{} {} {}@{:.3}V seed={} x{} schemes (cosim)",
+                        t.id,
+                        t.scenario,
+                        t.workload.name(),
+                        t.vdd.volts(),
+                        t.seed,
+                        schemes.len(),
+                    )
+                })
+                .collect();
+            let bundle_keys: Vec<Vec<String>> = bundles
+                .iter()
+                .map(|(t, schemes)| schemes.iter().map(|&s| cell_key(t, s)).collect())
+                .collect();
+            let bundle_prefixes: Vec<Vec<String>> = bundles
+                .iter()
+                .map(|(t, schemes)| schemes.iter().map(|&s| cell_prefix(t, s)).collect())
+                .collect();
+            let bundle_rows = |i: usize, result: &Result<Vec<String>, JobPanic>| -> Vec<String> {
+                match result {
+                    Ok(rows) => rows.clone(),
+                    // A panic kills the whole bundle: every cell of the
+                    // tuple becomes a panic row (crash isolation is
+                    // per-bundle in this mode).
+                    Err(p) => bundle_prefixes[i]
+                        .iter()
+                        .map(|prefix| panic_row(prefix, &p.payload))
+                        .collect(),
+                }
             };
-            // One write_all per line: a kill can tear at most the last
-            // line, which parse_journal discards on resume.
-            let line = format!("{}\t{row}\n", pending_keys[i]);
-            let mut f = file.lock().expect("journal lock");
-            f.write_all(line.as_bytes()).expect("journal append");
-        },
-    );
-
-    let panicked = run.results.iter().filter(|r| r.is_err()).count();
-    let executed = run.results.len();
-    let mut fresh: HashMap<&str, String> = HashMap::with_capacity(executed);
-    for (i, result) in run.results.into_iter().enumerate() {
-        let row = match result {
-            Ok(row) => row,
-            Err(p) => panic_row(&prefixes[i], &p.payload),
+            let run = fleet.map_caught_observed(
+                bundles,
+                labels,
+                |(tuple, schemes)| run_cells_cosim(tuple, schemes, config),
+                |i, result| {
+                    // One write_all per bundle: a kill loses at most one
+                    // tuple's rows plus a torn last line, both of which
+                    // resume re-executes.
+                    let mut lines = String::new();
+                    for (key, row) in bundle_keys[i].iter().zip(bundle_rows(i, result)) {
+                        lines.push_str(&format!("{key}\t{row}\n"));
+                    }
+                    let mut f = file.lock().expect("journal lock");
+                    f.write_all(lines.as_bytes()).expect("journal append");
+                },
+            );
+            let panicked = run
+                .results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_err())
+                .map(|(i, _)| bundle_keys[i].len())
+                .sum();
+            let mut fresh = HashMap::with_capacity(executed);
+            for (i, result) in run.results.iter().enumerate() {
+                for (key, row) in bundle_keys[i].iter().zip(bundle_rows(i, result)) {
+                    fresh.insert(key.clone(), row);
+                }
+            }
+            (fresh, panicked, run.stats)
+        } else {
+            let labels: Vec<String> = pending.iter().map(|(t, s)| cell_label(t, *s)).collect();
+            let prefixes: Vec<String> = pending.iter().map(|(t, s)| cell_prefix(t, *s)).collect();
+            let run = fleet.map_caught_observed(
+                pending,
+                labels,
+                |(tuple, scheme)| run_cell(tuple, *scheme, config),
+                |i, result| {
+                    let row = match result {
+                        Ok(row) => row.clone(),
+                        Err(p) => panic_row(&prefixes[i], &p.payload),
+                    };
+                    // One write_all per line: a kill can tear at most the
+                    // last line, which parse_journal discards on resume.
+                    let line = format!("{}\t{row}\n", pending_keys[i]);
+                    let mut f = file.lock().expect("journal lock");
+                    f.write_all(line.as_bytes()).expect("journal append");
+                },
+            );
+            let panicked = run.results.iter().filter(|r| r.is_err()).count();
+            let mut fresh = HashMap::with_capacity(executed);
+            for (i, result) in run.results.into_iter().enumerate() {
+                let row = match result {
+                    Ok(row) => row,
+                    Err(p) => panic_row(&prefixes[i], &p.payload),
+                };
+                fresh.insert(pending_keys[i].clone(), row);
+            }
+            (fresh, panicked, run.stats)
         };
-        fresh.insert(pending_keys[i].as_str(), row);
-    }
+
     let rows = keys
         .iter()
         .map(|key| {
             completed
                 .get(key)
                 .cloned()
-                .or_else(|| fresh.remove(key.as_str()))
+                .or_else(|| fresh.remove(key))
                 .expect("every cell produced a row")
         })
         .collect();
@@ -676,7 +837,7 @@ pub fn run_campaign(
         reused: cells.len() - executed,
         executed,
         panicked,
-        fleet: run.stats,
+        fleet: fleet_stats,
     })
 }
 
@@ -793,6 +954,43 @@ mod tests {
         assert_eq!(resumed.csv(), reference.csv());
 
         fs::remove_dir_all(full_journal.parent().unwrap()).ok();
+        fs::remove_dir_all(torn_journal.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn cosim_mode_rows_are_bit_identical_to_solo() {
+        // The job-shape contract: co-sim bundles must render the exact
+        // verdict rows solo cells do — which also makes journals written
+        // in either mode interchangeable on resume.
+        let solo_cfg = tiny_config();
+        let cosim_cfg = CampaignConfig {
+            cosim: true,
+            ..solo_cfg
+        };
+        let solo_journal = temp_journal("mode-solo");
+        let cosim_journal = temp_journal("mode-cosim");
+        let solo = run_campaign(&Fleet::new(2), &solo_cfg, &solo_journal, false)
+            .expect("solo campaign");
+        let cosim = run_campaign(&Fleet::new(2), &cosim_cfg, &cosim_journal, false)
+            .expect("cosim campaign");
+        assert_eq!(solo.rows, cosim.rows, "verdict rows must not depend on job shape");
+        assert_eq!(cosim.panicked, 0);
+
+        // Cross-mode resume: a journal started solo finishes under co-sim
+        // with the identical CSV (same fingerprint, same rows).
+        let text = fs::read_to_string(&solo_journal).expect("journal exists");
+        let lines: Vec<&str> = text.lines().collect();
+        let torn_journal = temp_journal("mode-cross");
+        let mut torn = lines[..5].join("\n");
+        torn.push('\n');
+        fs::write(&torn_journal, &torn).expect("write partial journal");
+        let resumed = run_campaign(&Fleet::new(2), &cosim_cfg, &torn_journal, true)
+            .expect("cross-mode resume");
+        assert_eq!(resumed.reused, 4, "partial solo journal rows survive");
+        assert_eq!(resumed.rows, solo.rows, "cross-mode resume is bit-identical");
+
+        fs::remove_dir_all(solo_journal.parent().unwrap()).ok();
+        fs::remove_dir_all(cosim_journal.parent().unwrap()).ok();
         fs::remove_dir_all(torn_journal.parent().unwrap()).ok();
     }
 

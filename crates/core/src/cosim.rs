@@ -1,0 +1,156 @@
+//! Schemes-as-one-job orchestration over the co-sim driver.
+//!
+//! [`tv_uarch::CoSim`] runs N per-scheme timing lanes against one shared
+//! frontend (see `crates/uarch/src/cosim.rs` for the sharing argument and
+//! the bit-identity contract). This module bridges it to the scheme layer:
+//! per-tuple builder bundles configured exactly like the solo paths, the
+//! differential harness's co-sim cell, and the experiment engine's
+//! one-job-per-tuple evaluation. A sweep that used to submit
+//! `tuples × schemes` jobs submits `tuples` jobs instead, each paying for
+//! trace generation, fault sampling, branch-outcome resolution, and the
+//! 300k-instruction fault-calibration probe once rather than
+//! `schemes.len()` times.
+
+use tv_energy::RunEnergy;
+use tv_timing::Voltage;
+use tv_uarch::cosim::CoSim;
+use tv_uarch::PipelineBuilder;
+
+use crate::diff::{stream_hash, DiffConfig, DiffRun, DiffTuple};
+use crate::experiment::{Evaluation, RunConfig, SchemeResult};
+use crate::schemes::Scheme;
+use crate::workload::Workload;
+
+/// Per-scheme pipeline builders for one tuple, configured through the same
+/// [`Scheme::pipeline_builder_for`] path a solo run uses; `configure`
+/// applies any per-run options (audit, oracle, CT, fast-forward) uniformly.
+pub fn scheme_builders(
+    workload: &Workload,
+    seed: u64,
+    vdd: Voltage,
+    schemes: &[Scheme],
+    mut configure: impl FnMut(Scheme, PipelineBuilder) -> PipelineBuilder,
+) -> Vec<PipelineBuilder> {
+    schemes
+        .iter()
+        .map(|&s| configure(s, s.pipeline_builder_for(workload, seed, vdd)))
+        .collect()
+}
+
+/// Builds a co-sim with one lane per scheme over one tuple.
+///
+/// # Panics
+///
+/// Panics if `schemes` is empty (a co-sim needs at least one lane).
+pub fn build_cosim(
+    workload: &Workload,
+    seed: u64,
+    vdd: Voltage,
+    schemes: &[Scheme],
+    configure: impl FnMut(Scheme, PipelineBuilder) -> PipelineBuilder,
+) -> CoSim {
+    CoSim::build(scheme_builders(workload, seed, vdd, schemes, configure))
+}
+
+/// The co-sim analogue of the differential harness's per-tuple work: one
+/// shared frontend, one lane per configured scheme, one [`DiffRun`] per
+/// scheme in scheme order — bit-identical to the solo rows.
+pub(crate) fn diff_runs(tuple: &DiffTuple, cfg: &DiffConfig) -> Vec<DiffRun> {
+    let mut cosim = build_cosim(
+        &tuple.workload,
+        tuple.seed,
+        tuple.vdd,
+        &cfg.schemes,
+        |_, b| {
+            let mut b = b.record_commits(true).oracle(cfg.oracle);
+            if cfg.audit.enabled() {
+                b = b.audit(cfg.audit);
+            }
+            b
+        },
+    );
+    // Same phase structure as the solo run_one: finite programs run
+    // start-to-halt, synthetic streams warm up then measure.
+    let stats = if tuple.workload.is_riscv() {
+        cosim.run_to_halt(cfg.commits)
+    } else {
+        cosim.warm_up(cfg.warmup);
+        cosim.run(cfg.commits)
+    };
+    cfg.schemes
+        .iter()
+        .zip(stats)
+        .enumerate()
+        .map(|(i, (&scheme, stats))| {
+            let pipe = cosim.lane(i);
+            let log = pipe.commit_log().expect("recording enabled");
+            let report = pipe.audit_report();
+            DiffRun {
+                workload: tuple.workload.name(),
+                vdd: tuple.vdd,
+                seed: tuple.seed,
+                scheme,
+                commits: log.len() as u64,
+                cycles: stats.cycles,
+                stream_hash: stream_hash(log),
+                audit_cycles: report.as_ref().map_or(0, |r| r.cycles),
+                audit_checks: report.as_ref().map_or(0, |r| r.checks),
+                audit_violations: report.as_ref().map_or(0, |r| r.violations_total),
+                first_violation: report
+                    .as_ref()
+                    .and_then(|r| r.violations.first())
+                    .map(|v| format!("cycle {}: {}: {}", v.cycle, v.invariant, v.detail)),
+                oracle_clean: pipe.oracle_report().map(|r| r.clean()),
+            }
+        })
+        .collect()
+}
+
+/// Runs `schemes` over one benchmark × voltage cell as a single co-sim
+/// job and returns per-scheme results bit-identical to
+/// [`Experiment::run_scheme`](crate::experiment::Experiment::run_scheme)
+/// in scheme order.
+pub fn run_schemes_cosim(
+    workload: &Workload,
+    vdd: Voltage,
+    config: &RunConfig,
+    schemes: &[Scheme],
+) -> Vec<SchemeResult> {
+    let builders = scheme_builders(workload, config.seed, vdd, schemes, |_, mut b| {
+        b = b.criticality_threshold(config.criticality_threshold);
+        if config.fast_forward > 0 {
+            b = b.fast_forward(config.fast_forward);
+        }
+        b
+    });
+    let mut cosim = CoSim::build(builders);
+    cosim.warm_up(config.warmup);
+    let stats = cosim.run(config.commits);
+    schemes
+        .iter()
+        .zip(stats)
+        .map(|(&scheme, mut stats)| {
+            stats.label = scheme.name().to_string();
+            let energy = RunEnergy::from_stats(&stats, &config.energy);
+            SchemeResult {
+                scheme,
+                stats,
+                energy,
+            }
+        })
+        .collect()
+}
+
+/// One benchmark × voltage evaluation of all six schemes as a single
+/// co-sim job — the schemes-as-one-job form of
+/// [`Experiment::run_all`](crate::experiment::Experiment::run_all).
+pub fn evaluate_cosim(workload: &Workload, vdd: Voltage, config: &RunConfig) -> Evaluation {
+    let bench = match workload {
+        Workload::Bench(b) => *b,
+        Workload::Riscv { .. } => {
+            panic!("evaluate_cosim measures synthetic benchmark cells; riscv programs \
+                    run start-to-halt through the diff/campaign paths")
+        }
+    };
+    Evaluation::new(bench, vdd, run_schemes_cosim(workload, vdd, config, &Scheme::ALL))
+}

@@ -80,6 +80,12 @@ pub struct DiffConfig {
     /// Also run the golden-model oracle and record its verdict per run
     /// (default: off; the synthetic golden CSVs predate the field).
     pub oracle: bool,
+    /// Run each tuple's schemes as one co-simulation job (shared frontend,
+    /// N timing lanes) instead of `schemes.len()` solo jobs. Results are
+    /// bit-identical either way (the contract `tests/cosim_equiv.rs`
+    /// pins); co-sim pays frontend and fault-calibration cost once per
+    /// tuple. Default: off, matching the historical job shape.
+    pub cosim: bool,
 }
 
 impl Default for DiffConfig {
@@ -90,6 +96,7 @@ impl Default for DiffConfig {
             audit: AuditLevel::Full,
             schemes: Scheme::ALL.to_vec(),
             oracle: false,
+            cosim: false,
         }
     }
 }
@@ -146,7 +153,7 @@ impl DiffReport {
 }
 
 /// FNV-1a over the architectural commit stream.
-fn stream_hash(log: &[(u64, u64, u8)]) -> u64 {
+pub(crate) fn stream_hash(log: &[(u64, u64, u8)]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -207,13 +214,24 @@ fn run_one(tuple: &DiffTuple, scheme: Scheme, cfg: &DiffConfig) -> DiffRun {
 /// scheme equivalence. Results come back in submission order (tuples outer,
 /// schemes inner), bit-identical at any worker count.
 pub fn run_differential(fleet: &Fleet, tuples: &[DiffTuple], cfg: &DiffConfig) -> DiffReport {
-    let items: Vec<(DiffTuple, Scheme)> = tuples
-        .iter()
-        .flat_map(|t| cfg.schemes.iter().map(|&s| (t.clone(), s)))
-        .collect();
-    let runs = fleet
-        .map(items, |(tuple, scheme)| run_one(tuple, *scheme, cfg))
-        .results;
+    let runs = if cfg.cosim {
+        // One job per tuple: all schemes share a frontend; the job yields
+        // the same rows in the same (tuples outer, schemes inner) order.
+        fleet
+            .map(tuples.to_vec(), |tuple| crate::cosim::diff_runs(tuple, cfg))
+            .results
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        let items: Vec<(DiffTuple, Scheme)> = tuples
+            .iter()
+            .flat_map(|t| cfg.schemes.iter().map(|&s| (t.clone(), s)))
+            .collect();
+        fleet
+            .map(items, |(tuple, scheme)| run_one(tuple, *scheme, cfg))
+            .results
+    };
 
     let mut mismatches = Vec::new();
     for group in runs.chunks(cfg.schemes.len()) {
@@ -265,6 +283,7 @@ mod tests {
             audit: AuditLevel::Basic,
             schemes: vec![Scheme::FaultFree, Scheme::Razor],
             oracle: false,
+            cosim: false,
         };
         let tuples = [DiffTuple {
             workload: Workload::Bench(Benchmark::Gcc),
@@ -289,6 +308,7 @@ mod tests {
             audit: AuditLevel::Basic,
             schemes,
             oracle: true,
+            cosim: false,
         };
         let tuples = [DiffTuple {
             workload: Workload::builtin("hazard_raw").unwrap(),

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod campaign;
+pub mod cosim;
 pub mod diff;
 pub mod experiment;
 pub mod fleet;
@@ -55,6 +56,7 @@ pub mod select;
 pub mod workload;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CampaignTuple, FaultScenario};
+pub use cosim::{build_cosim, evaluate_cosim, run_schemes_cosim, scheme_builders};
 pub use diff::{run_differential, DiffConfig, DiffReport, DiffRun, DiffTuple};
 pub use experiment::{run_evaluations, Evaluation, Experiment, RunConfig, SchemeResult};
 pub use fleet::{Fleet, FleetRun, FleetStats, Job, JobPanic, JobTiming};

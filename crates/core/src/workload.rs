@@ -15,10 +15,11 @@ use tv_workloads::riscv::assemble;
 use tv_workloads::{Benchmark, RiscvProgram, WorkloadSpec};
 
 /// The built-in RISC-V programs, embedded from `examples/asm/`.
-pub const BUILTIN_ASM: [(&str, &str); 5] = [
+pub const BUILTIN_ASM: [(&str, &str); 6] = [
     ("matmul", include_str!("../../../examples/asm/matmul.asm")),
     ("quicksort", include_str!("../../../examples/asm/quicksort.asm")),
     ("checksum", include_str!("../../../examples/asm/checksum.asm")),
+    ("rle", include_str!("../../../examples/asm/rle.asm")),
     ("hazard_raw", include_str!("../../../examples/asm/hazard_raw.asm")),
     ("hazard_branch", include_str!("../../../examples/asm/hazard_branch.asm")),
 ];

@@ -45,6 +45,7 @@
 pub mod branch;
 pub mod cache;
 pub mod config;
+pub mod cosim;
 pub mod exec;
 pub mod inflight;
 pub mod issue_queue;
@@ -59,6 +60,7 @@ mod values;
 pub mod watchdog;
 
 pub use config::{CoreConfig, LaneKind, RecoveryModel};
+pub use cosim::{CoSim, CoSimError};
 pub use inflight::InFlightInst;
 pub use pipeline::{Pipeline, PipelineBuilder, ToleranceMode};
 pub use tv_audit::{AuditLevel, AuditReport};

@@ -31,10 +31,11 @@ use tv_audit::{AuditLevel, AuditReport, AuditSnapshot, Auditor};
 use tv_tep::{Tep, TepConfig};
 use tv_timing::{FaultCalibration, FaultModel, PipeStage, SensorModel, Voltage};
 use tv_oracle::Semantics;
-use tv_workloads::{Benchmark, OpClass, Profile, TraceInst, WorkloadSource, WorkloadSpec};
+use tv_workloads::{Benchmark, OpClass, Profile, TraceInst, WorkloadSpec};
 
 use crate::branch::BranchPredictor;
 use crate::cache::CacheHierarchy;
+use crate::cosim::{Feed, FedInst};
 use crate::config::{CoreConfig, LaneKind, RecoveryModel};
 use crate::exec::ExecUnits;
 use crate::inflight::{InFlightInst, Slab, SlotId};
@@ -133,22 +134,24 @@ impl Ord for ScheduledEvent {
     }
 }
 
-/// Configures and builds a [`Pipeline`].
+/// Configures and builds a [`Pipeline`]. Fields are crate-visible so the
+/// co-sim driver ([`crate::cosim::CoSim`]) can validate that a bundle of
+/// builders is co-simulable and reuse the solo build path per lane.
 pub struct PipelineBuilder {
-    workload: WorkloadSpec,
-    seed: u64,
-    cfg: CoreConfig,
-    mode: ToleranceMode,
-    vdd: Voltage,
-    policy: Option<Box<dyn SelectPolicy>>,
-    tep_config: TepConfig,
-    criticality_threshold: u32,
-    sensor: Option<SensorModel>,
-    fast_forward: u64,
-    calibration: Option<FaultCalibration>,
-    audit_level: AuditLevel,
-    record_commits: bool,
-    oracle: bool,
+    pub(crate) workload: WorkloadSpec,
+    pub(crate) seed: u64,
+    pub(crate) cfg: CoreConfig,
+    pub(crate) mode: ToleranceMode,
+    pub(crate) vdd: Voltage,
+    pub(crate) policy: Option<Box<dyn SelectPolicy>>,
+    pub(crate) tep_config: TepConfig,
+    pub(crate) criticality_threshold: u32,
+    pub(crate) sensor: Option<SensorModel>,
+    pub(crate) fast_forward: u64,
+    pub(crate) calibration: Option<FaultCalibration>,
+    pub(crate) audit_level: AuditLevel,
+    pub(crate) record_commits: bool,
+    pub(crate) oracle: bool,
 }
 
 impl PipelineBuilder {
@@ -241,37 +244,62 @@ impl PipelineBuilder {
     ///
     /// Panics if the machine configuration is invalid.
     pub fn build(self) -> Pipeline {
-        self.cfg.validate();
+        let fault_model = self.make_fault_model();
         let mut gen = self.workload.source(self.seed);
         if self.fast_forward > 0 {
             gen.fast_forward(self.fast_forward);
         }
-        let fault_model = if self.mode == ToleranceMode::FaultFree {
-            None
-        } else {
-            let cal = self.calibration.unwrap_or_else(|| {
-                let (rate_097, rate_104) = self.workload.fault_rates();
-                FaultCalibration::from_rates(rate_097, rate_104)
-            });
-            let sensor = self.sensor.unwrap_or_else(SensorModel::quiescent);
-            // Profile the dynamic PC frequencies once so the critical-PC
-            // set can be calibrated to the workload's measured fault rate
-            // (the trace is regenerated; the simulated stream is untouched;
-            // finite workloads may end before the probe budget runs out).
-            let mut probe = self.workload.source(self.seed);
-            probe.fast_forward(self.fast_forward);
-            let mut weights: std::collections::HashMap<u64, u64> =
-                std::collections::HashMap::new();
-            for _ in 0..FAULT_CALIBRATION_PROBE {
-                match probe.next_inst() {
-                    Some(t) => *weights.entry(t.pc).or_default() += 1,
-                    None => break,
-                }
+        self.build_with(Feed::Direct(gen), fault_model)
+    }
+
+    /// The fault calibration a build would use (explicit override or the
+    /// workload profile's Table 1 rates).
+    pub(crate) fn resolved_calibration(&self) -> FaultCalibration {
+        self.calibration.unwrap_or_else(|| {
+            let (rate_097, rate_104) = self.workload.fault_rates();
+            FaultCalibration::from_rates(rate_097, rate_104)
+        })
+    }
+
+    /// The sensor model a build would use (override or quiescent).
+    pub(crate) fn resolved_sensor(&self) -> SensorModel {
+        self.sensor.unwrap_or_else(SensorModel::quiescent)
+    }
+
+    /// Builds the fault model exactly as [`build`](Self::build) would —
+    /// including the calibration probe over a fresh trace stream. The
+    /// co-sim driver calls this once per bundle and clones the result into
+    /// each faulty lane, so a shared model is bit-identical to a solo one.
+    pub(crate) fn make_fault_model(&self) -> Option<FaultModel> {
+        if self.mode == ToleranceMode::FaultFree {
+            return None;
+        }
+        let cal = self.resolved_calibration();
+        let sensor = self.resolved_sensor();
+        // Profile the dynamic PC frequencies once so the critical-PC
+        // set can be calibrated to the workload's measured fault rate
+        // (the trace is regenerated; the simulated stream is untouched;
+        // finite workloads may end before the probe budget runs out).
+        let mut probe = self.workload.source(self.seed);
+        probe.fast_forward(self.fast_forward);
+        let mut weights: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
+        for _ in 0..FAULT_CALIBRATION_PROBE {
+            match probe.next_inst() {
+                Some(t) => *weights.entry(t.pc).or_default() += 1,
+                None => break,
             }
-            Some(FaultModel::calibrated(
-                cal, self.vdd, self.seed, sensor, weights,
-            ))
-        };
+        }
+        Some(FaultModel::calibrated(
+            cal, self.vdd, self.seed, sensor, weights,
+        ))
+    }
+
+    /// Builds the pipeline around an explicit instruction feed and fault
+    /// model — the shared tail of [`build`](Self::build) (solo, direct
+    /// feed) and the co-sim driver (shared-frontend cursor).
+    pub(crate) fn build_with(self, gen: Feed, fault_model: Option<FaultModel>) -> Pipeline {
+        self.cfg.validate();
         let semantics = match &self.workload {
             WorkloadSpec::Synthetic(_) => Semantics::Synthetic,
             WorkloadSpec::Riscv(program) => Semantics::Riscv(program.clone()),
@@ -345,7 +373,7 @@ impl PipelineBuilder {
 pub struct Pipeline {
     cfg: CoreConfig,
     mode: ToleranceMode,
-    gen: Box<dyn WorkloadSource>,
+    gen: Feed,
     /// The workload stream has ended (a finite RISC-V program halted).
     workload_done: bool,
     fault_model: Option<FaultModel>,
@@ -572,6 +600,45 @@ impl Pipeline {
         }
         self.finalize_stats();
         Ok(self.stats.clone())
+    }
+
+    /// Sets the retire-stop bound directly. The co-sim driver sets it to
+    /// the phase-final target once per phase — exactly as `try_run` does —
+    /// then advances in chunks; setting it per chunk instead would clamp
+    /// retire mid-phase and fork the cycle stream from a solo run.
+    pub(crate) fn set_commit_limit(&mut self, limit: u64) {
+        self.commit_limit = limit;
+    }
+
+    /// Advances the machine until `committed` reaches `milestone` (or,
+    /// when `stop_at_drain`, the workload drains), carrying the caller's
+    /// watchdog window across calls. The loop body is identical to
+    /// `try_run`'s, so a chunked run steps the very same cycles.
+    pub(crate) fn step_toward(
+        &mut self,
+        milestone: u64,
+        stop_at_drain: bool,
+        wd_last_commit_cycle: &mut u64,
+        wd_last_committed: &mut u64,
+    ) -> Result<(), WatchdogError> {
+        let threshold = self.cfg.watchdog_cycles;
+        while self.stats.committed < milestone && !(stop_at_drain && self.drained()) {
+            self.step();
+            if self.stats.committed != *wd_last_committed {
+                *wd_last_committed = self.stats.committed;
+                *wd_last_commit_cycle = self.cycle;
+            }
+            if self.cycle - *wd_last_commit_cycle >= threshold {
+                return Err(self.watchdog_error(*wd_last_commit_cycle));
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes a chunked run phase (the co-sim analogue of the
+    /// `finalize_stats` call at the end of `try_run`).
+    pub(crate) fn finish_phase(&mut self) {
+        self.finalize_stats();
     }
 
     /// Materializes the watchdog's diagnostic dump of the stuck machine.
@@ -1665,10 +1732,24 @@ impl Pipeline {
             if self.fetch_q.len() >= FRONT_BUF {
                 break;
             }
-            let (trace, cleared) = match self.refetch.pop_front() {
-                Some(entry) => entry,
-                None => match self.gen.next_inst() {
-                    Some(trace) => (trace, false),
+            let (trace, fault, shared_mispred) = match self.refetch.pop_front() {
+                // A squashed instruction re-enters with its original fault
+                // verdict unless the replay cleared it; re-sampling the
+                // model reproduces the verdict (decide is pure). Refetch
+                // only happens under flush recovery, which the co-sim
+                // forbids, so the lane's own model is always the right one.
+                Some((trace, cleared)) => {
+                    let fault = if cleared {
+                        None
+                    } else {
+                        self.fault_model
+                            .as_ref()
+                            .and_then(|fm| fm.decide(trace.pc, trace.op.is_mem(), trace.seq))
+                    };
+                    (trace, fault, None)
+                }
+                None => match self.gen.next(self.fault_model.as_ref()) {
+                    Some(FedInst { trace, fault, mispred }) => (trace, fault, mispred),
                     None => {
                         // Finite workload exhausted: stop fetching and let
                         // everything in flight drain through retirement.
@@ -1678,12 +1759,7 @@ impl Pipeline {
                 },
             };
             let mut inst = InFlightInst::new(trace);
-            if !cleared {
-                if let Some(fm) = &self.fault_model {
-                    inst.actual_fault =
-                        fm.decide(trace.pc, trace.op.is_mem(), trace.seq);
-                }
-            }
+            inst.actual_fault = fault;
 
             // I-cache: one access per line per group.
             let line = trace.pc / self.cfg.line_bytes as u64;
@@ -1705,18 +1781,26 @@ impl Pipeline {
             match trace.op {
                 OpClass::CondBranch => {
                     let actual_taken = trace.taken.expect("branches carry outcomes");
-                    let pred = self.bp.predict_cond(trace.pc);
-                    let mispred = pred.taken != actual_taken
-                        || (actual_taken && pred.target != trace.target);
-                    self.bp.update(trace.pc, actual_taken, trace.target);
+                    // The co-sim frontend resolved the predictor verdict
+                    // once for all lanes; solo lanes consult their own.
+                    let mispred = shared_mispred.unwrap_or_else(|| {
+                        let pred = self.bp.predict_cond(trace.pc);
+                        let m = pred.taken != actual_taken
+                            || (actual_taken && pred.target != trace.target);
+                        self.bp.update(trace.pc, actual_taken, trace.target);
+                        m
+                    });
                     inst.branch_mispredicted = mispred;
                     blocks_fetch = mispred;
                     ends_group = actual_taken;
                 }
                 OpClass::Jump => {
-                    let pred = self.bp.predict_jump(trace.pc);
-                    let mispred = pred.target != trace.target;
-                    self.bp.update(trace.pc, true, trace.target);
+                    let mispred = shared_mispred.unwrap_or_else(|| {
+                        let pred = self.bp.predict_jump(trace.pc);
+                        let m = pred.target != trace.target;
+                        self.bp.update(trace.pc, true, trace.target);
+                        m
+                    });
                     inst.branch_mispredicted = mispred;
                     blocks_fetch = mispred;
                     ends_group = true;

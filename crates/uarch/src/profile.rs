@@ -16,10 +16,14 @@
 
 /// Pipeline stages instrumented by the profiler, in `step()` order. The
 /// `issue.*` entries are sub-phases nested inside `issue` (wakeup walk,
-/// priority ordering, lane select + downstream timing).
-pub const STAGE_NAMES: [&str; 11] = [
+/// priority ordering, lane select + downstream timing). `frontend` is
+/// nested inside `fetch`: the scheme-invariant instruction-supply work
+/// (trace generation, fault sampling, shared branch-outcome resolution) —
+/// in a solo run it is paid per lane, in a co-sim once per bundle, which
+/// is the shared-frontend amortization claim made visible.
+pub const STAGE_NAMES: [&str; 12] = [
     "events", "retire", "issue", "dispatch", "rename", "decode", "fetch", "audit",
-    "issue.wake", "issue.sort", "issue.sel",
+    "issue.wake", "issue.sort", "issue.sel", "frontend",
 ];
 
 /// Index constants matching [`STAGE_NAMES`].
@@ -35,6 +39,7 @@ pub(crate) mod stage {
     pub const ISSUE_WAKE: usize = 8;
     pub const ISSUE_SORT: usize = 9;
     pub const ISSUE_SEL: usize = 10;
+    pub const FRONTEND: usize = 11;
 }
 
 /// One stage's accumulated profile.

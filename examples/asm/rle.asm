@@ -1,0 +1,133 @@
+# Run-length codec round trip: two rounds of generate -> RLE-encode ->
+# RLE-decode -> verify -> FNV-fold over a 512-word buffer. Each round
+# seeds an LCG from the round number, emits random-length runs (1-8) of
+# random byte values into the source buffer at 0x6000, encodes them as
+# (count, value) word pairs at 0x7000, decodes back into 0x9000, counts
+# round-trip mismatches into a1 (must stay 0), and folds the decoded
+# buffer into the rolling FNV hash in a0. The largest built-in: ~45k
+# dynamic instructions mixing data-dependent inner-loop branches
+# (run-boundary scans), load/store traffic over three buffers, and the
+# multiply/xor hash dependence chain.
+
+        li a0, 0x811c9dc5      # FNV accumulator across rounds
+        li a1, 0               # round-trip mismatch count
+        li s0, 0x6000          # source buffer
+        li s2, 0x7000          # encoded (count, value) stream
+        li s3, 0x9000          # decoded buffer
+        li s1, 512             # words per round
+        li s5, 0               # round
+        li s6, 2               # rounds
+        li s9, 0x01000193      # FNV prime
+
+round_loop:
+        li t0, 0x9e3779b9      # seed = 0x1234567 ^ round * golden
+        mul s7, s5, t0
+        li t0, 0x1234567
+        xor s7, s7, t0
+
+        # -- generate: random-length runs of random byte values --------
+        li t0, 0               # i
+gen_loop:
+        bge t0, s1, gen_done
+        li t1, 1103515245      # seed = seed * 1103515245 + 12345
+        mul s7, s7, t1
+        li t1, 12345
+        add s7, s7, t1
+        srli t1, s7, 8
+        andi t1, t1, 7
+        addi t1, t1, 1         # run length 1..8
+        srli t2, s7, 16
+        andi t2, t2, 255       # run value
+gen_run:
+        bge t0, s1, gen_loop
+        slli t3, t0, 2
+        add t3, t3, s0
+        sw t2, 0(t3)
+        addi t0, t0, 1
+        addi t1, t1, -1
+        bne t1, zero, gen_run
+        j gen_loop
+gen_done:
+
+        # -- encode: scan each run, emit a (count, value) pair ---------
+        li t0, 0               # source index
+        li s8, 0               # encoded words written
+enc_loop:
+        bge t0, s1, enc_done
+        slli t3, t0, 2
+        add t3, t3, s0
+        lw t2, 0(t3)           # run value
+        li t1, 1               # run count
+enc_scan:
+        add t4, t0, t1
+        bge t4, s1, enc_emit
+        slli t3, t4, 2
+        add t3, t3, s0
+        lw t5, 0(t3)
+        bne t5, t2, enc_emit
+        addi t1, t1, 1
+        j enc_scan
+enc_emit:
+        slli t3, s8, 2
+        add t3, t3, s2
+        sw t1, 0(t3)
+        sw t2, 4(t3)
+        addi s8, s8, 2
+        add t0, t0, t1
+        j enc_loop
+enc_done:
+
+        # -- decode the (count, value) stream --------------------------
+        li t0, 0               # encoded index
+        li t4, 0               # output index
+dec_loop:
+        bge t0, s8, dec_done
+        slli t3, t0, 2
+        add t3, t3, s2
+        lw t1, 0(t3)           # count
+        lw t2, 4(t3)           # value
+        addi t0, t0, 2
+dec_run:
+        slli t3, t4, 2
+        add t3, t3, s3
+        sw t2, 0(t3)
+        addi t4, t4, 1
+        addi t1, t1, -1
+        bne t1, zero, dec_run
+        j dec_loop
+dec_done:
+
+        # -- verify the round trip ------------------------------------
+        li t0, 0
+ver_loop:
+        bge t0, s1, ver_done
+        slli t3, t0, 2
+        add t4, t3, s0
+        lw t1, 0(t4)
+        add t4, t3, s3
+        lw t2, 0(t4)
+        beq t1, t2, ver_next
+        addi a1, a1, 1
+ver_next:
+        addi t0, t0, 1
+        j ver_loop
+ver_done:
+
+        # -- fold the decoded buffer into the FNV accumulator ---------
+        li t0, 0
+fnv_loop:
+        bge t0, s1, fnv_done
+        slli t3, t0, 2
+        add t3, t3, s3
+        lw t2, 0(t3)
+        xor a0, a0, t2
+        mul a0, a0, s9
+        srli t3, a0, 13
+        xor a0, a0, t3
+        addi t0, t0, 1
+        j fnv_loop
+fnv_done:
+
+        addi s5, s5, 1
+        bne s5, s6, round_loop
+        ecall

@@ -22,9 +22,18 @@ echo "==> cargo test -q --workspace"
 cargo test -q --workspace --offline
 
 echo "==> fast scheme-equivalence differential audit (1 bench x 4 schemes x 2 seeds)"
+# Run the identical sweep in both job shapes — per-cell jobs and co-sim
+# bundles (one shared frontend feeding all schemes) — and require the
+# CSVs to be byte-identical: co-sim is an optimization, never a
+# semantic fork (the tests/cosim_equiv.rs contract, checked again here
+# end-to-end through the bin).
 tmp_audit="$(mktemp -d)"
 cargo run --release -q -p tv-bench --bin audit_diff --offline -- \
-    --fast --out "$tmp_audit"
+    --fast --out "$tmp_audit/solo"
+cargo run --release -q -p tv-bench --bin audit_diff --offline -- \
+    --fast --cosim --out "$tmp_audit/cosim"
+cmp "$tmp_audit/solo/audit_diff.csv" "$tmp_audit/cosim/audit_diff.csv"
+echo "    audit_diff.csv byte-identical between solo and co-sim job shapes"
 rm -rf "$tmp_audit"
 
 echo "==> RISC-V differential + hazard regression tests"
@@ -59,27 +68,33 @@ rm -rf "$tmp_spot"
 echo "    checksum x 6 schemes in ${elapsed}s, every cell > 20 kcommits/s"
 
 echo "==> simulator-throughput gate (vs committed BENCH_simspeed.json)"
-# Wall-clock smoke gate: fail only on a gross regression (>25% below the
+# Wall-clock smoke gate: fail on a gross solo regression (>25% below the
 # committed per-scheme baseline; SIMSPEED_GATE=0.4 loosens it on noisy
-# shared runners).
+# shared runners) or when the co-sim sweep-cell speedup drops below its
+# floor (SIMSPEED_COSIM_MIN, default 1.5x; the committed headline is
+# ~2.6x on the screening cell).
 cargo run --release -q -p tv-bench --bin simspeed --offline -- \
     --reps 2 --check BENCH_simspeed.json
 
-echo "==> smoke fault-injection campaign (oracle on, all schemes + control)"
+echo "==> smoke fault-injection campaign (oracle on, all schemes + control, co-sim jobs)"
 # Every real scheme must commit oracle-clean state under the stress fault
 # models, and the oracle must catch the NoTolerance control corrupting
-# state; the binary's exit status enforces both.
+# state; the binary's exit status enforces both. Runs in co-sim mode
+# (one bundle per tuple) — rows are bit-identical to per-cell mode, which
+# the cross-mode resume leg below proves end-to-end.
 tmp_campaign="$(mktemp -d)"
 cargo run --release -q -p tv-bench --bin campaign --offline -- \
-    --smoke --out "$tmp_campaign" 2>/dev/null
+    --smoke --cosim --out "$tmp_campaign" 2>/dev/null
 # Keep the smoke campaign's verdicts (now including the RISC-V tuples)
 # as a CI artifact alongside the other bench_results CSVs.
 cp "$tmp_campaign/campaign.csv" bench_results/campaign_smoke.csv
 
-echo "==> campaign kill -9 + --resume determinism"
+echo "==> campaign kill -9 + cross-mode --resume determinism"
 # SIGKILL the campaign binary mid-run (invoked directly, not via cargo,
-# so the kill hits the simulator itself), resume from its journal, and
-# require the resumed CSV to be byte-identical to the uninterrupted run's.
+# so the kill hits the simulator itself) in per-cell mode, resume the
+# journal in co-sim mode, and require the resumed CSV to be
+# byte-identical to the uninterrupted co-sim run's — one check covering
+# crash recovery AND journal interchangeability between job shapes.
 ./target/release/campaign \
     --smoke --out "$tmp_campaign/killed" >/dev/null 2>&1 &
 campaign_pid=$!
@@ -87,9 +102,9 @@ sleep 0.2
 kill -9 "$campaign_pid" 2>/dev/null || true
 wait "$campaign_pid" 2>/dev/null || true
 cargo run --release -q -p tv-bench --bin campaign --offline -- \
-    --smoke --out "$tmp_campaign/killed" --resume >/dev/null 2>/dev/null
+    --smoke --cosim --out "$tmp_campaign/killed" --resume >/dev/null 2>/dev/null
 cmp "$tmp_campaign/campaign.csv" "$tmp_campaign/killed/campaign.csv"
-echo "    campaign.csv byte-identical after kill -9 + --resume"
+echo "    campaign.csv byte-identical after kill -9 + cross-mode --resume"
 rm -rf "$tmp_campaign"
 
 if [[ "$SKIP_SWEEP" == 1 ]]; then

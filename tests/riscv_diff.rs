@@ -145,6 +145,52 @@ fn hazard_branch_end_state_is_pinned() {
     assert_eq!(pipe.memory_image().expect("value plane"), mem);
 }
 
+/// The RLE codec program is self-checking: it counts round-trip
+/// mismatches into a1 (x11), which must be zero, and folds the decoded
+/// buffers into the FNV accumulator in a0 (x10). It is also the largest
+/// built-in — the co-sim and throughput claims lean on a workload of
+/// this scale existing.
+#[test]
+fn rle_round_trip_is_clean_and_is_the_largest_builtin() {
+    let workload = Workload::builtin("rle").expect("built-in program");
+    let Workload::Riscv { program, .. } = &workload else {
+        unreachable!()
+    };
+    let (regs, mem, steps) = executor_end_state(program);
+    assert_eq!(steps, 47_304, "dynamic length is pinned");
+    assert_eq!(regs[11], 0, "a1: encode/decode round-trip mismatches");
+    assert_ne!(regs[10], 0, "a0: the FNV fold must produce a hash");
+    // Source (0x6000) and decoded (0x9000) buffers are identical: the
+    // mismatch counter checked word-by-word in-program.
+    let word = |addr: u64| mem.iter().find(|&&(a, _)| a == addr).map(|&(_, w)| w);
+    for i in 0..512 {
+        assert_eq!(word(0x6000 + 4 * i), word(0x9000 + 4 * i), "word {i}");
+    }
+
+    for name in Workload::builtin_names() {
+        if name == "rle" {
+            continue;
+        }
+        let other = Workload::builtin(name).expect("built-in program");
+        let Workload::Riscv { program, .. } = &other else {
+            unreachable!()
+        };
+        let (_, _, other_steps) = executor_end_state(program);
+        assert!(
+            other_steps < steps,
+            "{name} ({other_steps}) must be smaller than rle ({steps})"
+        );
+    }
+
+    let mut pipe = Scheme::Ffs
+        .pipeline_builder_for(&workload, 13, Voltage::high_fault())
+        .oracle(true)
+        .build();
+    pipe.run_to_halt(200_000);
+    assert_eq!(pipe.arch_regs().expect("value plane")[..], regs[..]);
+    assert_eq!(pipe.memory_image().expect("value plane"), mem);
+}
+
 /// A random well-formed instruction of `op`, fields drawn in each
 /// format's valid ranges.
 fn random_inst(op: Op, rng: &mut ChaCha12Rng) -> Inst {
