@@ -22,6 +22,7 @@
 
 use std::path::PathBuf;
 
+use tv_bench::harness::Cli;
 use tv_bench::write_csv;
 use tv_core::{run_differential, DiffConfig, DiffTuple, Fleet, Scheme, Workload};
 use tv_timing::Voltage;
@@ -52,33 +53,29 @@ fn parse_args() -> Args {
         fast: false,
         workload: None,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{name} requires a value"))
-        };
+    let mut cli = Cli::new(
+        "audit_diff",
+        "audit_diff [--commits N] [--warmup N] [--seed N] [--out DIR] [--workers N] \
+         [--basic] [--cosim] [--fast] [--workload NAME]",
+    );
+    while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
-            "--commits" => parsed.commits = value("--commits").parse().expect("--commits: integer"),
-            "--warmup" => parsed.warmup = value("--warmup").parse().expect("--warmup: integer"),
-            "--seed" => parsed.seed = value("--seed").parse().expect("--seed: integer"),
-            "--out" => parsed.out = PathBuf::from(value("--out")),
-            "--workers" => {
-                parsed.workers = Some(value("--workers").parse().expect("--workers: integer"))
-            }
+            "--commits" => parsed.commits = cli.parse("--commits"),
+            "--warmup" => parsed.warmup = cli.parse("--warmup"),
+            "--seed" => parsed.seed = cli.parse("--seed"),
+            "--out" => parsed.out = PathBuf::from(cli.value("--out")),
+            "--workers" => parsed.workers = Some(cli.parse("--workers")),
             "--basic" => parsed.audit = AuditLevel::Basic,
             "--cosim" => parsed.cosim = true,
             "--fast" => parsed.fast = true,
             "--workload" => {
-                parsed.workload = Some(
-                    Workload::parse(&value("--workload"))
-                        .unwrap_or_else(|e| panic!("--workload: {e}")),
-                )
+                let name = cli.value("--workload");
+                match Workload::parse(&name) {
+                    Ok(w) => parsed.workload = Some(w),
+                    Err(e) => cli.fail(&format!("--workload: {e}")),
+                }
             }
-            other => panic!(
-                "unknown argument {other}; supported: \
-                 --commits --warmup --seed --out --workers --basic --cosim --fast --workload"
-            ),
+            other => cli.unknown(other),
         }
     }
     parsed

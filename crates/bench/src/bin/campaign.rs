@@ -30,6 +30,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use tv_bench::harness::Cli;
 use tv_core::{run_campaign, CampaignConfig, Fleet};
 
 struct Args {
@@ -44,28 +45,19 @@ fn parse_args() -> Args {
     let mut out = PathBuf::from("bench_results");
     let mut workers = None;
     let mut resume = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{name} requires a value"))
-        };
+    let mut cli = Cli::new(
+        "campaign",
+        "campaign [--tuples N] [--riscv N] [--seed N] [--commits N] [--warmup N] \
+         [--watchdog N] [--no-control] [--smoke] [--resume] [--cosim] [--out DIR] [--workers N]",
+    );
+    while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
-            "--tuples" => config.tuples = value("--tuples").parse().expect("--tuples: integer"),
-            "--riscv" => {
-                config.riscv_tuples = value("--riscv").parse().expect("--riscv: integer")
-            }
-            "--seed" => {
-                config.campaign_seed = value("--seed").parse().expect("--seed: integer")
-            }
-            "--commits" => {
-                config.commits = value("--commits").parse().expect("--commits: integer")
-            }
-            "--warmup" => config.warmup = value("--warmup").parse().expect("--warmup: integer"),
-            "--watchdog" => {
-                config.watchdog_cycles =
-                    value("--watchdog").parse().expect("--watchdog: integer")
-            }
+            "--tuples" => config.tuples = cli.parse("--tuples"),
+            "--riscv" => config.riscv_tuples = cli.parse("--riscv"),
+            "--seed" => config.campaign_seed = cli.parse("--seed"),
+            "--commits" => config.commits = cli.parse("--commits"),
+            "--warmup" => config.warmup = cli.parse("--warmup"),
+            "--watchdog" => config.watchdog_cycles = cli.parse("--watchdog"),
             "--no-control" => config.include_control = false,
             "--smoke" => {
                 config = CampaignConfig {
@@ -76,14 +68,9 @@ fn parse_args() -> Args {
             }
             "--resume" => resume = true,
             "--cosim" => config.cosim = true,
-            "--out" => out = PathBuf::from(value("--out")),
-            "--workers" => {
-                workers = Some(value("--workers").parse().expect("--workers: integer"))
-            }
-            other => panic!(
-                "unknown argument {other}; supported: --tuples --riscv --seed --commits \
-                 --warmup --watchdog --no-control --smoke --resume --cosim --out --workers"
-            ),
+            "--out" => out = PathBuf::from(cli.value("--out")),
+            "--workers" => workers = Some(cli.parse("--workers")),
+            other => cli.unknown(other),
         }
     }
     Args {
@@ -127,7 +114,9 @@ fn main() -> ExitCode {
         }
     };
 
-    std::fs::write(&csv, report.csv()).expect("write campaign.csv");
+    // Atomic publish: readers (verify's `cmp`, the result store) must
+    // never observe a torn campaign.csv.
+    tv_core::write_atomic_str(&csv, &report.csv()).expect("write campaign.csv");
     println!("wrote {}", csv.display());
 
     let (clean, corrupt, watchdog, panicked) = report.verdict_counts();

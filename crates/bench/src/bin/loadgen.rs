@@ -1,0 +1,306 @@
+//! Load generator for the campaign server.
+//!
+//! Hammers `POST /campaign` from many client threads with one spec,
+//! verifies every response is byte-identical (they name the same
+//! experiment, so anything else is a cache bug), and reports throughput
+//! and latency percentiles plus the server's own `/stats` counters
+//! sampled before and after the burst.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT
+//!         [--spec JSON]          campaign spec body     (default: {} = smoke)
+//!         [--requests N]         total requests         (default 1000)
+//!         [--clients N]          concurrent clients     (default 8)
+//!         [--save-body PATH]     write the (shared) response body to PATH
+//!         [--expect-cache D]     fail unless every response is D
+//!                                (hit|miss|coalesced)
+//!         [--expect-warm]        fail if the burst triggered any campaign
+//!                                execution or cell simulation
+//!         [--out PATH]           benchmark JSON         (default
+//!                                bench_results/BENCH_serve.json)
+//! ```
+//!
+//! `--expect-warm` is the dedup proof for a warm cache: the server's
+//! `executions` and `cells_executed` counters must not move across the
+//! whole burst — thousands of requests, zero re-simulations.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tv_bench::harness::Cli;
+use tv_core::fnv1a;
+use tv_serve::http::request;
+use tv_serve::json::{Json, Obj};
+
+const TIMEOUT: Duration = Duration::from_secs(600);
+
+struct Args {
+    addr: SocketAddr,
+    spec: String,
+    requests: usize,
+    clients: usize,
+    save_body: Option<PathBuf>,
+    expect_cache: Option<String>,
+    expect_warm: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut addr = None;
+    let mut spec = "{}".to_string();
+    let mut requests = 1000usize;
+    let mut clients = 8usize;
+    let mut save_body = None;
+    let mut expect_cache: Option<String> = None;
+    let mut expect_warm = false;
+    let mut out = PathBuf::from("bench_results/BENCH_serve.json");
+    let mut cli = Cli::new(
+        "loadgen",
+        "loadgen --addr HOST:PORT [--spec JSON] [--requests N] [--clients N] \
+         [--save-body PATH] [--expect-cache hit|miss|coalesced] [--expect-warm] [--out PATH]",
+    );
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--addr" => {
+                let text = cli.value("--addr");
+                match text.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+                    Some(a) => addr = Some(a),
+                    None => cli.fail(&format!("--addr {text}: not a resolvable address")),
+                }
+            }
+            "--spec" => spec = cli.value("--spec"),
+            "--requests" => requests = cli.parse("--requests"),
+            "--clients" => clients = cli.parse("--clients"),
+            "--save-body" => save_body = Some(PathBuf::from(cli.value("--save-body"))),
+            "--expect-cache" => {
+                let d = cli.value("--expect-cache");
+                if !matches!(d.as_str(), "hit" | "miss" | "coalesced") {
+                    cli.fail(&format!("--expect-cache {d}: want hit, miss or coalesced"));
+                }
+                expect_cache = Some(d);
+            }
+            "--expect-warm" => expect_warm = true,
+            "--out" => out = PathBuf::from(cli.value("--out")),
+            other => cli.unknown(other),
+        }
+    }
+    let Some(addr) = addr else {
+        cli.fail("--addr is required");
+    };
+    if requests == 0 || clients == 0 {
+        cli.fail("--requests and --clients must be positive");
+    }
+    Args {
+        addr,
+        spec,
+        requests,
+        clients,
+        save_body,
+        expect_cache,
+        expect_warm,
+        out,
+    }
+}
+
+fn fetch_stats(addr: SocketAddr) -> Json {
+    let resp = request(addr, "GET", "/stats", b"", TIMEOUT).expect("GET /stats");
+    assert_eq!(resp.status, 200, "/stats answered {}", resp.status);
+    Json::parse(&resp.text()).expect("stats is JSON")
+}
+
+fn stat(stats: &Json, field: &str) -> u64 {
+    stats.as_obj().and_then(|o| o.get(field)).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// The latency at quantile `q` (0..=1) of a sorted sample, in ms.
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+#[derive(Default)]
+struct Tally {
+    hit: AtomicU64,
+    miss: AtomicU64,
+    coalesced: AtomicU64,
+    other: AtomicU64,
+    failed: AtomicU64,
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "loadgen: {} requests x {} clients against http://{} (spec: {})",
+        args.requests, args.clients, args.addr, args.spec,
+    );
+
+    let before = fetch_stats(args.addr);
+    let next = AtomicUsize::new(0);
+    let tally = Tally::default();
+    let latencies_us = Mutex::new(Vec::with_capacity(args.requests));
+    // Body identity across the whole burst, by fingerprint; the first
+    // body is kept verbatim for --save-body and byte-level comparison
+    // offline.
+    let first_body: Mutex<Option<(u64, Vec<u8>)>> = Mutex::new(None);
+
+    let t0 = Instant::now();
+    thread::scope(|scope| {
+        for _ in 0..args.clients {
+            scope.spawn(|| loop {
+                if next.fetch_add(1, Ordering::Relaxed) >= args.requests {
+                    break;
+                }
+                let start = Instant::now();
+                let resp = request(
+                    args.addr,
+                    "POST",
+                    "/campaign",
+                    args.spec.as_bytes(),
+                    TIMEOUT,
+                );
+                let elapsed_us = start.elapsed().as_micros() as u64;
+                let Ok(resp) = resp else {
+                    tally.failed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                if resp.status != 200 {
+                    tally.failed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                match resp.header("x-cache") {
+                    Some("hit") => &tally.hit,
+                    Some("miss") => &tally.miss,
+                    Some("coalesced") => &tally.coalesced,
+                    _ => &tally.other,
+                }
+                .fetch_add(1, Ordering::Relaxed);
+                let fp = fnv1a(&resp.body);
+                {
+                    let mut first = first_body.lock().expect("first body");
+                    match first.as_ref() {
+                        None => *first = Some((fp, resp.body)),
+                        Some((expected, _)) if *expected != fp => {
+                            eprintln!(
+                                "loadgen: response body diverged (fingerprint {fp:016x} \
+                                 vs {expected:016x}) — cache served different bytes"
+                            );
+                            tally.failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Some(_) => {}
+                    }
+                }
+                latencies_us.lock().expect("latencies").push(elapsed_us);
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let after = fetch_stats(args.addr);
+
+    let mut lat = latencies_us.into_inner().expect("latencies");
+    lat.sort_unstable();
+    let ok = lat.len();
+    let failed = tally.failed.load(Ordering::Relaxed);
+    let (hit, miss, coalesced, other) = (
+        tally.hit.load(Ordering::Relaxed),
+        tally.miss.load(Ordering::Relaxed),
+        tally.coalesced.load(Ordering::Relaxed),
+        tally.other.load(Ordering::Relaxed),
+    );
+    let executions_delta = stat(&after, "executions") - stat(&before, "executions");
+    let cells_delta = stat(&after, "cells_executed") - stat(&before, "cells_executed");
+    println!(
+        "loadgen: {ok} ok / {failed} failed in {wall_s:.2}s — {:.0} req/s | \
+         p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms max {:.2}ms",
+        ok as f64 / wall_s,
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+        percentile(&lat, 1.0),
+    );
+    println!(
+        "loadgen: dispositions {hit} hit / {miss} miss / {coalesced} coalesced / {other} other; \
+         server executed {executions_delta} campaigns ({cells_delta} cells) during the burst",
+    );
+
+    if let Some(path) = &args.save_body {
+        let body = first_body
+            .into_inner()
+            .expect("first body")
+            .map(|(_, b)| b)
+            .unwrap_or_default();
+        tv_core::write_atomic(path, &body).expect("save body");
+        println!("loadgen: saved response body to {}", path.display());
+    }
+
+    let mut doc = Obj::new();
+    doc.str("bench", "serve")
+        .str("addr", &args.addr.to_string())
+        .str("spec", &args.spec)
+        .u64("requests", args.requests as u64)
+        .u64("clients", args.clients as u64)
+        .u64("ok", ok as u64)
+        .u64("failed", failed)
+        .u64("hit", hit)
+        .u64("miss", miss)
+        .u64("coalesced", coalesced)
+        .num("wall_s", wall_s)
+        .num("requests_per_sec", ok as f64 / wall_s)
+        .num("p50_ms", percentile(&lat, 0.50))
+        .num("p90_ms", percentile(&lat, 0.90))
+        .num("p99_ms", percentile(&lat, 0.99))
+        .num("max_ms", percentile(&lat, 1.0))
+        .u64("executions_during_burst", executions_delta)
+        .u64("cells_executed_during_burst", cells_delta)
+        .raw("stats_before", before.as_obj().map_or("{}".into(), |_| render_stats(&before)))
+        .raw("stats_after", after.as_obj().map_or("{}".into(), |_| render_stats(&after)));
+    if let Some(dir) = args.out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    tv_core::write_atomic_str(&args.out, &format!("{}\n", doc.render())).expect("write bench json");
+    println!("loadgen: wrote {}", args.out.display());
+
+    let mut pass = failed == 0 && other == 0;
+    if let Some(expected) = &args.expect_cache {
+        let (want, got) = match expected.as_str() {
+            "hit" => (ok as u64, hit),
+            "miss" => (ok as u64, miss),
+            _ => (ok as u64, coalesced),
+        };
+        if got != want {
+            eprintln!("loadgen: FAIL — expected every response to be `{expected}`, got {got}/{want}");
+            pass = false;
+        }
+    }
+    if args.expect_warm && (executions_delta != 0 || cells_delta != 0) {
+        eprintln!(
+            "loadgen: FAIL — warm burst re-simulated: {executions_delta} executions, \
+             {cells_delta} cells"
+        );
+        pass = false;
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+    println!("loadgen: PASS");
+}
+
+/// Re-renders a parsed stats object with sorted keys (the counters are
+/// flat `u64`s, so this is lossless).
+fn render_stats(stats: &Json) -> String {
+    let mut o = Obj::new();
+    if let Some(map) = stats.as_obj() {
+        for (k, v) in map {
+            if let Some(n) = v.as_u64() {
+                o.u64(k, n);
+            }
+        }
+    }
+    o.render()
+}

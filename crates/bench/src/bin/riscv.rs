@@ -26,6 +26,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use tv_bench::harness::Cli;
 use tv_bench::write_csv;
 use tv_core::{build_cosim, Scheme, Workload};
 use tv_timing::Voltage;
@@ -50,41 +51,36 @@ fn parse_args() -> Args {
         out: PathBuf::from("bench_results"),
         cosim: false,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{name} requires a value"))
-        };
+    let mut cli = Cli::new(
+        "riscv",
+        "riscv [--workload NAME]... [--seed N] [--low-vdd] [--max-commits N] \
+         [--out DIR] [--cosim]",
+    );
+    while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
             "--workload" => {
-                let name = value("--workload");
+                let name = cli.value("--workload");
                 // Accept both `riscv:matmul` and bare `matmul`.
-                let workload = Workload::parse(&name)
-                    .or_else(|e| {
-                        Workload::builtin(&name).ok_or(e)
-                    })
-                    .unwrap_or_else(|e| panic!("--workload: {e}"));
-                assert!(
-                    workload.is_riscv(),
-                    "--workload {name}: this runner takes RISC-V programs; \
-                     synthetic benchmarks go through the figure harnesses"
-                );
+                let workload = match Workload::parse(&name).or_else(|e| {
+                    Workload::builtin(&name).ok_or(e)
+                }) {
+                    Ok(w) => w,
+                    Err(e) => cli.fail(&format!("--workload: {e}")),
+                };
+                if !workload.is_riscv() {
+                    cli.fail(&format!(
+                        "--workload {name}: this runner takes RISC-V programs; \
+                         synthetic benchmarks go through the figure harnesses"
+                    ));
+                }
                 parsed.workloads.push(workload);
             }
-            "--seed" => parsed.seed = value("--seed").parse().expect("--seed: integer"),
+            "--seed" => parsed.seed = cli.parse("--seed"),
             "--low-vdd" => parsed.vdd = Voltage::low_fault(),
-            "--max-commits" => {
-                parsed.max_commits = value("--max-commits")
-                    .parse()
-                    .expect("--max-commits: integer")
-            }
-            "--out" => parsed.out = PathBuf::from(value("--out")),
+            "--max-commits" => parsed.max_commits = cli.parse("--max-commits"),
+            "--out" => parsed.out = PathBuf::from(cli.value("--out")),
             "--cosim" => parsed.cosim = true,
-            other => panic!(
-                "unknown argument {other}; supported: \
-                 --workload --seed --low-vdd --max-commits --out --cosim"
-            ),
+            other => cli.unknown(other),
         }
     }
     if parsed.workloads.is_empty() {

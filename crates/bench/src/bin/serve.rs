@@ -1,0 +1,77 @@
+//! The campaign server binary: `tv-serve` over a result-store directory.
+//!
+//! ```text
+//! serve [--addr HOST:PORT]   bind address      (default 127.0.0.1:7713;
+//!                            port 0 picks a free port)
+//!       [--store DIR]        result store      (default bench_results/store)
+//!       [--workers N]        fleet workers     (default: one per core)
+//!       [--http-workers N]   connections in service concurrently (default 8)
+//!       [--addr-file PATH]   write the bound address to PATH (for scripts
+//!                            binding port 0)
+//! ```
+//!
+//! Prints `listening on http://ADDR` once bound, then serves until
+//! `POST /shutdown` (or the process is killed — in-flight campaign
+//! journals survive in the store and resume on the next request for the
+//! same spec).
+//!
+//! Endpoints: `POST /campaign` (JSON spec -> streamed verdict CSV, with
+//! `X-Cache: hit|miss|coalesced` and `X-Store-Key` headers),
+//! `GET /stats`, `GET /healthz`, `POST /shutdown`.
+
+use std::path::PathBuf;
+
+use tv_bench::harness::Cli;
+use tv_serve::{ServeConfig, Server};
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7713".to_string(),
+        store_dir: PathBuf::from("bench_results/store"),
+        fleet_workers: 0,
+        http_workers: 8,
+    };
+    let mut addr_file: Option<PathBuf> = None;
+    let mut cli = Cli::new(
+        "serve",
+        "serve [--addr HOST:PORT] [--store DIR] [--workers N] [--http-workers N] \
+         [--addr-file PATH]",
+    );
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--addr" => config.addr = cli.value("--addr"),
+            "--store" => config.store_dir = PathBuf::from(cli.value("--store")),
+            "--workers" => config.fleet_workers = cli.parse("--workers"),
+            "--http-workers" => config.http_workers = cli.parse("--http-workers"),
+            "--addr-file" => addr_file = Some(PathBuf::from(cli.value("--addr-file"))),
+            other => cli.unknown(other),
+        }
+    }
+
+    let server = match Server::start(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot start on {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr();
+    println!("listening on http://{addr}");
+    println!(
+        "store {} | fleet workers {} | http workers {}",
+        config.store_dir.display(),
+        if config.fleet_workers == 0 {
+            "auto".to_string()
+        } else {
+            config.fleet_workers.to_string()
+        },
+        config.http_workers,
+    );
+    if let Some(path) = addr_file {
+        // Atomic so a script polling for the file never reads half an
+        // address.
+        tv_core::write_atomic_str(&path, &format!("{addr}\n")).expect("write addr file");
+    }
+    server.wait();
+    println!("serve: shut down cleanly");
+}

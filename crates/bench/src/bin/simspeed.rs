@@ -46,6 +46,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use tv_bench::harness::Cli;
 use tv_core::{build_cosim, Scheme, Workload};
 use tv_timing::Voltage;
 use tv_workloads::Benchmark;
@@ -72,39 +73,41 @@ fn parse_args() -> Args {
         compare: None,
         check: None,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{name} requires a value"))
-        };
+    let mut cli = Cli::new(
+        "simspeed",
+        "simspeed [--commits N] [--warmup N] [--seed N] [--bench NAME] [--reps N] \
+         [--out FILE] [--compare FILE] [--check FILE] [--quick]",
+    );
+    while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
-            "--commits" => parsed.commits = value("--commits").parse().expect("--commits: integer"),
-            "--warmup" => parsed.warmup = value("--warmup").parse().expect("--warmup: integer"),
-            "--seed" => parsed.seed = value("--seed").parse().expect("--seed: integer"),
-            "--reps" => parsed.reps = value("--reps").parse().expect("--reps: integer"),
+            "--commits" => parsed.commits = cli.parse("--commits"),
+            "--warmup" => parsed.warmup = cli.parse("--warmup"),
+            "--seed" => parsed.seed = cli.parse("--seed"),
+            "--reps" => parsed.reps = cli.parse("--reps"),
             "--bench" => {
-                let name = value("--bench");
-                parsed.bench = Benchmark::ALL
+                let name = cli.value("--bench");
+                parsed.bench = match Benchmark::ALL
                     .into_iter()
                     .find(|b| b.name().eq_ignore_ascii_case(&name))
-                    .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+                {
+                    Some(b) => b,
+                    None => cli.fail(&format!("--bench: unknown benchmark `{name}`")),
+                };
             }
-            "--out" => parsed.out = PathBuf::from(value("--out")),
-            "--compare" => parsed.compare = Some(PathBuf::from(value("--compare"))),
-            "--check" => parsed.check = Some(PathBuf::from(value("--check"))),
+            "--out" => parsed.out = PathBuf::from(cli.value("--out")),
+            "--compare" => parsed.compare = Some(PathBuf::from(cli.value("--compare"))),
+            "--check" => parsed.check = Some(PathBuf::from(cli.value("--check"))),
             "--quick" => {
                 parsed.commits = 40_000;
                 parsed.warmup = 10_000;
                 parsed.reps = 1;
             }
-            other => panic!(
-                "unknown argument {other}; supported: --commits --warmup --seed \
-                 --bench --reps --out --compare --check --quick"
-            ),
+            other => cli.unknown(other),
         }
     }
-    assert!(parsed.reps > 0, "--reps must be positive");
+    if parsed.reps == 0 {
+        cli.fail("--reps must be positive");
+    }
     parsed
 }
 
@@ -635,6 +638,6 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
     }
-    std::fs::write(&args.out, json).expect("write simspeed JSON");
+    tv_core::write_atomic_str(&args.out, &json).expect("write simspeed JSON");
     println!("wrote {}", args.out.display());
 }

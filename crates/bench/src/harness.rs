@@ -14,7 +14,105 @@
 //! on a shared host.
 
 use std::hint::black_box;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
+
+/// Shared command-line parsing for the harness binaries.
+///
+/// Every bin in this crate used to hand-roll the same loop — `args.next()`
+/// plus `panic!` on a bad flag, which aborts with a backtrace and exit
+/// code 101. This parser keeps the loop shape (the bins still own their
+/// `match arg`), but malformed input prints the offending flag and the
+/// binary's usage line to **stderr** and exits with status **2**, the
+/// conventional usage-error code.
+///
+/// ```no_run
+/// use tv_bench::harness::Cli;
+/// let mut cli = Cli::new("example", "example [--commits N] [--out DIR]");
+/// let mut commits: u64 = 20_000;
+/// while let Some(arg) = cli.next_arg() {
+///     match arg.as_str() {
+///         "--commits" => commits = cli.parse("--commits"),
+///         other => cli.unknown(other),
+///     }
+/// }
+/// ```
+pub struct Cli {
+    bin: &'static str,
+    usage: &'static str,
+    args: std::vec::IntoIter<String>,
+}
+
+/// A usage error: what went wrong, before [`Cli`] renders it and exits.
+#[derive(Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl Cli {
+    /// Parses the process arguments (after the binary name).
+    pub fn new(bin: &'static str, usage: &'static str) -> Self {
+        Self::from_vec(bin, usage, std::env::args().skip(1).collect())
+    }
+
+    /// Parser over explicit arguments — the testable constructor.
+    pub fn from_vec(bin: &'static str, usage: &'static str, args: Vec<String>) -> Self {
+        Cli {
+            bin,
+            usage,
+            args: args.into_iter(),
+        }
+    }
+
+    /// The next argument, if any.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_arg(&mut self) -> Option<String> {
+        self.args.next()
+    }
+
+    /// The value following `flag`, or a usage exit when it is missing.
+    pub fn value(&mut self, flag: &str) -> String {
+        self.try_value(flag).unwrap_or_else(|e| self.exit(e))
+    }
+
+    /// The value following `flag`, parsed as `T`; usage exit on a missing
+    /// value or a parse failure.
+    pub fn parse<T: FromStr>(&mut self, flag: &str) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.try_parse(flag).unwrap_or_else(|e| self.exit(e))
+    }
+
+    /// Reports an unrecognized argument and exits with status 2.
+    pub fn unknown(&self, arg: &str) -> ! {
+        self.exit(UsageError(format!("unknown argument `{arg}`")))
+    }
+
+    /// Reports an arbitrary usage error and exits with status 2.
+    pub fn fail(&self, message: &str) -> ! {
+        self.exit(UsageError(message.to_string()))
+    }
+
+    fn try_value(&mut self, flag: &str) -> Result<String, UsageError> {
+        self.args
+            .next()
+            .ok_or_else(|| UsageError(format!("{flag} requires a value")))
+    }
+
+    fn try_parse<T: FromStr>(&mut self, flag: &str) -> Result<T, UsageError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self.try_value(flag)?;
+        raw.parse()
+            .map_err(|e| UsageError(format!("{flag}: invalid value `{raw}`: {e}")))
+    }
+
+    fn exit(&self, err: UsageError) -> ! {
+        eprintln!("{}: {}", self.bin, err.0);
+        eprintln!("usage: {}", self.usage);
+        std::process::exit(2);
+    }
+}
 
 /// Wall-clock budget per benchmark used to calibrate iteration counts.
 const TARGET_SAMPLE: Duration = Duration::from_millis(300);
@@ -90,6 +188,33 @@ fn humanize(secs: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cli_reads_flags_values_and_typed_values() {
+        let mut cli = Cli::from_vec(
+            "t",
+            "t [--n N] [--name S]",
+            vec!["--n".into(), "42".into(), "--name".into(), "gcc".into()],
+        );
+        assert_eq!(cli.next_arg().as_deref(), Some("--n"));
+        assert_eq!(cli.try_parse::<u64>("--n"), Ok(42));
+        assert_eq!(cli.next_arg().as_deref(), Some("--name"));
+        assert_eq!(cli.try_value("--name"), Ok("gcc".into()));
+        assert_eq!(cli.next_arg(), None);
+    }
+
+    #[test]
+    fn cli_usage_errors_name_the_flag() {
+        let mut cli = Cli::from_vec("t", "t", vec!["--n".into(), "nope".into()]);
+        cli.next_arg();
+        let err = cli.try_parse::<u64>("--n").unwrap_err();
+        assert!(err.0.contains("--n"), "{}", err.0);
+        assert!(err.0.contains("nope"), "{}", err.0);
+        let mut cli = Cli::from_vec("t", "t", vec!["--n".into()]);
+        cli.next_arg();
+        let err = cli.try_parse::<u64>("--n").unwrap_err();
+        assert_eq!(err.0, "--n requires a value");
+    }
 
     #[test]
     fn humanize_picks_sane_units() {

@@ -40,41 +40,28 @@ pub struct HarnessArgs {
 }
 
 impl HarnessArgs {
-    /// Parses `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
+    /// Parses `std::env::args`. Malformed arguments print a usage line to
+    /// stderr and exit with status 2 (see [`harness::Cli`]).
     pub fn parse() -> Self {
+        let mut cli = harness::Cli::new(
+            "harness",
+            "<bin> [--commits N] [--warmup N] [--seed N] [--out DIR] [--workers N] [--quick]",
+        );
         let mut config = RunConfig::paper();
         let mut out = PathBuf::from("bench_results");
         let mut workers = None;
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            let mut value = |name: &str| {
-                args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
-            };
+        while let Some(arg) = cli.next_arg() {
             match arg.as_str() {
-                "--commits" => {
-                    config.commits = value("--commits").parse().expect("--commits: integer")
-                }
-                "--warmup" => {
-                    config.warmup = value("--warmup").parse().expect("--warmup: integer")
-                }
-                "--seed" => config.seed = value("--seed").parse().expect("--seed: integer"),
-                "--out" => out = PathBuf::from(value("--out")),
-                "--workers" => {
-                    workers = Some(value("--workers").parse().expect("--workers: integer"))
-                }
+                "--commits" => config.commits = cli.parse("--commits"),
+                "--warmup" => config.warmup = cli.parse("--warmup"),
+                "--seed" => config.seed = cli.parse("--seed"),
+                "--out" => out = PathBuf::from(cli.value("--out")),
+                "--workers" => workers = Some(cli.parse("--workers")),
                 "--quick" => {
                     config.commits = 100_000;
                     config.warmup = 50_000;
                 }
-                other => panic!(
-                    "unknown argument {other}; supported: \
-                     --commits --warmup --seed --out --workers --quick"
-                ),
+                other => cli.unknown(other),
             }
         }
         HarnessArgs {
@@ -169,15 +156,23 @@ impl HarnessArgs {
 
 /// Writes a CSV file (header + rows) and reports the path on stdout.
 ///
+/// Published atomically (write-temp-then-rename via
+/// [`tv_core::persist::write_atomic`]): a crash mid-write can never leave
+/// a torn CSV for verify scripts, resumed runs or the campaign server's
+/// result store to trust.
+///
 /// # Panics
 ///
 /// Panics on I/O errors — harness binaries want loud failures.
 pub fn write_csv(path: &Path, header: &str, rows: &[String]) {
-    let mut f = fs::File::create(path).expect("create csv");
-    writeln!(f, "{header}").expect("write csv");
+    let mut doc = String::with_capacity(header.len() + 1 + rows.iter().map(|r| r.len() + 1).sum::<usize>());
+    doc.push_str(header);
+    doc.push('\n');
     for row in rows {
-        writeln!(f, "{row}").expect("write csv");
+        doc.push_str(row);
+        doc.push('\n');
     }
+    tv_core::persist::write_atomic_str(path, &doc).expect("write csv");
     println!("wrote {}", path.display());
 }
 

@@ -39,6 +39,7 @@ use tv_uarch::{CoSim, CoreConfig, OracleReport, SimStats};
 use tv_workloads::{Benchmark, Profile};
 
 use crate::fleet::{Fleet, FleetStats, JobPanic};
+use crate::persist::{fnv1a, fnv1a_word, write_atomic_str};
 use crate::schemes::Scheme;
 use crate::workload::Workload;
 
@@ -296,9 +297,18 @@ impl CampaignConfig {
     }
 
     /// The journal's configuration fingerprint line.
+    ///
+    /// `wl=` is the combined [`Workload::content_hash`] of every tuple's
+    /// workload, in tuple order — so the fingerprint follows the bytes
+    /// the campaign actually executes. If a built-in program's assembly
+    /// changes between versions, stale journals (and stale
+    /// content-addressed store entries, which key on this line) stop
+    /// matching instead of silently serving rows from the old program.
+    /// The co-sim flag is deliberately absent: it is a job-shape choice
+    /// with bit-identical rows, so journals stay interchangeable.
     pub fn meta_line(&self) -> String {
         format!(
-            "# tv-campaign v1 seed={} tuples={} commits={} warmup={} watchdog={} control={} riscv={}",
+            "# tv-campaign v2 seed={} tuples={} commits={} warmup={} watchdog={} control={} riscv={} wl={:016x}",
             self.campaign_seed,
             self.tuples,
             self.commits,
@@ -306,7 +316,28 @@ impl CampaignConfig {
             self.watchdog_cycles,
             u8::from(self.include_control),
             self.riscv_tuples,
+            self.workload_fingerprint(),
         )
+    }
+
+    /// Combined content hash of every tuple's workload, in tuple order.
+    pub fn workload_fingerprint(&self) -> u64 {
+        self.generate_tuples()
+            .iter()
+            .fold(fnv1a(b"tv-campaign-workloads"), |h, t| {
+                fnv1a_word(h, t.workload.content_hash())
+            })
+    }
+
+    /// The content-addressed result-store key of this campaign: the
+    /// FNV-1a hash of [`meta_line`](Self::meta_line), hex-encoded.
+    ///
+    /// Two configurations share a key exactly when they are the same
+    /// experiment — same sweep parameters *and* same workload bytes — so
+    /// overlapping requests from any number of clients coalesce to one
+    /// execution and one stored CSV.
+    pub fn store_key(&self) -> String {
+        format!("{:016x}", fnv1a(self.meta_line().as_bytes()))
     }
 }
 
@@ -666,6 +697,27 @@ pub fn run_campaign(
     journal: &Path,
     resume: bool,
 ) -> Result<CampaignReport, String> {
+    run_campaign_observed(fleet, config, journal, resume, |_, _| {})
+}
+
+/// [`run_campaign`] with a per-row observer: `on_row(cell_index, row)`
+/// fires once for every cell of the campaign — immediately for rows
+/// reused from the journal (before any fresh cell runs), and from the
+/// executing worker thread the moment a fresh cell's row is journalled.
+/// `cell_index` is the cell's position in the final tuple-major row
+/// order, so an observer holding a reorder buffer can stream rows to a
+/// client in output order while execution completes out of order. This is
+/// the campaign server's streaming hook.
+pub fn run_campaign_observed<F>(
+    fleet: &Fleet,
+    config: &CampaignConfig,
+    journal: &Path,
+    resume: bool,
+    on_row: F,
+) -> Result<CampaignReport, String>
+where
+    F: Fn(usize, &str) + Sync,
+{
     let meta = config.meta_line();
     let tuples = config.generate_tuples();
     let schemes = config.schemes();
@@ -686,8 +738,9 @@ pub fn run_campaign(
     };
     if completed.is_empty() {
         // Fresh (or effectively empty) journal: start it with the
-        // configuration fingerprint.
-        fs::write(journal, format!("{meta}\n"))
+        // configuration fingerprint. Published atomically so a concurrent
+        // reader (or a crash here) never sees a half-written meta line.
+        write_atomic_str(journal, &format!("{meta}\n"))
             .map_err(|e| format!("cannot start journal {}: {e}", journal.display()))?;
         torn_tail = false;
     }
@@ -698,6 +751,14 @@ pub fn run_campaign(
     let pending: Vec<(CampaignTuple, Scheme)> =
         pending_idx.iter().map(|&i| cells[i].clone()).collect();
     let pending_keys: Vec<String> = pending_idx.iter().map(|&i| keys[i].clone()).collect();
+
+    // Journal-reused rows are known now; stream them to the observer in
+    // cell order before any fresh cell runs.
+    for (i, key) in keys.iter().enumerate() {
+        if let Some(row) = completed.get(key) {
+            on_row(i, row);
+        }
+    }
 
     let mut file = OpenOptions::new()
         .append(true)
@@ -720,10 +781,17 @@ pub fn run_campaign(
             // bundle. Partially-journalled tuples simply get a smaller
             // bundle — any scheme subset co-simulates bit-identically.
             let mut bundles: Vec<(CampaignTuple, Vec<Scheme>)> = Vec::new();
-            for (tuple, scheme) in &pending {
+            let mut bundle_global: Vec<Vec<usize>> = Vec::new();
+            for ((tuple, scheme), &global) in pending.iter().zip(&pending_idx) {
                 match bundles.last_mut() {
-                    Some((t, schemes)) if t.id == tuple.id => schemes.push(*scheme),
-                    _ => bundles.push((tuple.clone(), vec![*scheme])),
+                    Some((t, schemes)) if t.id == tuple.id => {
+                        schemes.push(*scheme);
+                        bundle_global.last_mut().expect("parallel bundle").push(global);
+                    }
+                    _ => {
+                        bundles.push((tuple.clone(), vec![*scheme]));
+                        bundle_global.push(vec![global]);
+                    }
                 }
             }
             let labels: Vec<String> = bundles
@@ -768,12 +836,19 @@ pub fn run_campaign(
                     // One write_all per bundle: a kill loses at most one
                     // tuple's rows plus a torn last line, both of which
                     // resume re-executes.
+                    let rows = bundle_rows(i, result);
                     let mut lines = String::new();
-                    for (key, row) in bundle_keys[i].iter().zip(bundle_rows(i, result)) {
+                    for (key, row) in bundle_keys[i].iter().zip(&rows) {
                         lines.push_str(&format!("{key}\t{row}\n"));
                     }
-                    let mut f = file.lock().expect("journal lock");
-                    f.write_all(lines.as_bytes()).expect("journal append");
+                    {
+                        let mut f = file.lock().expect("journal lock");
+                        f.write_all(lines.as_bytes()).expect("journal append");
+                    }
+                    // Rows are durable in the journal; now stream them.
+                    for (&global, row) in bundle_global[i].iter().zip(&rows) {
+                        on_row(global, row);
+                    }
                 },
             );
             let panicked = run
@@ -805,8 +880,11 @@ pub fn run_campaign(
                     // One write_all per line: a kill can tear at most the
                     // last line, which parse_journal discards on resume.
                     let line = format!("{}\t{row}\n", pending_keys[i]);
-                    let mut f = file.lock().expect("journal lock");
-                    f.write_all(line.as_bytes()).expect("journal append");
+                    {
+                        let mut f = file.lock().expect("journal lock");
+                        f.write_all(line.as_bytes()).expect("journal append");
+                    }
+                    on_row(pending_idx[i], &row);
                 },
             );
             let panicked = run.results.iter().filter(|r| r.is_err()).count();
@@ -1007,6 +1085,72 @@ mod tests {
             .expect_err("mismatched fingerprint must be refused");
         assert!(err.contains("different campaign"), "{err}");
         fs::remove_dir_all(journal.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn observer_sees_every_cell_once_with_final_order_indices() {
+        let cfg = tiny_config();
+        let journal = temp_journal("observe");
+        let seen = Mutex::new(Vec::new());
+        let report = run_campaign_observed(&Fleet::new(2), &cfg, &journal, false, |i, row| {
+            seen.lock().unwrap().push((i, row.to_string()));
+        })
+        .expect("campaign runs");
+        let mut seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), report.rows.len(), "one observation per cell");
+        seen.sort_by_key(|(i, _)| *i);
+        for (slot, (i, row)) in seen.iter().enumerate() {
+            assert_eq!(slot, *i, "indices cover 0..cells exactly once");
+            assert_eq!(row, &report.rows[*i], "observer rows match the final CSV");
+        }
+
+        // A resumed run streams the journal-reused rows too — the
+        // observer always sees the complete campaign.
+        let text = fs::read_to_string(&journal).expect("journal exists");
+        let lines: Vec<&str> = text.lines().collect();
+        let partial = temp_journal("observe-partial");
+        let mut body = lines[..4].join("\n");
+        body.push('\n');
+        fs::write(&partial, &body).expect("write partial journal");
+        let reused_seen = Mutex::new(0usize);
+        let resumed =
+            run_campaign_observed(&Fleet::new(2), &cfg, &partial, true, |_, _| {
+                *reused_seen.lock().unwrap() += 1;
+            })
+            .expect("resume runs");
+        assert_eq!(*reused_seen.lock().unwrap(), resumed.rows.len());
+        assert_eq!(resumed.rows, report.rows);
+
+        fs::remove_dir_all(journal.parent().unwrap()).ok();
+        fs::remove_dir_all(partial.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn store_key_follows_config_and_content_not_job_shape() {
+        let cfg = tiny_config();
+        assert_eq!(cfg.store_key(), cfg.store_key(), "key is deterministic");
+        assert_eq!(cfg.store_key().len(), 16);
+        let cosim = CampaignConfig { cosim: true, ..cfg };
+        assert_eq!(
+            cfg.store_key(),
+            cosim.store_key(),
+            "job shape is not part of the experiment identity"
+        );
+        let other_seed = CampaignConfig {
+            campaign_seed: cfg.campaign_seed + 1,
+            ..cfg
+        };
+        assert_ne!(cfg.store_key(), other_seed.store_key());
+        let other_len = CampaignConfig {
+            commits: cfg.commits + 1,
+            ..cfg
+        };
+        assert_ne!(cfg.store_key(), other_len.store_key());
+        assert!(
+            cfg.meta_line().contains("wl="),
+            "fingerprint carries the workload content hash: {}",
+            cfg.meta_line()
+        );
     }
 
     #[test]

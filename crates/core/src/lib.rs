@@ -25,6 +25,9 @@
 //!   flapping, forced predictor false-positives/negatives) run under the
 //!   golden-model oracle on a crash-isolated fleet, with a per-row resume
 //!   journal that makes interrupted campaigns bit-identical on resume;
+//! * [`persist`] — atomic write-temp-then-rename result publication and
+//!   the FNV-1a content fingerprint used by journals and the
+//!   content-addressed result store;
 //! * [`report`] — result aggregation (per-benchmark rows, averages) shared
 //!   by the benchmark harnesses;
 //! * [`diff`] — the scheme-equivalence differential harness: every scheme
@@ -50,12 +53,17 @@ pub mod cosim;
 pub mod diff;
 pub mod experiment;
 pub mod fleet;
+pub mod persist;
 pub mod report;
 pub mod schemes;
 pub mod select;
 pub mod workload;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CampaignTuple, FaultScenario};
+pub use campaign::{
+    run_campaign, run_campaign_observed, CampaignConfig, CampaignReport, CampaignTuple,
+    FaultScenario,
+};
+pub use persist::{fnv1a, write_atomic, write_atomic_str};
 pub use cosim::{build_cosim, evaluate_cosim, run_schemes_cosim, scheme_builders};
 pub use diff::{run_differential, DiffConfig, DiffReport, DiffRun, DiffTuple};
 pub use experiment::{run_evaluations, Evaluation, Experiment, RunConfig, SchemeResult};

@@ -1,0 +1,163 @@
+//! Atomic result publication and content fingerprinting.
+//!
+//! Every result file this workspace produces — campaign CSVs, figure
+//! CSVs, benchmark JSON, the experiment server's result store — is read
+//! back by something that trusts it: verify scripts `cmp` them, resumed
+//! campaigns replay them, and the campaign server serves them to remote
+//! clients. A bare `std::fs::write` torn by a crash (or a reader racing
+//! the writer) hands that consumer a truncated file with no way to tell.
+//!
+//! [`write_atomic`] closes that hole with the classic
+//! write-temp-then-rename protocol: the bytes land in a unique temporary
+//! file in the *same directory* (same filesystem, so the rename cannot
+//! degrade to a copy), the file is flushed, and `rename(2)` publishes it
+//! in one atomic step. A reader sees either the old complete file or the
+//! new complete file, never a torn hybrid.
+//!
+//! [`fnv1a`] is the workspace's content-fingerprint hash (the same
+//! construction as the differential harness's commit-stream hash): it
+//! keys the campaign journal fingerprint and the server's
+//! content-addressed result store.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter distinguishing concurrent temp files.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically replaces `path` with `bytes` via write-temp-then-rename.
+///
+/// The temporary file lives next to `path` (`.<name>.tmp-<pid>-<seq>`),
+/// so the final `rename` stays on one filesystem and is atomic. On any
+/// error the temporary file is removed and `path` is left untouched.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the temp file cannot be
+/// created, written, flushed or renamed.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!(
+        ".{}.tmp-{}-{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+    let publish = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Push the bytes to stable storage before the rename publishes
+        // them: a power cut after rename must not resurrect a hole.
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if publish.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    publish
+}
+
+/// [`write_atomic`] for string payloads.
+///
+/// # Errors
+///
+/// Propagates [`write_atomic`]'s I/O errors.
+pub fn write_atomic_str(path: &Path, text: &str) -> io::Result<()> {
+    write_atomic(path, text.as_bytes())
+}
+
+/// FNV-1a over raw bytes — the workspace's content-fingerprint hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Extends an FNV-1a fingerprint with one little-endian word.
+pub fn fnv1a_word(mut h: u64, word: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tv-persist-{}-{tag}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp_behind() {
+        let dir = temp_dir("basic");
+        let path = dir.join("out.csv");
+        write_atomic(&path, b"first\n").expect("first write");
+        assert_eq!(fs::read(&path).unwrap(), b"first\n");
+        write_atomic(&path, b"second\n").expect("replace");
+        assert_eq!(fs::read(&path).unwrap(), b"second\n");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_failure_keeps_the_old_file() {
+        let dir = temp_dir("fail");
+        let path = dir.join("kept.csv");
+        write_atomic(&path, b"survivor\n").expect("seed file");
+        // A directory squatting on the target makes the rename fail.
+        let blocked = dir.join("blocked");
+        fs::create_dir_all(blocked.join("x")).unwrap();
+        assert!(write_atomic(&blocked, b"nope").is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"survivor\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn relative_paths_without_parent_work() {
+        let dir = temp_dir("cwd");
+        let path = dir.join("rel.txt");
+        write_atomic_str(&path, "ok").expect("write");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "ok");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+        // Word extension is equivalent to hashing the LE bytes.
+        let mut by_bytes = fnv1a(b"");
+        by_bytes = fnv1a_word(by_bytes, 0x0102_0304_0506_0708);
+        assert_eq!(
+            by_bytes,
+            fnv1a(&0x0102_0304_0506_0708u64.to_le_bytes()),
+        );
+    }
+}

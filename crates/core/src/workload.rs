@@ -14,6 +14,8 @@ use std::sync::Arc;
 use tv_workloads::riscv::assemble;
 use tv_workloads::{Benchmark, RiscvProgram, WorkloadSpec};
 
+use crate::persist::{fnv1a, fnv1a_word};
+
 /// The built-in RISC-V programs, embedded from `examples/asm/`.
 pub const BUILTIN_ASM: [(&str, &str); 6] = [
     ("matmul", include_str!("../../../examples/asm/matmul.asm")),
@@ -38,13 +40,24 @@ pub enum Workload {
     },
 }
 
+/// Equality, hashing and fingerprinting all derive from
+/// [`Workload::content_hash`]: two workloads are the same experiment
+/// input exactly when they run the same instructions, regardless of the
+/// name they were resolved under. A builtin and a file path holding the
+/// identical assembly compare equal *and* key identically in journals and
+/// the result store; a re-used name over different contents does not
+/// alias.
 impl PartialEq for Workload {
     fn eq(&self, other: &Self) -> bool {
-        match (self, other) {
-            (Workload::Bench(a), Workload::Bench(b)) => a == b,
-            (Workload::Riscv { program: a, .. }, Workload::Riscv { program: b, .. }) => a == b,
-            _ => false,
-        }
+        self.content_hash() == other.content_hash()
+    }
+}
+
+impl Eq for Workload {}
+
+impl std::hash::Hash for Workload {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.content_hash());
     }
 }
 
@@ -132,6 +145,31 @@ impl Workload {
     pub fn is_riscv(&self) -> bool {
         matches!(self, Workload::Riscv { .. })
     }
+
+    /// Content fingerprint of the workload: an FNV-1a hash over what the
+    /// pipeline actually executes, not over the resolution name.
+    ///
+    /// Synthetic benchmarks hash their (stable) benchmark name, which
+    /// fully determines the generated trace for a given seed. RISC-V
+    /// workloads hash the assembled program image — base address plus
+    /// every encoded instruction word — so the fingerprint follows the
+    /// *bytes*, and renaming or relocating the source file changes
+    /// nothing while editing one instruction changes everything. This is
+    /// the value equality, `Hash`, the campaign journal fingerprint and
+    /// the result-store key all derive from.
+    pub fn content_hash(&self) -> u64 {
+        match self {
+            Workload::Bench(b) => fnv1a_word(fnv1a(b"bench:"), fnv1a(b.name().as_bytes())),
+            Workload::Riscv { program, .. } => {
+                let mut h = fnv1a(b"riscv:");
+                h = fnv1a_word(h, u64::from(program.base()));
+                for word in program.insts().iter().map(tv_workloads::riscv::Inst::encode) {
+                    h = fnv1a_word(h, u64::from(word));
+                }
+                h
+            }
+        }
+    }
 }
 
 impl fmt::Display for Workload {
@@ -205,5 +243,56 @@ mod tests {
         let b = Workload::parse("riscv:matmul").unwrap();
         assert_eq!(a, b);
         assert_ne!(a, Workload::builtin("checksum").unwrap());
+    }
+
+    /// The content-hash contract: two names for the same assembled bytes
+    /// are one workload (equal, same hash, same fingerprint), and one
+    /// name over different bytes is two workloads — resolution names
+    /// never leak into identity.
+    #[test]
+    fn content_hash_follows_bytes_not_names() {
+        let dir = std::env::temp_dir().join(format!(
+            "tv_workload_content_hash_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // The matmul builtin, re-resolved via a differently-named file on
+        // disk: identical program, so identical identity everywhere.
+        let (_, matmul_src) = BUILTIN_ASM
+            .iter()
+            .find(|(n, _)| *n == "matmul")
+            .expect("matmul is a builtin");
+        let alias = dir.join("renamed_matmul.asm");
+        std::fs::write(&alias, matmul_src).unwrap();
+        let builtin = Workload::builtin("matmul").unwrap();
+        let by_path = Workload::parse(&format!("riscv:{}", alias.display())).unwrap();
+        assert_ne!(builtin.name(), by_path.name(), "display names differ");
+        assert_eq!(builtin, by_path, "same bytes, one workload");
+        assert_eq!(builtin.content_hash(), by_path.content_hash());
+        let hash_of = |w: &Workload| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            w.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash_of(&builtin), hash_of(&by_path), "Hash follows Eq");
+
+        // The same file name re-written with different contents must not
+        // alias the old identity.
+        std::fs::write(&alias, "li a0, 1\nli a1, 2\nadd a0, a0, a1\necall\n").unwrap();
+        let rewritten = Workload::parse(&format!("riscv:{}", alias.display())).unwrap();
+        assert_eq!(by_path.name(), rewritten.name(), "same resolution name");
+        assert_ne!(by_path, rewritten, "different bytes, different workload");
+        assert_ne!(by_path.content_hash(), rewritten.content_hash());
+
+        // Synthetic benchmarks fingerprint distinctly from each other and
+        // from every RISC-V program.
+        let gcc = Workload::parse("gcc").unwrap();
+        let astar = Workload::parse("astar").unwrap();
+        assert_ne!(gcc.content_hash(), astar.content_hash());
+        assert_ne!(gcc.content_hash(), builtin.content_hash());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,415 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//!
+//! The offline-build policy rules out hyper/axum; the server needs only
+//! the subset a curl client and the load generator exercise:
+//!
+//! * requests with `Content-Length` bodies (no request chunking),
+//! * fixed-length responses and `Transfer-Encoding: chunked` responses
+//!   (campaign rows stream as they complete),
+//! * one request per connection (`Connection: close`), which keeps the
+//!   worker pool simple and is the right shape for long-lived streamed
+//!   campaign responses anyway.
+//!
+//! The client half ([`request`]) de-chunks transparently, so callers
+//! always see the logical body bytes — the load generator compares them
+//! against offline CSVs byte-for-byte.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+
+/// Upper bound on a request body — campaign specs are tiny.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path only; the server ignores queries).
+    pub path: String,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// Returns `Ok(None)` on a clean EOF before any bytes (client closed an
+/// idle connection).
+///
+/// # Errors
+///
+/// Malformed request lines, oversized heads/bodies and transport errors
+/// all surface as `io::Error`; the caller answers with `400` or drops
+/// the connection.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_string(), p.to_string())
+        }
+        _ => return Err(bad_input("malformed request line")),
+    };
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut hline = String::new();
+        if reader.read_line(&mut hline)? == 0 {
+            return Err(bad_input("eof inside headers"));
+        }
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD {
+            return Err(bad_input("request head too large"));
+        }
+        let trimmed = hline.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(bad_input("malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse().map_err(|_| bad_input("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if length > MAX_BODY {
+        return Err(bad_input("request body too large"));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+fn bad_input(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// The reason phrase for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response.
+///
+/// # Errors
+///
+/// Propagates transport errors (typically a disconnected client).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A chunked-transfer response body writer.
+///
+/// The head (status + headers + `Transfer-Encoding: chunked`) is sent on
+/// construction; each [`chunk`](Self::chunk) flushes immediately so the
+/// client sees campaign rows as they complete; [`finish`](Self::finish)
+/// sends the terminating zero-length chunk.
+pub struct ChunkedWriter {
+    stream: TcpStream,
+}
+
+impl ChunkedWriter {
+    /// Starts a chunked response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors writing the head.
+    pub fn start(
+        mut stream: TcpStream,
+        status: u16,
+        extra_headers: &[(&str, &str)],
+        content_type: &str,
+    ) -> io::Result<ChunkedWriter> {
+        let mut head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+            reason(status),
+        );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Sends one chunk (empty input is skipped — a zero-length chunk
+    /// would terminate the body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; the campaign keeps running when the
+    /// client goes away, the caller just stops writing.
+    pub fn chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", bytes.len())?;
+        self.stream.write_all(bytes)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors writing the final chunk.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// A response as seen by the [`request`] client: body de-chunked.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Logical body bytes (chunk framing removed).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A minimal HTTP client: one request, one connection.
+///
+/// Used by the integration tests and the load generator; handles both
+/// fixed-length and chunked response bodies.
+///
+/// # Errors
+///
+/// Transport failures and malformed responses surface as `io::Error`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<Response> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut write_half = stream.try_clone()?;
+    write!(
+        write_half,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    )?;
+    write_half.write_all(body)?;
+    write_half.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_input("malformed status line"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad_input("eof inside response headers"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut body_bytes = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            if reader.read_line(&mut size_line)? == 0 {
+                return Err(bad_input("eof inside chunked body"));
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad_input("bad chunk size"))?;
+            if size == 0 {
+                // Trailer-free termination: consume the final CRLF.
+                let mut crlf = String::new();
+                reader.read_line(&mut crlf)?;
+                break;
+            }
+            let start = body_bytes.len();
+            body_bytes.resize(start + size, 0);
+            reader.read_exact(&mut body_bytes[start..])?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        body_bytes.resize(len, 0);
+        reader.read_exact(&mut body_bytes)?;
+    } else {
+        reader.read_to_end(&mut body_bytes)?;
+    }
+
+    Ok(Response {
+        status,
+        headers,
+        body: body_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// One accept-respond round against a closure playing the server.
+    fn roundtrip(
+        serve: impl FnOnce(Request, TcpStream) + Send + 'static,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Response {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let req = read_request(&mut reader).expect("parse").expect("request");
+            serve(req, stream);
+        });
+        let resp = request(addr, method, path, body, Duration::from_secs(5)).expect("client");
+        server.join().expect("server thread");
+        resp
+    }
+
+    #[test]
+    fn fixed_length_round_trip_preserves_method_path_and_body() {
+        let resp = roundtrip(
+            |req, mut stream| {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/campaign");
+                assert_eq!(req.body, b"{\"tuples\":2}");
+                write_response(
+                    &mut stream,
+                    200,
+                    &[("X-Cache", "miss")],
+                    "text/plain",
+                    b"hello",
+                )
+                .expect("respond");
+            },
+            "POST",
+            "/campaign",
+            b"{\"tuples\":2}",
+        );
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-cache"), Some("miss"));
+        assert_eq!(resp.body, b"hello");
+    }
+
+    #[test]
+    fn chunked_body_reassembles_to_the_logical_bytes() {
+        let resp = roundtrip(
+            |_req, stream| {
+                let mut w =
+                    ChunkedWriter::start(stream, 200, &[("X-Store-Key", "abc")], "text/csv")
+                        .expect("start");
+                w.chunk(b"id,verdict\n").expect("chunk");
+                w.chunk(b"").expect("empty chunk is a no-op");
+                w.chunk(b"0,clean\n1,corrupt\n").expect("chunk");
+                w.finish().expect("finish");
+            },
+            "GET",
+            "/x",
+            b"",
+        );
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-store-key"), Some("abc"));
+        assert_eq!(resp.body, b"id,verdict\n0,clean\n1,corrupt\n");
+    }
+}

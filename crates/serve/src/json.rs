@@ -1,0 +1,452 @@
+//! Minimal JSON parsing and rendering for the experiment server.
+//!
+//! The offline-build policy rules out `serde`; the server's needs are
+//! small (flat spec objects in, flat stats objects out), so this module
+//! implements just enough of RFC 8259: the full value grammar on the
+//! parse side (objects, arrays, strings with escapes, numbers, literals)
+//! and a writer that emits objects in insertion order so rendered
+//! documents are deterministic.
+//!
+//! Numbers are kept as `f64`, which is exact for every integer the
+//! server round-trips (cell counts, seeds, commit budgets all fit in 53
+//! bits); [`Json::as_u64`] rejects lossy conversions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is preserved separately by the writer
+    /// ([`Obj`]); parsed objects use sorted keys, which the server only
+    /// reads field-wise.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (rejects trailing garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}",
+                char::from(b),
+                self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected character at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let cp =
+                                u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            // Surrogate pairs are unsupported (the server
+                            // never emits them); reject rather than
+                            // mis-decode.
+                            let c = char::from_u32(cp)
+                                .ok_or_else(|| format!("invalid \\u{hex} escape"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(format!("invalid escape `\\{}`", char::from(other)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    if (c as u32) < 0x20 {
+                        return Err(format!("raw control character at byte {}", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An order-preserving JSON object writer.
+///
+/// ```
+/// use tv_serve::json::Obj;
+/// let mut o = Obj::new();
+/// o.num("requests", 3.0).str("status", "ok");
+/// assert_eq!(o.render(), r#"{"requests":3,"status":"ok"}"#);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Obj {
+    fields: Vec<(String, String)>,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    /// Adds a raw, already-rendered JSON value.
+    pub fn raw(&mut self, key: &str, rendered: String) -> &mut Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, format!("\"{}\"", escape(value)))
+    }
+
+    /// Adds a numeric field (integers render without a fraction).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.raw(key, render_num(value))
+    }
+
+    /// Adds a u64 field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds a nested object.
+    pub fn obj(&mut self, key: &str, value: &Obj) -> &mut Self {
+        self.raw(key, value.render())
+    }
+
+    /// Renders the object with fields in insertion order.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(k));
+            out.push_str("\":");
+            out.push_str(v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Obj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Renders a number the way JSON expects (no `NaN`/`inf`, integers bare).
+fn render_num(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_and_nested_documents() {
+        let v = Json::parse(
+            r#"{"tuples": 4, "cosim": true, "name": "smoke", "nested": {"a": [1, 2.5, -3]}, "n": null}"#,
+        )
+        .expect("valid document");
+        let obj = v.as_obj().expect("object");
+        assert_eq!(obj["tuples"].as_u64(), Some(4));
+        assert_eq!(obj["cosim"].as_bool(), Some(true));
+        assert_eq!(obj["name"].as_str(), Some("smoke"));
+        assert_eq!(obj["n"], Json::Null);
+        let nested = obj["nested"].as_obj().expect("nested");
+        assert_eq!(
+            nested["a"],
+            Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-3.0)])
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Json::parse(r#"{"s": "a\"b\\c\ndA"}"#).expect("valid");
+        assert_eq!(v.as_obj().unwrap()["s"].as_str(), Some("a\"b\\c\ndA"));
+        let rendered = Obj::new().str("s", "a\"b\\c\ndA").render();
+        let back = Json::parse(&rendered).expect("round trip");
+        assert_eq!(back.as_obj().unwrap()["s"].as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}garbage",
+            "[1, 2",
+            "\"unterminated",
+            "{\"a\": 01x}",
+            "nulll",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn as_u64_rejects_lossy_values() {
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(4096.0).as_u64(), Some(4096));
+        assert_eq!(Json::Str("7".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn writer_renders_deterministically_in_insertion_order() {
+        let mut inner = Obj::new();
+        inner.u64("hits", 2);
+        let mut o = Obj::new();
+        o.str("status", "ok")
+            .num("p50_ms", 1.25)
+            .bool("warm", false)
+            .obj("stats", &inner);
+        assert_eq!(
+            o.render(),
+            r#"{"status":"ok","p50_ms":1.25,"warm":false,"stats":{"hits":2}}"#
+        );
+        // And the parser accepts its own writer's output.
+        Json::parse(&o.render()).expect("self-round-trip");
+    }
+}

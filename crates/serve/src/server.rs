@@ -1,0 +1,496 @@
+//! The campaign server: HTTP front end, worker pool, request
+//! coalescing and the execute-once contract.
+//!
+//! # Request life cycle (`POST /campaign`)
+//!
+//! 1. The spec parses ([`parse_spec`]) into a [`CampaignConfig`], whose
+//!    [`store_key`](CampaignConfig::store_key) names the experiment.
+//! 2. **Hit** — the store already holds the key's CSV: serve it
+//!    verbatim (`X-Cache: hit`). Byte-identical to the executed
+//!    response by construction, because the executed response *is* the
+//!    CSV that was published.
+//! 3. **Miss** — this connection becomes the key's *leader*: it
+//!    registers an in-flight entry, streams verdict rows to its client
+//!    as chunked CSV while the campaign executes on the shared
+//!    [`Fleet`], then atomically publishes the finished CSV to the
+//!    store and wakes the waiters.
+//! 4. **Coalesced** — a concurrent request for the same key finds the
+//!    in-flight entry and blocks on its condvar instead of executing;
+//!    on wake-up it serves the freshly published CSV
+//!    (`X-Cache: coalesced`). N identical concurrent requests execute
+//!    the campaign exactly once.
+//!
+//! The leader journals rows at the store's per-key journal path with
+//! resume enabled, so a server killed mid-campaign picks up where it
+//! left off when the key is next requested — completed cells are reused
+//! verbatim and the final CSV is bit-identical to an uninterrupted run
+//! (the campaign module's resume contract).
+//!
+//! Rows complete out of order on the fleet; a reorder buffer inside the
+//! observer re-serializes them so the streamed body is exactly
+//! [`CampaignReport::csv`] — which is also what lands in the store,
+//! keeping hit, coalesced and miss responses byte-identical.
+//!
+//! [`CampaignReport::csv`]: tv_core::CampaignReport::csv
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+use tv_core::campaign::HEADER;
+use tv_core::{run_campaign_observed, CampaignConfig, Fleet};
+
+use crate::http::{read_request, write_response, ChunkedWriter, Request};
+use crate::json::Obj;
+use crate::spec::parse_spec;
+use crate::store::ResultStore;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Result-store directory.
+    pub store_dir: PathBuf,
+    /// Fleet worker threads for campaign cells (`0` = one per core).
+    pub fleet_workers: usize,
+    /// HTTP worker threads (concurrent connections in service).
+    pub http_workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: PathBuf::from("bench_results/store"),
+            fleet_workers: 0,
+            http_workers: 8,
+        }
+    }
+}
+
+/// Monotonic server counters, exposed on `GET /stats`.
+///
+/// `executions` counts campaigns actually run; a warm-cache load test
+/// asserting "zero re-simulations" checks that `executions` did not move
+/// between two `/stats` snapshots.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// All HTTP requests accepted (any endpoint, any outcome).
+    pub requests: AtomicU64,
+    /// `POST /campaign` requests with a well-formed spec.
+    pub campaign_requests: AtomicU64,
+    /// Campaign requests served from the store.
+    pub cache_hits: AtomicU64,
+    /// Campaign requests that waited on another request's execution.
+    pub coalesced: AtomicU64,
+    /// Campaigns executed (one per unique in-flight key).
+    pub executions: AtomicU64,
+    /// Cells simulated across all executions.
+    pub cells_executed: AtomicU64,
+    /// Cells reused from resume journals across all executions.
+    pub cells_reused: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+}
+
+impl Stats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Renders the counters as a JSON object.
+    pub fn to_json(&self, store_entries: usize) -> String {
+        let mut o = Obj::new();
+        o.u64("requests", self.requests.load(Ordering::Relaxed))
+            .u64(
+                "campaign_requests",
+                self.campaign_requests.load(Ordering::Relaxed),
+            )
+            .u64("cache_hits", self.cache_hits.load(Ordering::Relaxed))
+            .u64("coalesced", self.coalesced.load(Ordering::Relaxed))
+            .u64("executions", self.executions.load(Ordering::Relaxed))
+            .u64("cells_executed", self.cells_executed.load(Ordering::Relaxed))
+            .u64("cells_reused", self.cells_reused.load(Ordering::Relaxed))
+            .u64("errors", self.errors.load(Ordering::Relaxed))
+            .u64("store_entries", store_entries as u64);
+        o.render()
+    }
+}
+
+/// One key's in-flight execution: waiters block on the condvar until
+/// the leader flips `done` (after publishing to the store).
+struct Inflight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Inflight {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().expect("inflight lock") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("inflight lock");
+        while !*done {
+            done = self.cv.wait(done).expect("inflight wait");
+        }
+    }
+}
+
+/// Shared server state.
+struct State {
+    fleet: Fleet,
+    store: ResultStore,
+    stats: Stats,
+    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    shutdown: AtomicBool,
+}
+
+/// A running campaign server.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<State>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept thread and the HTTP worker pool, and
+    /// returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and store-creation failures.
+    pub fn start(config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let store = ResultStore::open(&config.store_dir)?;
+        let fleet = if config.fleet_workers == 0 {
+            Fleet::auto()
+        } else {
+            Fleet::new(config.fleet_workers)
+        };
+        let state = Arc::new(State {
+            fleet,
+            store,
+            stats: Stats::default(),
+            inflight: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.http_workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                thread::Builder::new()
+                    .name(format!("tv-serve-http-{i}"))
+                    .spawn(move || loop {
+                        let stream = match rx.lock().expect("worker queue").recv() {
+                            Ok(s) => s,
+                            Err(_) => break, // accept thread gone: drain done
+                        };
+                        handle_connection(&state, stream);
+                    })
+                    .expect("spawn http worker")
+            })
+            .collect();
+
+        let accept_state = Arc::clone(&state);
+        let accept = thread::Builder::new()
+            .name("tv-serve-accept".to_string())
+            .spawn(move || {
+                // The sender lives here: breaking out drops it, which
+                // shuts the worker pool down after the queue drains.
+                for stream in listener.incoming() {
+                    if accept_state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            addr,
+            state,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to stop accepting connections. Idempotent; also
+    /// triggered remotely by `POST /shutdown`.
+    pub fn trigger_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throw-away connection.
+        TcpStream::connect(self.addr).ok();
+    }
+
+    /// Blocks until the accept thread and every HTTP worker exit —
+    /// i.e. until shutdown was triggered and in-service requests
+    /// finished.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("http worker");
+        }
+    }
+
+    /// Stops the server and waits for in-service requests to finish.
+    pub fn stop(self) {
+        self.trigger_shutdown();
+        self.wait();
+    }
+}
+
+/// Serves one connection: parse, route, respond, close.
+fn handle_connection(state: &State, stream: TcpStream) {
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(read_half);
+    let request = match read_request(&mut reader) {
+        Ok(Some(r)) => r,
+        Ok(None) => return, // idle close (e.g. the shutdown poke)
+        Err(e) => {
+            Stats::bump(&state.stats.errors);
+            respond_plain(state, stream, 400, &format!("bad request: {e}\n"));
+            return;
+        }
+    };
+    Stats::bump(&state.stats.requests);
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let mut stream = stream;
+            write_response(&mut stream, 200, &[], "text/plain", b"ok\n").ok();
+        }
+        ("GET", "/stats") => {
+            let body = state.stats.to_json(state.store.len());
+            let mut stream = stream;
+            write_response(&mut stream, 200, &[], "application/json", body.as_bytes()).ok();
+        }
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            let addr = stream.local_addr().ok();
+            let mut stream = stream;
+            write_response(&mut stream, 200, &[], "text/plain", b"shutting down\n").ok();
+            drop(stream);
+            if let Some(addr) = addr {
+                TcpStream::connect(addr).ok(); // unblock the accept loop
+            }
+        }
+        ("POST", "/campaign") => handle_campaign(state, &request, stream),
+        (_, "/campaign" | "/shutdown") => {
+            Stats::bump(&state.stats.errors);
+            respond_plain(state, stream, 405, "method not allowed\n");
+        }
+        _ => {
+            Stats::bump(&state.stats.errors);
+            respond_plain(state, stream, 404, "no such endpoint\n");
+        }
+    }
+}
+
+fn respond_plain(_state: &State, mut stream: TcpStream, status: u16, body: &str) {
+    write_response(&mut stream, status, &[], "text/plain", body.as_bytes()).ok();
+}
+
+/// The reorder buffer behind the streaming observer: rows arrive keyed
+/// by final cell index from whatever worker finished them; they leave
+/// in cell order, so the concatenated chunks equal the final CSV.
+struct RowStream {
+    writer: Option<ChunkedWriter>,
+    next: usize,
+    pending: HashMap<usize, String>,
+}
+
+impl RowStream {
+    fn push(&mut self, index: usize, row: &str) {
+        self.pending.insert(index, row.to_string());
+        while let Some(row) = self.pending.remove(&self.next) {
+            self.next += 1;
+            if let Some(w) = self.writer.as_mut() {
+                let mut line = row;
+                line.push('\n');
+                if w.chunk(line.as_bytes()).is_err() {
+                    // Client went away: stop writing, keep executing —
+                    // the store and any coalesced waiters still want
+                    // the result.
+                    self.writer = None;
+                }
+            }
+        }
+    }
+}
+
+/// `POST /campaign`: hit, coalesce or lead.
+fn handle_campaign(state: &State, request: &Request, stream: TcpStream) {
+    let config = match parse_spec(&request.body) {
+        Ok(c) => c,
+        Err(e) => {
+            Stats::bump(&state.stats.errors);
+            respond_plain(state, stream, 400, &format!("bad spec: {e}\n"));
+            return;
+        }
+    };
+    Stats::bump(&state.stats.campaign_requests);
+    let key = config.store_key();
+
+    if let Some(csv) = state.store.get(&key) {
+        Stats::bump(&state.stats.cache_hits);
+        serve_csv(stream, &key, "hit", &csv);
+        return;
+    }
+
+    // Join or create the key's in-flight entry.
+    let (inflight, leader) = {
+        let mut map = state.inflight.lock().expect("inflight map");
+        match map.get(&key) {
+            Some(entry) => (Arc::clone(entry), false),
+            None => {
+                let entry = Arc::new(Inflight::new());
+                map.insert(key.clone(), Arc::clone(&entry));
+                (Arc::clone(&entry), true)
+            }
+        }
+    };
+
+    if !leader {
+        inflight.wait();
+        match state.store.get(&key) {
+            Some(csv) => {
+                Stats::bump(&state.stats.coalesced);
+                serve_csv(stream, &key, "coalesced", &csv);
+            }
+            None => {
+                // The leader failed; surface that instead of retrying
+                // (the client can resubmit, which resumes the journal).
+                Stats::bump(&state.stats.errors);
+                respond_plain(state, stream, 500, "campaign execution failed\n");
+            }
+        }
+        return;
+    }
+
+    // Leadership won after the cache check raced a publisher: another
+    // leader may have published between our `get` miss and the map
+    // insert. Re-check before paying for an execution.
+    if let Some(csv) = state.store.get(&key) {
+        release_inflight(state, &key, &inflight);
+        Stats::bump(&state.stats.cache_hits);
+        serve_csv(stream, &key, "hit", &csv);
+        return;
+    }
+
+    Stats::bump(&state.stats.executions);
+    lead_campaign(state, &config, &key, stream);
+    release_inflight(state, &key, &inflight);
+}
+
+/// Marks the key's in-flight entry done and unregisters it.
+fn release_inflight(state: &State, key: &str, inflight: &Inflight) {
+    inflight.finish();
+    state.inflight.lock().expect("inflight map").remove(key);
+}
+
+/// Executes the campaign as the key's leader, streaming rows to the
+/// client and publishing the CSV to the store.
+fn lead_campaign(state: &State, config: &CampaignConfig, key: &str, stream: TcpStream) {
+    // Start the chunked response before executing; if the client is
+    // already gone, execute anyway — waiters and the store still want
+    // the result.
+    let writer = ChunkedWriter::start(
+        stream,
+        200,
+        &[("X-Cache", "miss"), ("X-Store-Key", key)],
+        "text/csv",
+    )
+    .ok();
+    let rows = Mutex::new(RowStream {
+        writer,
+        next: 0,
+        pending: HashMap::new(),
+    });
+    {
+        let mut rows = rows.lock().expect("row stream");
+        if let Some(w) = rows.writer.as_mut() {
+            if w.chunk(format!("{HEADER}\n").as_bytes()).is_err() {
+                rows.writer = None;
+            }
+        }
+    }
+
+    let journal = state.store.journal_path(key);
+    let report = run_campaign_observed(&state.fleet, config, &journal, true, |i, row| {
+        rows.lock().expect("row stream").push(i, row);
+    });
+
+    match report {
+        Ok(report) => {
+            Stats::add(&state.stats.cells_executed, report.executed as u64);
+            Stats::add(&state.stats.cells_reused, report.reused as u64);
+            if let Err(e) = state.store.publish(key, &report.csv()) {
+                eprintln!("tv-serve: publish {key} failed: {e}");
+                Stats::bump(&state.stats.errors);
+            }
+            if let Some(w) = rows.into_inner().expect("row stream").writer {
+                w.finish().ok();
+            }
+        }
+        Err(e) => {
+            // The journal (if any) stays behind for the next attempt to
+            // resume. The chunked body ends without its terminating
+            // chunk, which clients see as a truncated transfer.
+            eprintln!("tv-serve: campaign {key} failed: {e}");
+            Stats::bump(&state.stats.errors);
+        }
+    }
+}
+
+/// Serves a finished CSV with cache-disposition headers.
+fn serve_csv(mut stream: TcpStream, key: &str, disposition: &str, csv: &str) {
+    write_response(
+        &mut stream,
+        200,
+        &[("X-Cache", disposition), ("X-Store-Key", key)],
+        "text/csv",
+        csv.as_bytes(),
+    )
+    .ok();
+}

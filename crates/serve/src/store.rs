@@ -1,0 +1,147 @@
+//! The content-addressed result store.
+//!
+//! One campaign configuration — same sweep parameters, same workload
+//! bytes — maps to one store key ([`CampaignConfig::store_key`]): the
+//! FNV-1a fingerprint of the campaign's journal meta line. The store
+//! keeps at most two files per key:
+//!
+//! * `<key>.csv` — the finished verdict CSV, published atomically
+//!   ([`write_atomic`]) so readers never observe a torn result;
+//! * `<key>.journal` — the in-progress resume journal. It exists only
+//!   while a campaign is executing (or after a crash); publication
+//!   removes it. A restarted server resumes from it automatically, so a
+//!   `kill -9` mid-campaign costs only the in-flight cells.
+//!
+//! Because the key covers workload *content* (not just names), editing a
+//! built-in program's assembly changes the key: stale entries are simply
+//! never addressed again rather than served incorrectly.
+//!
+//! [`CampaignConfig::store_key`]: tv_core::CampaignConfig::store_key
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tv_core::write_atomic_str;
+
+/// A directory of finished campaign CSVs keyed by configuration
+/// fingerprint.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    root: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error when the directory cannot be created.
+    pub fn open(root: &Path) -> io::Result<ResultStore> {
+        fs::create_dir_all(root)?;
+        Ok(ResultStore {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the published CSV for `key`.
+    pub fn csv_path(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.csv"))
+    }
+
+    /// Path of the resume journal for `key` — where an executing
+    /// campaign for this key journals its rows.
+    pub fn journal_path(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.journal"))
+    }
+
+    /// The published CSV for `key`, if one exists.
+    pub fn get(&self, key: &str) -> Option<String> {
+        fs::read_to_string(self.csv_path(key)).ok()
+    }
+
+    /// Atomically publishes `csv` as the result for `key` and retires
+    /// the key's resume journal (the store copy supersedes it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the atomic write's I/O error; the journal is only
+    /// removed after a successful publish.
+    pub fn publish(&self, key: &str, csv: &str) -> io::Result<()> {
+        write_atomic_str(&self.csv_path(key), csv)?;
+        fs::remove_file(self.journal_path(key)).ok();
+        Ok(())
+    }
+
+    /// Number of published results.
+    pub fn len(&self) -> usize {
+        self.keys().len()
+    }
+
+    /// Whether the store has no published results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keys of every published result, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = fs::read_dir(&self.root)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter_map(|e| {
+                        let name = e.file_name().to_string_lossy().into_owned();
+                        name.strip_suffix(".csv").map(str::to_string)
+                    })
+                    .filter(|stem| !stem.starts_with('.'))
+                    .collect()
+            })
+            .unwrap_or_default();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> ResultStore {
+        let dir = std::env::temp_dir().join(format!("tv-store-{}-{tag}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        ResultStore::open(&dir).expect("open store")
+    }
+
+    #[test]
+    fn publish_then_get_round_trips_and_retires_the_journal() {
+        let store = temp_store("roundtrip");
+        let key = "00deadbeef00cafe";
+        assert_eq!(store.get(key), None);
+        fs::write(store.journal_path(key), "# meta\n0/CDS\trow\n").expect("seed journal");
+        store.publish(key, "header\nrow\n").expect("publish");
+        assert_eq!(store.get(key).as_deref(), Some("header\nrow\n"));
+        assert!(
+            !store.journal_path(key).exists(),
+            "publication retires the resume journal"
+        );
+        assert_eq!(store.keys(), vec![key.to_string()]);
+        assert_eq!(store.len(), 1);
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn keys_ignore_journals_and_temp_files() {
+        let store = temp_store("keys");
+        store.publish("aaaa", "a\n").expect("publish");
+        fs::write(store.journal_path("bbbb"), "# in flight\n").expect("journal");
+        fs::write(store.root().join(".cccc.csv.tmp-1-2"), "torn").expect("temp");
+        assert_eq!(store.keys(), vec!["aaaa".to_string()]);
+        assert!(!store.is_empty());
+        fs::remove_dir_all(store.root()).ok();
+    }
+}

@@ -107,6 +107,65 @@ cmp "$tmp_campaign/campaign.csv" "$tmp_campaign/killed/campaign.csv"
 echo "    campaign.csv byte-identical after kill -9 + cross-mode --resume"
 rm -rf "$tmp_campaign"
 
+echo "==> campaign server: dedup, byte-identity, crash resume, warm burst"
+# The server's execute-once contract, end-to-end through the bins: the
+# same spec submitted twice executes once (second response is a cache
+# hit), the served CSV is byte-identical to the offline campaign binary
+# with matching flags, a SIGKILLed server resumes its journal after
+# restart, and a 1000-request warm burst re-simulates nothing.
+tmp_serve="$(mktemp -d)"
+serve_spec='{"tuples": 2, "riscv": 1, "seed": 77, "commits": 3000, "warmup": 1000}'
+./target/release/serve --addr 127.0.0.1:0 --store "$tmp_serve/store" \
+    --addr-file "$tmp_serve/addr" >"$tmp_serve/server.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 100); do [[ -s "$tmp_serve/addr" ]] && break; sleep 0.1; done
+serve_addr="$(cat "$tmp_serve/addr")"
+./target/release/loadgen --addr "$serve_addr" --spec "$serve_spec" \
+    --requests 1 --clients 1 --expect-cache miss \
+    --save-body "$tmp_serve/first.csv" --out "$tmp_serve/BENCH_cold.json" >/dev/null
+./target/release/loadgen --addr "$serve_addr" --spec "$serve_spec" \
+    --requests 1 --clients 1 --expect-cache hit \
+    --save-body "$tmp_serve/second.csv" --out "$tmp_serve/BENCH_hit.json" >/dev/null
+cmp "$tmp_serve/first.csv" "$tmp_serve/second.csv"
+./target/release/campaign --tuples 2 --riscv 1 --seed 77 --commits 3000 \
+    --warmup 1000 --out "$tmp_serve/offline" >/dev/null
+cmp "$tmp_serve/first.csv" "$tmp_serve/offline/campaign.csv"
+echo "    served CSV byte-identical across miss/hit and vs the offline campaign bin"
+# kill -9 the server while a fresh spec is executing; the journal it
+# leaves in the store resumes on a restarted server, and the final CSV
+# still matches an uninterrupted offline run.
+kill_spec='{"tuples": 4, "riscv": 1, "seed": 78, "commits": 6000, "warmup": 1000}'
+./target/release/loadgen --addr "$serve_addr" --spec "$kill_spec" \
+    --requests 1 --clients 1 --out "$tmp_serve/BENCH_killed.json" >/dev/null 2>&1 &
+loadgen_pid=$!
+sleep 0.5
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+wait "$loadgen_pid" 2>/dev/null || true
+./target/release/serve --addr 127.0.0.1:0 --store "$tmp_serve/store" \
+    --addr-file "$tmp_serve/addr2" >"$tmp_serve/server2.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 100); do [[ -s "$tmp_serve/addr2" ]] && break; sleep 0.1; done
+serve_addr="$(cat "$tmp_serve/addr2")"
+./target/release/loadgen --addr "$serve_addr" --spec "$kill_spec" \
+    --requests 1 --clients 1 --save-body "$tmp_serve/resumed.csv" \
+    --out "$tmp_serve/BENCH_resumed.json" >/dev/null
+./target/release/campaign --tuples 4 --riscv 1 --seed 78 --commits 6000 \
+    --warmup 1000 --out "$tmp_serve/offline2" >/dev/null
+cmp "$tmp_serve/resumed.csv" "$tmp_serve/offline2/campaign.csv"
+echo "    kill -9 mid-campaign + restart: resumed CSV byte-identical to offline"
+# Warm burst: 1000 requests across 8 clients, every one a cache hit,
+# zero campaign executions and zero cells simulated during the burst
+# (loadgen checks the server's /stats deltas). The JSON lands in
+# bench_results as the serve benchmark artifact.
+mkdir -p bench_results
+./target/release/loadgen --addr "$serve_addr" --spec "$serve_spec" \
+    --requests 1000 --clients 8 --expect-cache hit --expect-warm \
+    --out bench_results/BENCH_serve.json
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+rm -rf "$tmp_serve"
+
 if [[ "$SKIP_SWEEP" == 1 ]]; then
     echo "==> sweep skipped (--skip-sweep)"
     exit 0

@@ -9,7 +9,7 @@
 //! and dependents are held back through delayed tag broadcast — instead of
 //! stalling the whole pipeline (Error Padding) or replaying (Razor).
 //!
-//! This facade crate re-exports the nine component crates:
+//! This facade crate re-exports the ten component crates:
 //!
 //! | crate | contents |
 //! |---|---|
@@ -22,6 +22,7 @@
 //! | [`uarch`] | the 4-wide out-of-order pipeline simulator |
 //! | [`core`] | scheduling policies, schemes, experiment/differential/campaign drivers |
 //! | [`energy`] | energy/ED accounting and the VTE hardware-cost analysis |
+//! | [`serve`] | the campaign server: HTTP API over a content-addressed result store |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use tv_core as core;
 pub use tv_energy as energy;
 pub use tv_netlist as netlist;
 pub use tv_oracle as oracle;
+pub use tv_serve as serve;
 pub use tv_tep as tep;
 pub use tv_timing as timing;
 pub use tv_uarch as uarch;

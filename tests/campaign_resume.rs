@@ -45,7 +45,10 @@ fn journal_is_written_during_the_run_not_at_the_end() {
     let text = fs::read_to_string(&journal).expect("journal exists");
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), cells + 1, "meta line + one line per cell");
-    assert!(lines[0].starts_with("# tv-campaign v1 "), "{}", lines[0]);
+    // v2: the fingerprint carries the combined workload content hash
+    // (`wl=`), so journals and store keys follow program bytes.
+    assert!(lines[0].starts_with("# tv-campaign v2 "), "{}", lines[0]);
+    assert!(lines[0].contains(" wl="), "{}", lines[0]);
     let mut keys = std::collections::HashSet::new();
     for line in &lines[1..] {
         let (key, row) = line.split_once('\t').expect("key\\trow shape");
