@@ -16,6 +16,9 @@
 //! --workload NAME   diff a single workload instead of the benchmark sweep;
 //!                   NAME is a benchmark or riscv:<program|file.asm>, and
 //!                   RISC-V workloads also run the golden-model oracle
+//! --procs N         run on the multi-process sharded fleet (one job per
+//!                   tuple; report identical to the in-process run)
+//! --worker          cluster protocol worker mode (spawned by --procs)
 //! ```
 //!
 //! Exits non-zero on any stream mismatch or invariant violation.
@@ -24,7 +27,10 @@ use std::path::PathBuf;
 
 use tv_bench::harness::Cli;
 use tv_bench::write_csv;
-use tv_core::{run_differential, DiffConfig, DiffTuple, Fleet, Scheme, Workload};
+use tv_core::{
+    run_differential, run_differential_cluster, ClusterConfig, DiffConfig, DiffTuple, Fleet,
+    Scheme, Workload,
+};
 use tv_timing::Voltage;
 use tv_uarch::AuditLevel;
 use tv_workloads::Benchmark;
@@ -39,6 +45,7 @@ struct Args {
     cosim: bool,
     fast: bool,
     workload: Option<Workload>,
+    procs: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -52,11 +59,12 @@ fn parse_args() -> Args {
         cosim: false,
         fast: false,
         workload: None,
+        procs: None,
     };
     let mut cli = Cli::new(
         "audit_diff",
         "audit_diff [--commits N] [--warmup N] [--seed N] [--out DIR] [--workers N] \
-         [--basic] [--cosim] [--fast] [--workload NAME]",
+         [--basic] [--cosim] [--fast] [--workload NAME] [--procs N] | audit_diff --worker",
     );
     while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
@@ -75,13 +83,19 @@ fn parse_args() -> Args {
                     Err(e) => cli.fail(&format!("--workload: {e}")),
                 }
             }
+            "--procs" => parsed.procs = Some(cli.parse("--procs")),
             other => cli.unknown(other),
         }
     }
     parsed
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    // Worker mode speaks the cluster protocol on stdin/stdout and must
+    // be dispatched before anything can print to stdout.
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        return tv_core::diff_worker();
+    }
     let args = parse_args();
     let seeds = [args.seed, args.seed + 1];
     let oracle = args.workload.as_ref().is_some_and(Workload::is_riscv);
@@ -123,12 +137,6 @@ fn main() {
         oracle,
         cosim: args.cosim,
     };
-    let fleet = match args.workers {
-        Some(n) => Fleet::new(n),
-        None => Fleet::auto(),
-    }
-    .with_progress(true);
-
     println!(
         "scheme-equivalence differential audit — {} tuples x {} schemes, \
          {} commits (+{} warm-up) per run, {:?} audit{}",
@@ -140,7 +148,23 @@ fn main() {
         if cfg.cosim { ", co-sim jobs" } else { "" },
     );
 
-    let report = run_differential(&fleet, &tuples, &cfg);
+    let report = if let Some(procs) = args.procs {
+        println!("process fleet: {procs} workers");
+        match run_differential_cluster(&ClusterConfig::new(procs), &tuples, &cfg) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("audit_diff cluster run failed: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let fleet = match args.workers {
+            Some(n) => Fleet::new(n),
+            None => Fleet::auto(),
+        }
+        .with_progress(true);
+        run_differential(&fleet, &tuples, &cfg)
+    };
 
     let mut rows = Vec::new();
     for group in report.runs.chunks(cfg.schemes.len()) {
@@ -206,7 +230,8 @@ fn main() {
         );
     }
     if !report.clean() || !corrupted.is_empty() {
-        std::process::exit(1);
+        return std::process::ExitCode::FAILURE;
     }
     println!("all schemes commit identical architectural streams; all invariants hold");
+    std::process::ExitCode::SUCCESS
 }

@@ -11,8 +11,17 @@
 //! ```text
 //! campaign [--tuples N] [--riscv N] [--seed N] [--commits N] [--warmup N]
 //!          [--watchdog N] [--no-control] [--smoke] [--resume] [--cosim]
-//!          [--out DIR] [--workers N]
+//!          [--out DIR] [--workers N] [--procs N]
+//! campaign --worker
 //! ```
+//!
+//! `--procs N` runs the sweep on the multi-process sharded fleet: this
+//! process becomes the coordinator, spawning N copies of itself in
+//! `--worker` mode and sharding tuples across them with work stealing.
+//! A `kill -9`'d worker is detected, its jobs reassigned, and the CSV is
+//! byte-identical to the in-process run at any process count.
+//! `--worker` is the protocol-speaking worker mode (spawned by the
+//! coordinator, not for interactive use).
 //!
 //! `--cosim` runs each tuple's schemes as one co-simulation bundle
 //! (shared frontend, one fault-calibration probe) instead of per-cell
@@ -31,12 +40,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tv_bench::harness::Cli;
-use tv_core::{run_campaign, CampaignConfig, Fleet};
+use tv_core::{run_campaign, run_campaign_cluster, CampaignConfig, ClusterConfig, Fleet};
 
 struct Args {
     config: CampaignConfig,
     out: PathBuf,
     workers: Option<usize>,
+    procs: Option<usize>,
     resume: bool,
 }
 
@@ -44,11 +54,13 @@ fn parse_args() -> Args {
     let mut config = CampaignConfig::full();
     let mut out = PathBuf::from("bench_results");
     let mut workers = None;
+    let mut procs = None;
     let mut resume = false;
     let mut cli = Cli::new(
         "campaign",
         "campaign [--tuples N] [--riscv N] [--seed N] [--commits N] [--warmup N] \
-         [--watchdog N] [--no-control] [--smoke] [--resume] [--cosim] [--out DIR] [--workers N]",
+         [--watchdog N] [--no-control] [--smoke] [--resume] [--cosim] [--out DIR] \
+         [--workers N] [--procs N] | campaign --worker",
     );
     while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
@@ -70,6 +82,7 @@ fn parse_args() -> Args {
             "--cosim" => config.cosim = true,
             "--out" => out = PathBuf::from(cli.value("--out")),
             "--workers" => workers = Some(cli.parse("--workers")),
+            "--procs" => procs = Some(cli.parse("--procs")),
             other => cli.unknown(other),
         }
     }
@@ -77,11 +90,17 @@ fn parse_args() -> Args {
         config,
         out,
         workers,
+        procs,
         resume,
     }
 }
 
 fn main() -> ExitCode {
+    // Worker mode speaks the cluster protocol on stdin/stdout and must
+    // be dispatched before anything can print to stdout.
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        return tv_core::campaign_worker();
+    }
     let args = parse_args();
     let cfg = &args.config;
     let schemes = cfg.schemes();
@@ -96,17 +115,25 @@ fn main() -> ExitCode {
         cfg.campaign_seed,
     );
 
-    let fleet = match args.workers {
-        Some(n) => Fleet::new(n),
-        None => Fleet::auto(),
-    }
-    .with_progress(true);
-
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let journal = args.out.join("campaign.journal");
     let csv = args.out.join("campaign.csv");
 
-    let report = match run_campaign(&fleet, cfg, &journal, args.resume) {
+    let run = match args.procs {
+        Some(procs) => {
+            println!("process fleet: {procs} workers");
+            run_campaign_cluster(&ClusterConfig::new(procs), cfg, &journal, args.resume, |_, _| {})
+        }
+        None => {
+            let fleet = match args.workers {
+                Some(n) => Fleet::new(n),
+                None => Fleet::auto(),
+            }
+            .with_progress(true);
+            run_campaign(&fleet, cfg, &journal, args.resume)
+        }
+    };
+    let report = match run {
         Ok(report) => report,
         Err(e) => {
             eprintln!("campaign failed: {e}");

@@ -6,8 +6,15 @@
 //!       [--store DIR]        result store      (default bench_results/store)
 //!       [--workers N]        fleet workers     (default: one per core)
 //!       [--http-workers N]   connections in service concurrently (default 8)
+//!       [--procs N]          run campaigns on N worker *processes* (the
+//!                            multi-process sharded fleet) instead of
+//!                            in-process threads
+//!       [--io-timeout SECS]  per-connection socket timeout (default 10;
+//!                            0 disables)
+//!       [--max-body BYTES]   request-body cap, 413 above it (default 1 MiB)
 //!       [--addr-file PATH]   write the bound address to PATH (for scripts
 //!                            binding port 0)
+//! serve --worker             cluster protocol worker (spawned by --procs)
 //! ```
 //!
 //! Prints `listening on http://ADDR` once bound, then serves until
@@ -20,22 +27,28 @@
 //! `GET /stats`, `GET /healthz`, `POST /shutdown`.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use tv_bench::harness::Cli;
 use tv_serve::{ServeConfig, Server};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    // Worker mode speaks the cluster protocol on stdin/stdout and must
+    // be dispatched before anything can print to stdout. The server
+    // spawns `serve --worker` processes when started with `--procs`.
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        return tv_core::campaign_worker();
+    }
     let mut config = ServeConfig {
         addr: "127.0.0.1:7713".to_string(),
-        store_dir: PathBuf::from("bench_results/store"),
-        fleet_workers: 0,
-        http_workers: 8,
+        ..ServeConfig::default()
     };
     let mut addr_file: Option<PathBuf> = None;
     let mut cli = Cli::new(
         "serve",
         "serve [--addr HOST:PORT] [--store DIR] [--workers N] [--http-workers N] \
-         [--addr-file PATH]",
+         [--procs N] [--io-timeout SECS] [--max-body BYTES] [--addr-file PATH] \
+         | serve --worker",
     );
     while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
@@ -43,6 +56,12 @@ fn main() {
             "--store" => config.store_dir = PathBuf::from(cli.value("--store")),
             "--workers" => config.fleet_workers = cli.parse("--workers"),
             "--http-workers" => config.http_workers = cli.parse("--http-workers"),
+            "--procs" => config.procs = cli.parse("--procs"),
+            "--io-timeout" => {
+                let secs: u64 = cli.parse("--io-timeout");
+                config.io_timeout = (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--max-body" => config.max_body = cli.parse("--max-body"),
             "--addr-file" => addr_file = Some(PathBuf::from(cli.value("--addr-file"))),
             other => cli.unknown(other),
         }
@@ -58,7 +77,7 @@ fn main() {
     let addr = server.local_addr();
     println!("listening on http://{addr}");
     println!(
-        "store {} | fleet workers {} | http workers {}",
+        "store {} | fleet workers {} | http workers {}{}",
         config.store_dir.display(),
         if config.fleet_workers == 0 {
             "auto".to_string()
@@ -66,6 +85,11 @@ fn main() {
             config.fleet_workers.to_string()
         },
         config.http_workers,
+        if config.procs > 0 {
+            format!(" | worker procs {}", config.procs)
+        } else {
+            String::new()
+        },
     );
     if let Some(path) = addr_file {
         // Atomic so a script polling for the file never reads half an
@@ -74,4 +98,5 @@ fn main() {
     }
     server.wait();
     println!("serve: shut down cleanly");
+    std::process::ExitCode::SUCCESS
 }

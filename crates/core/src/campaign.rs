@@ -339,6 +339,60 @@ impl CampaignConfig {
     pub fn store_key(&self) -> String {
         format!("{:016x}", fnv1a(self.meta_line().as_bytes()))
     }
+
+    /// Serializes the configuration as a one-line cluster context
+    /// (`key=value` words), the inverse of [`from_ctx`](Self::from_ctx).
+    /// Unlike [`meta_line`](Self::meta_line) this carries `cosim` — a
+    /// worker needs the job shape, not just the experiment identity.
+    pub fn to_ctx(&self) -> String {
+        format!(
+            "seed={} tuples={} commits={} warmup={} watchdog={} control={} riscv={} cosim={}",
+            self.campaign_seed,
+            self.tuples,
+            self.commits,
+            self.warmup,
+            self.watchdog_cycles,
+            u8::from(self.include_control),
+            self.riscv_tuples,
+            u8::from(self.cosim),
+        )
+    }
+
+    /// Parses a [`to_ctx`](Self::to_ctx) line back into a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_ctx(ctx: &str) -> Result<CampaignConfig, String> {
+        let mut cfg = CampaignConfig::full();
+        let mut seen = 0u32;
+        for word in ctx.split_whitespace() {
+            let (key, value) = word
+                .split_once('=')
+                .ok_or_else(|| format!("malformed ctx word: {word}"))?;
+            let num = |what: &str| -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad {what} in ctx: {value}"))
+            };
+            match key {
+                "seed" => cfg.campaign_seed = num("seed")?,
+                "tuples" => cfg.tuples = num("tuples")? as usize,
+                "commits" => cfg.commits = num("commits")?,
+                "warmup" => cfg.warmup = num("warmup")?,
+                "watchdog" => cfg.watchdog_cycles = num("watchdog")?,
+                "control" => cfg.include_control = num("control")? != 0,
+                "riscv" => cfg.riscv_tuples = num("riscv")? as usize,
+                "cosim" => cfg.cosim = num("cosim")? != 0,
+                other => return Err(format!("unknown ctx field: {other}")),
+            }
+            seen += 1;
+        }
+        if seen != 8 {
+            return Err(format!("campaign ctx needs 8 fields, got {seen}"));
+        }
+        Ok(cfg)
+    }
 }
 
 /// splitmix64-style mixer, matching the hashing idiom used throughout.
@@ -350,7 +404,7 @@ fn mix2(a: u64, b: u64) -> u64 {
 }
 
 /// The identity prefix of one cell's CSV row (`id,...,seed`).
-fn cell_prefix(tuple: &CampaignTuple, scheme: Scheme) -> String {
+pub(crate) fn cell_prefix(tuple: &CampaignTuple, scheme: Scheme) -> String {
     format!(
         "{},{},{},{:.3},{},{}",
         tuple.id,
@@ -363,7 +417,7 @@ fn cell_prefix(tuple: &CampaignTuple, scheme: Scheme) -> String {
 }
 
 /// The journal key of one cell.
-fn cell_key(tuple: &CampaignTuple, scheme: Scheme) -> String {
+pub(crate) fn cell_key(tuple: &CampaignTuple, scheme: Scheme) -> String {
     format!("{}/{}", tuple.id, scheme.name())
 }
 
@@ -424,7 +478,7 @@ fn render_row(
 }
 
 /// The row recorded when a cell panicked instead of returning.
-fn panic_row(prefix: &str, payload: &str) -> String {
+pub(crate) fn panic_row(prefix: &str, payload: &str) -> String {
     render_row(
         prefix,
         "panic",
@@ -593,7 +647,7 @@ pub struct CampaignReport {
 }
 
 /// The verdict field of a row.
-fn row_field(row: &str, idx: usize) -> &str {
+pub(crate) fn row_field(row: &str, idx: usize) -> &str {
     row.split(',').nth(idx).unwrap_or("")
 }
 
@@ -649,7 +703,7 @@ impl CampaignReport {
 /// `meta` (the journal belongs to a different campaign configuration).
 /// Torn trailing data — a final line without its newline, or a line whose
 /// row is missing fields — is discarded, not trusted.
-fn parse_journal(text: &str, meta: &str) -> Result<HashMap<String, String>, String> {
+pub(crate) fn parse_journal(text: &str, meta: &str) -> Result<HashMap<String, String>, String> {
     if text.is_empty() {
         return Ok(HashMap::new());
     }
@@ -677,6 +731,57 @@ fn parse_journal(text: &str, meta: &str) -> Result<HashMap<String, String>, Stri
         completed.insert(key.to_string(), row.to_string());
     }
     Ok(completed)
+}
+
+/// A journal opened for appending, with completed rows already parsed —
+/// the state every campaign runner (in-process fleet or process cluster)
+/// needs before executing pending cells.
+pub(crate) struct JournalPrep {
+    /// Rows reused verbatim from the journal, keyed by cell key.
+    pub completed: HashMap<String, String>,
+    /// Append handle positioned on a fresh line (any torn tail from a
+    /// previous kill is newline-terminated).
+    pub file: fs::File,
+}
+
+/// Reads/validates `journal` against `meta`, starts a fresh journal when
+/// there is nothing to resume, and returns the append handle plus the
+/// completed rows. Shared by the in-process and cluster campaign runners
+/// so both obey the identical resume semantics.
+pub(crate) fn prepare_journal(
+    journal: &Path,
+    meta: &str,
+    resume: bool,
+) -> Result<JournalPrep, String> {
+    let mut torn_tail = false;
+    let completed = if resume && journal.exists() {
+        let text = fs::read_to_string(journal)
+            .map_err(|e| format!("cannot read journal {}: {e}", journal.display()))?;
+        torn_tail = !text.is_empty() && !text.ends_with('\n');
+        parse_journal(&text, meta)?
+    } else {
+        HashMap::new()
+    };
+    if completed.is_empty() {
+        // Fresh (or effectively empty) journal: start it with the
+        // configuration fingerprint. Published atomically so a concurrent
+        // reader (or a crash here) never sees a half-written meta line.
+        write_atomic_str(journal, &format!("{meta}\n"))
+            .map_err(|e| format!("cannot start journal {}: {e}", journal.display()))?;
+        torn_tail = false;
+    }
+    let mut file = OpenOptions::new()
+        .append(true)
+        .open(journal)
+        .map_err(|e| format!("cannot append to journal {}: {e}", journal.display()))?;
+    if torn_tail {
+        // Terminate the kill's torn half-line so appended rows start on a
+        // fresh line; the orphaned fragment stays behind and is discarded
+        // by the field-count check on any later resume.
+        file.write_all(b"\n")
+            .map_err(|e| format!("cannot repair journal {}: {e}", journal.display()))?;
+    }
+    Ok(JournalPrep { completed, file })
 }
 
 /// Runs (or resumes) a fault-injection campaign.
@@ -727,23 +832,8 @@ where
         .collect();
     let keys: Vec<String> = cells.iter().map(|(t, s)| cell_key(t, *s)).collect();
 
-    let mut torn_tail = false;
-    let completed = if resume && journal.exists() {
-        let text = fs::read_to_string(journal)
-            .map_err(|e| format!("cannot read journal {}: {e}", journal.display()))?;
-        torn_tail = !text.is_empty() && !text.ends_with('\n');
-        parse_journal(&text, &meta)?
-    } else {
-        HashMap::new()
-    };
-    if completed.is_empty() {
-        // Fresh (or effectively empty) journal: start it with the
-        // configuration fingerprint. Published atomically so a concurrent
-        // reader (or a crash here) never sees a half-written meta line.
-        write_atomic_str(journal, &format!("{meta}\n"))
-            .map_err(|e| format!("cannot start journal {}: {e}", journal.display()))?;
-        torn_tail = false;
-    }
+    let prep = prepare_journal(journal, &meta, resume)?;
+    let completed = prep.completed;
 
     let pending_idx: Vec<usize> = (0..cells.len())
         .filter(|&i| !completed.contains_key(&keys[i]))
@@ -760,18 +850,7 @@ where
         }
     }
 
-    let mut file = OpenOptions::new()
-        .append(true)
-        .open(journal)
-        .map_err(|e| format!("cannot append to journal {}: {e}", journal.display()))?;
-    if torn_tail {
-        // Terminate the kill's torn half-line so appended rows start on a
-        // fresh line; the orphaned fragment stays behind and is discarded
-        // by the field-count check on any later resume.
-        file.write_all(b"\n")
-            .map_err(|e| format!("cannot repair journal {}: {e}", journal.display()))?;
-    }
-    let file = Mutex::new(file);
+    let file = Mutex::new(prep.file);
 
     let executed = pending.len();
     let (mut fresh, panicked, fleet_stats): (HashMap<String, String>, usize, FleetStats) =

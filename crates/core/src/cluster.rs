@@ -1,0 +1,1319 @@
+//! Multi-process sharded fleet: a coordinator/worker split that extends
+//! the [`Fleet`](crate::fleet::Fleet) determinism contract from threads
+//! to processes.
+//!
+//! # Shape
+//!
+//! The coordinator spawns N worker processes (the same binary in
+//! `--worker` mode, or any command speaking the protocol), shards the
+//! job space deterministically across them ([`plan_shards`]), and drives
+//! a line-framed protocol over each worker's stdin/stdout:
+//!
+//! ```text
+//! coordinator -> worker   CTX <one-line context>          (once, first)
+//! coordinator -> worker   JOB <id> <spec>
+//! worker -> coordinator   OK <id> <nrows>\n<row>*nrows
+//! worker -> coordinator   ERR <message>                   (fatal, exits)
+//! coordinator -> worker   <stdin EOF>                     (clean shutdown)
+//! ```
+//!
+//! Rows are opaque single lines; the campaign glue sends verdict CSV
+//! rows, the diff glue sends tab-escaped [`DiffRun`]s. A job is one
+//! *group* (a campaign tuple's pending cells, a diff tuple's schemes),
+//! matching the co-sim bundle granularity so cluster mode pays the
+//! shared-frontend amortization too.
+//!
+//! # Scheduling: shards, stealing, leases
+//!
+//! Jobs are pre-sharded round-robin; each worker holds one in-flight job
+//! (the *lease*) plus its queue. An idle worker first drains the orphan
+//! pool (work reclaimed from dead workers), then its own queue, then
+//! steals from the **back** of the longest live queue — stragglers lose
+//! their tail, never their head. Because results are keyed by job id and
+//! assembled in submission order, stealing never changes output bytes.
+//!
+//! # Death, reassignment, determinism
+//!
+//! A worker's death — `kill -9`, OOM, a torn frame — surfaces as EOF (or
+//! a partial line) on its stdout. The coordinator revokes the lease:
+//! the in-flight job and the dead worker's queue move to the orphan
+//! pool, idle workers pick them up, and a replacement process is spawned
+//! while a respawn budget lasts. Every completed row is journalled by
+//! the coordinator through the same [`campaign`](crate::campaign)
+//! journal the in-process runner uses — the journal *is* the
+//! coordination substrate — so a kill of the coordinator itself resumes
+//! exactly like a killed single-process campaign. Rows are pure
+//! functions of their cell and the final CSV is assembled by key in
+//! tuple-major order, so the bytes are identical at any worker count,
+//! under any interleaving, steal pattern or mid-run kill.
+//!
+//! # Kill-test hooks
+//!
+//! Setting `TV_CLUSTER_KILL=<worker>@<jobs>` on the coordinator arranges
+//! for the initial process in slot `<worker>` to SIGKILL *itself* upon
+//! receiving its `<jobs>+1`-th job — before running it, so the job is
+//! genuinely in flight when the worker dies. Respawned processes never
+//! inherit the hook, so recovery is observable rather than a kill loop.
+//! (The worker-side env var is `TV_CLUSTER_SELFKILL=<jobs>`.)
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::process::{Child, ChildStdin, Command, ExitCode, Stdio};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+use tv_timing::Voltage;
+
+use crate::campaign::{
+    cell_key, cell_prefix, panic_row, prepare_journal, row_field, run_cell, run_cells_cosim,
+    CampaignConfig, CampaignReport, CampaignTuple,
+};
+use crate::diff::{report_from_runs, run_one, DiffConfig, DiffReport, DiffRun, DiffTuple};
+use crate::fleet::{panic_message, FleetStats, JobTiming};
+use crate::schemes::Scheme;
+use crate::workload::Workload;
+
+/// Coordinator-side env var arming the kill-test hook (`<worker>@<jobs>`).
+pub const KILL_ENV: &str = "TV_CLUSTER_KILL";
+
+/// Worker-side env var the coordinator injects: SIGKILL self upon
+/// receiving job number `<value>+1`.
+pub const SELFKILL_ENV: &str = "TV_CLUSTER_SELFKILL";
+
+/// Process-fleet construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker processes to spawn (clamped to at least 1, and never more
+    /// than there are jobs).
+    pub procs: usize,
+    /// Worker command line; empty means "this executable with
+    /// `--worker`", which is what the harness binaries use.
+    pub worker_cmd: Vec<String>,
+    /// Replacement processes the coordinator may spawn after worker
+    /// deaths before giving up.
+    pub respawn_budget: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster of `procs` workers running the current executable in
+    /// `--worker` mode.
+    pub fn new(procs: usize) -> Self {
+        ClusterConfig {
+            procs: procs.max(1),
+            worker_cmd: Vec::new(),
+            respawn_budget: 2 * procs.max(1) + 2,
+        }
+    }
+
+    /// The worker `Command`, before protocol plumbing.
+    fn command(&self) -> Result<Command, String> {
+        if self.worker_cmd.is_empty() {
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot resolve current executable: {e}"))?;
+            let mut cmd = Command::new(exe);
+            cmd.arg("--worker");
+            Ok(cmd)
+        } else {
+            let mut cmd = Command::new(&self.worker_cmd[0]);
+            cmd.args(&self.worker_cmd[1..]);
+            Ok(cmd)
+        }
+    }
+}
+
+/// Deterministic round-robin shard plan: job `j` lands in shard
+/// `j % shards`. Pure, so the initial assignment is identical on every
+/// run — only stealing (which cannot change output bytes) reacts to
+/// timing.
+pub fn plan_shards(jobs: usize, shards: usize) -> Vec<Vec<usize>> {
+    let shards = shards.clamp(1, jobs.max(1));
+    let mut plan: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for j in 0..jobs {
+        plan[j % shards].push(j);
+    }
+    plan
+}
+
+/// Counters from one coordinator run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Worker processes initially spawned.
+    pub workers: usize,
+    /// Worker deaths observed (kills, crashes, torn frames).
+    pub deaths: usize,
+    /// Replacement processes spawned.
+    pub respawns: usize,
+    /// Jobs stolen from another worker's queue.
+    pub stolen: usize,
+    /// Jobs reassigned out of dead workers (leases revoked + queues).
+    pub reassigned: usize,
+    /// Coordinator wall-clock time.
+    pub elapsed: Duration,
+    /// Per-job `(job id, wall, worker slot)` in completion order. Wall
+    /// time is coordinator-observed (dispatch to reply).
+    pub timings: Vec<(usize, Duration, usize)>,
+}
+
+/// One worker process slot.
+struct Slot {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    queue: VecDeque<usize>,
+    /// The lease: the dispatched job and when it left.
+    inflight: Option<(usize, Instant)>,
+    alive: bool,
+}
+
+/// What a worker's stdout reader thread reports back.
+enum Event {
+    /// A complete `OK` frame with its rows.
+    Reply {
+        worker: usize,
+        id: usize,
+        rows: Vec<String>,
+    },
+    /// An `ERR` frame or a malformed frame — a protocol-level bug, fatal
+    /// to the whole run (deterministic failures must not retry-loop).
+    Fatal { worker: usize, msg: String },
+    /// EOF or torn output: the process died.
+    Dead { worker: usize },
+}
+
+struct Coordinator<'a> {
+    cluster: &'a ClusterConfig,
+    ctx: &'a str,
+    specs: &'a [String],
+    tx: Sender<Event>,
+    rx: Receiver<Event>,
+    slots: Vec<Slot>,
+    orphans: VecDeque<usize>,
+    completed: Vec<bool>,
+    done: usize,
+    respawns_left: usize,
+    kill_spec: Option<(usize, usize)>,
+    stats: ClusterStats,
+}
+
+impl Coordinator<'_> {
+    /// Spawns a worker process into a new slot and sends it the context.
+    /// `initial` slots may receive the kill-test hook; respawns never do.
+    fn spawn_slot(&mut self, queue: VecDeque<usize>, initial: bool) -> Result<usize, String> {
+        let slot_idx = self.slots.len();
+        let mut cmd = self.cluster.command()?;
+        cmd.stdin(Stdio::piped()).stdout(Stdio::piped());
+        // Workers must never act as coordinators of their own sub-fleet,
+        // and only the targeted initial slot self-kills.
+        cmd.env_remove(KILL_ENV).env_remove(SELFKILL_ENV);
+        if initial {
+            if let Some((target, jobs)) = self.kill_spec {
+                if target == slot_idx {
+                    cmd.env(SELFKILL_ENV, jobs.to_string());
+                }
+            }
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {slot_idx}: {e}"))?;
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tx = self.tx.clone();
+        std::thread::spawn(move || read_worker(slot_idx, stdout, &tx));
+        // A write failure here means the child is already gone; the
+        // reader thread will report Dead, so just drop the error.
+        let _ = writeln!(stdin, "CTX {}", self.ctx).and_then(|()| stdin.flush());
+        self.slots.push(Slot {
+            child,
+            stdin: Some(stdin),
+            queue,
+            inflight: None,
+            alive: true,
+        });
+        Ok(slot_idx)
+    }
+
+    /// Picks the next job for an idle worker: orphans (reclaimed work)
+    /// first, then its own shard, then a steal from the back of the
+    /// longest live queue.
+    fn next_job(&mut self, w: usize) -> Option<usize> {
+        if let Some(id) = self.orphans.pop_front() {
+            return Some(id);
+        }
+        if let Some(id) = self.slots[w].queue.pop_front() {
+            return Some(id);
+        }
+        let victim = (0..self.slots.len())
+            .filter(|&v| v != w && self.slots[v].alive && !self.slots[v].queue.is_empty())
+            .max_by_key(|&v| self.slots[v].queue.len())?;
+        let id = self.slots[victim].queue.pop_back()?;
+        self.stats.stolen += 1;
+        Some(id)
+    }
+
+    /// Dispatches one job to an idle live worker, if any work remains.
+    fn dispatch(&mut self, w: usize) {
+        if !self.slots[w].alive || self.slots[w].inflight.is_some() {
+            return;
+        }
+        let Some(id) = self.next_job(w) else { return };
+        let line = format!("JOB {id} {}\n", self.specs[id]);
+        let slot = &mut self.slots[w];
+        let sent = slot
+            .stdin
+            .as_mut()
+            .map(|s| s.write_all(line.as_bytes()).and_then(|()| s.flush()).is_ok())
+            .unwrap_or(false);
+        if sent {
+            slot.inflight = Some((id, Instant::now()));
+        } else {
+            // EPIPE: the worker is dead; its reader thread will deliver
+            // the Dead event. The job goes back to the pool untouched.
+            self.orphans.push_front(id);
+        }
+    }
+
+    /// Revokes a dead worker's lease and queue, redistributes the work,
+    /// and spawns a replacement when needed (and budgeted).
+    fn handle_death(&mut self, w: usize) -> Result<(), String> {
+        if !self.slots[w].alive {
+            return Ok(()); // already reaped (e.g. Fatal then EOF)
+        }
+        let slot = &mut self.slots[w];
+        slot.alive = false;
+        slot.stdin.take(); // close our end
+        let _ = slot.child.kill();
+        let _ = slot.child.wait();
+        self.stats.deaths += 1;
+        let mut reclaimed = 0usize;
+        if let Some((id, _)) = slot.inflight.take() {
+            self.orphans.push_front(id);
+            reclaimed += 1;
+        }
+        while let Some(id) = slot.queue.pop_front() {
+            self.orphans.push_back(id);
+            reclaimed += 1;
+        }
+        self.stats.reassigned += reclaimed;
+        if self.done >= self.specs.len() {
+            return Ok(()); // late death after all jobs finished
+        }
+        // Idle live workers absorb the orphans immediately.
+        for v in 0..self.slots.len() {
+            if self.orphans.is_empty() {
+                break;
+            }
+            self.dispatch(v);
+        }
+        let live = self.slots.iter().filter(|s| s.alive).count();
+        eprintln!(
+            "[cluster] worker {w} died; {reclaimed} jobs reassigned, {live} workers live"
+        );
+        if (live == 0 || !self.orphans.is_empty()) && self.respawns_left > 0 {
+            self.respawns_left -= 1;
+            self.stats.respawns += 1;
+            let fresh = self.spawn_slot(VecDeque::new(), false)?;
+            eprintln!("[cluster] respawned worker {fresh}");
+            self.dispatch(fresh);
+        } else if live == 0 {
+            return Err(format!(
+                "all workers died with {} jobs unfinished and the respawn budget exhausted",
+                self.specs.len() - self.done,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The stdout reader for one worker: turns frames into [`Event`]s. Runs
+/// on its own thread; exits on EOF or after a fatal frame.
+fn read_worker(worker: usize, stdout: impl Read, tx: &Sender<Event>) {
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                let _ = tx.send(Event::Dead { worker });
+                return;
+            }
+            Ok(_) if !line.ends_with('\n') => {
+                // A torn final line: the process died mid-write.
+                let _ = tx.send(Event::Dead { worker });
+                return;
+            }
+            Ok(_) => {}
+        }
+        let frame = line.trim_end_matches('\n');
+        if let Some(rest) = frame.strip_prefix("OK ") {
+            let parsed = rest
+                .split_once(' ')
+                .and_then(|(id, n)| Some((id.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+            let Some((id, nrows)) = parsed else {
+                let _ = tx.send(Event::Fatal {
+                    worker,
+                    msg: format!("malformed OK frame: {frame}"),
+                });
+                return;
+            };
+            let mut rows = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                let mut row = String::new();
+                match reader.read_line(&mut row) {
+                    Ok(n) if n > 0 && row.ends_with('\n') => {
+                        row.pop();
+                        rows.push(row);
+                    }
+                    _ => {
+                        let _ = tx.send(Event::Dead { worker });
+                        return;
+                    }
+                }
+            }
+            if tx.send(Event::Reply { worker, id, rows }).is_err() {
+                return; // coordinator gone
+            }
+        } else if let Some(msg) = frame.strip_prefix("ERR ") {
+            let _ = tx.send(Event::Fatal {
+                worker,
+                msg: msg.to_string(),
+            });
+            return;
+        } else {
+            let _ = tx.send(Event::Fatal {
+                worker,
+                msg: format!("unexpected frame: {frame}"),
+            });
+            return;
+        }
+    }
+}
+
+/// Runs `specs` (one opaque spec line per job) across the process fleet
+/// and hands each job's reply rows to `on_group(job_id, rows)` exactly
+/// once, in completion order. Job ids index `specs`; callers key their
+/// results by id, so completion order never affects output.
+///
+/// # Errors
+///
+/// Returns an error when no worker can be (re)spawned, when every worker
+/// is dead with work remaining and the respawn budget is spent, when a
+/// worker reports a fatal `ERR` frame, or when `on_group` rejects a
+/// reply. Transient worker deaths are *not* errors — their work is
+/// reassigned.
+pub fn run_groups<F>(
+    cluster: &ClusterConfig,
+    ctx: &str,
+    specs: &[String],
+    mut on_group: F,
+) -> Result<ClusterStats, String>
+where
+    F: FnMut(usize, &[String]) -> Result<(), String>,
+{
+    let total = specs.len();
+    let started = Instant::now();
+    if total == 0 {
+        return Ok(ClusterStats::default());
+    }
+    let workers = cluster.procs.clamp(1, total);
+    let kill_spec = std::env::var(KILL_ENV).ok().and_then(|v| {
+        let (w, jobs) = v.split_once('@')?;
+        Some((w.parse().ok()?, jobs.parse().ok()?))
+    });
+    let (tx, rx) = channel();
+    let mut coord = Coordinator {
+        cluster,
+        ctx,
+        specs,
+        tx,
+        rx,
+        slots: Vec::with_capacity(workers),
+        orphans: VecDeque::new(),
+        completed: vec![false; total],
+        done: 0,
+        respawns_left: cluster.respawn_budget,
+        kill_spec,
+        stats: ClusterStats {
+            workers,
+            ..ClusterStats::default()
+        },
+    };
+
+    let result = (|| -> Result<(), String> {
+        for queue in plan_shards(total, workers) {
+            coord.spawn_slot(queue.into(), true)?;
+        }
+        for w in 0..workers {
+            coord.dispatch(w);
+        }
+        while coord.done < total {
+            let event = coord
+                .rx
+                .recv()
+                .map_err(|_| "every worker reader exited with jobs unfinished".to_string())?;
+            match event {
+                Event::Reply { worker, id, rows } => {
+                    let Some((leased, t0)) = coord.slots[worker].inflight.take() else {
+                        return Err(format!("worker {worker} replied without a lease"));
+                    };
+                    if leased != id {
+                        return Err(format!(
+                            "worker {worker} replied for job {id} while leasing {leased}"
+                        ));
+                    }
+                    coord.stats.timings.push((id, t0.elapsed(), worker));
+                    // A reassigned job can complete twice when a worker
+                    // presumed dead had already sent its reply; the first
+                    // reply won and was journalled, so drop duplicates.
+                    if !coord.completed[id] {
+                        coord.completed[id] = true;
+                        coord.done += 1;
+                        on_group(id, &rows)?;
+                    }
+                    coord.dispatch(worker);
+                }
+                Event::Fatal { worker, msg } => {
+                    return Err(format!("worker {worker}: {msg}"));
+                }
+                Event::Dead { worker } => coord.handle_death(worker)?,
+            }
+        }
+        Ok(())
+    })();
+
+    // Shutdown: close stdins (workers exit on EOF), then reap. On the
+    // error path kill outright so a wedged worker cannot hang us.
+    for slot in &mut coord.slots {
+        slot.stdin.take();
+        if result.is_err() {
+            let _ = slot.child.kill();
+        }
+        let _ = slot.child.wait();
+    }
+    result.map(|()| {
+        coord.stats.elapsed = started.elapsed();
+        coord.stats
+    })
+}
+
+/// SIGKILLs the current process — the kill-test hook's exit. Never
+/// returns; on non-unix targets it degrades to `abort`.
+fn sigkill_self() -> ! {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        unsafe {
+            kill(std::process::id() as i32, 9);
+        }
+        // Delivery is asynchronous in principle; never proceed past here.
+        loop {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    #[cfg(not(unix))]
+    std::process::abort();
+}
+
+/// Collapses a message to one protocol-safe line.
+fn one_line(msg: &str) -> String {
+    msg.replace(['\n', '\r'], " ")
+}
+
+/// The generic worker side of the protocol: parses the `CTX` line with
+/// `parse_ctx`, then answers every `JOB` via `run_group(task, spec)`
+/// until stdin closes. Harness binaries call this from their `--worker`
+/// mode; the campaign and diff workers are wrappers over it.
+///
+/// Nothing else may write to stdout while this runs — a stray print
+/// corrupts the framing (the coordinator treats it as fatal).
+pub fn worker_loop<T, P, R>(parse_ctx: P, run_group: R) -> ExitCode
+where
+    P: FnOnce(&str) -> Result<T, String>,
+    R: Fn(&T, &str) -> Result<Vec<String>, String>,
+{
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let selfkill: Option<u64> = std::env::var(SELFKILL_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    let Some(Ok(first)) = lines.next() else {
+        return ExitCode::from(2); // EOF before context: nothing to do
+    };
+    let Some(ctx) = first.strip_prefix("CTX ") else {
+        let _ = writeln!(out, "ERR expected CTX frame, got: {}", one_line(&first));
+        return ExitCode::from(2);
+    };
+    let task = match parse_ctx(ctx) {
+        Ok(task) => task,
+        Err(e) => {
+            let _ = writeln!(out, "ERR bad ctx: {}", one_line(&e));
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut received = 0u64;
+    for line in lines {
+        let Ok(line) = line else { break };
+        if line.is_empty() {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("JOB ") else {
+            let _ = writeln!(out, "ERR expected JOB frame, got: {}", one_line(&line));
+            return ExitCode::from(2);
+        };
+        let (id, spec) = rest.split_once(' ').unwrap_or((rest, ""));
+        if selfkill.is_some_and(|after| received >= after) {
+            // The kill-test hook: die with this job leased but unrun.
+            sigkill_self();
+        }
+        received += 1;
+        let reply = match run_group(&task, spec) {
+            Ok(rows) => {
+                if let Some(bad) = rows.iter().find(|r| r.contains('\n')) {
+                    let _ = writeln!(out, "ERR row contains newline: {}", one_line(bad));
+                    return ExitCode::from(2);
+                }
+                let mut buf = format!("OK {id} {}\n", rows.len());
+                for row in &rows {
+                    buf.push_str(row);
+                    buf.push('\n');
+                }
+                buf
+            }
+            Err(e) => {
+                let _ = writeln!(out, "ERR job {id}: {}", one_line(&e));
+                return ExitCode::from(2);
+            }
+        };
+        if out.write_all(reply.as_bytes()).and_then(|()| out.flush()).is_err() {
+            return ExitCode::from(2); // coordinator gone
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+// --- campaign glue ------------------------------------------------------
+
+/// The campaign's global cell list, tuple-major — identical on the
+/// coordinator and every worker because the sweep is a pure function of
+/// the configuration.
+fn campaign_cells(config: &CampaignConfig) -> Vec<(CampaignTuple, Scheme)> {
+    let schemes = config.schemes();
+    config
+        .generate_tuples()
+        .iter()
+        .flat_map(|t| schemes.iter().map(|&s| (t.clone(), s)))
+        .collect()
+}
+
+/// Runs one job group (global cell indices) to verdict rows, with the
+/// same per-cell (solo) or per-bundle (co-sim) crash isolation the
+/// in-process runner has — panic rows are byte-identical either way.
+fn run_campaign_group(
+    config: &CampaignConfig,
+    cells: &[(CampaignTuple, Scheme)],
+    spec: &str,
+) -> Result<Vec<String>, String> {
+    let group: Vec<&(CampaignTuple, Scheme)> = spec
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .and_then(|i| cells.get(i))
+                .ok_or_else(|| format!("cell index out of range: {s}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if group.is_empty() {
+        return Err("empty job group".to_string());
+    }
+    if config.cosim && group.iter().all(|(t, _)| t.id == group[0].0.id) {
+        let tuple = &group[0].0;
+        let schemes: Vec<Scheme> = group.iter().map(|(_, s)| *s).collect();
+        match catch_unwind(AssertUnwindSafe(|| run_cells_cosim(tuple, &schemes, config))) {
+            Ok(rows) => Ok(rows),
+            // A panic kills the whole bundle, exactly like in-process
+            // co-sim mode's per-bundle crash isolation.
+            Err(p) => {
+                let payload = panic_message(p.as_ref());
+                Ok(group
+                    .iter()
+                    .map(|(t, s)| panic_row(&cell_prefix(t, *s), &payload))
+                    .collect())
+            }
+        }
+    } else {
+        Ok(group
+            .iter()
+            .map(|(tuple, scheme)| {
+                match catch_unwind(AssertUnwindSafe(|| run_cell(tuple, *scheme, config))) {
+                    Ok(row) => row,
+                    Err(p) => panic_row(&cell_prefix(tuple, *scheme), &panic_message(p.as_ref())),
+                }
+            })
+            .collect())
+    }
+}
+
+/// The campaign worker process body (`campaign --worker`,
+/// `serve --worker`): speaks the cluster protocol until stdin closes.
+pub fn campaign_worker() -> ExitCode {
+    worker_loop(
+        |ctx| {
+            let ctx = ctx
+                .strip_prefix("campaign ")
+                .ok_or_else(|| format!("not a campaign ctx: {ctx}"))?;
+            let config = CampaignConfig::from_ctx(ctx)?;
+            let cells = campaign_cells(&config);
+            Ok((config, cells))
+        },
+        |(config, cells), spec| run_campaign_group(config, cells, spec),
+    )
+}
+
+/// [`run_campaign`](crate::campaign::run_campaign) on a process fleet:
+/// the multi-process twin of
+/// [`run_campaign_observed`](crate::campaign::run_campaign_observed),
+/// with the identical journal/resume semantics and byte-identical rows.
+///
+/// The coordinator journals every completed row itself (workers are
+/// stateless), groups pending cells by tuple (the co-sim bundle shape),
+/// and assembles the final CSV by cell key — so the output is
+/// bit-identical to the in-process runner at any `procs`, across worker
+/// kills, and across resumes in either mode.
+///
+/// # Errors
+///
+/// Journal failures and unrecoverable cluster failures (no worker can
+/// run, fatal protocol errors) surface as `Err`; individual worker
+/// deaths do not.
+pub fn run_campaign_cluster<F>(
+    cluster: &ClusterConfig,
+    config: &CampaignConfig,
+    journal: &Path,
+    resume: bool,
+    on_row: F,
+) -> Result<CampaignReport, String>
+where
+    F: Fn(usize, &str),
+{
+    let meta = config.meta_line();
+    let cells = campaign_cells(config);
+    let keys: Vec<String> = cells.iter().map(|(t, s)| cell_key(t, *s)).collect();
+
+    let prep = prepare_journal(journal, &meta, resume)?;
+    let completed = prep.completed;
+    let mut file = prep.file;
+
+    let pending_idx: Vec<usize> = (0..cells.len())
+        .filter(|&i| !completed.contains_key(&keys[i]))
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        if let Some(row) = completed.get(key) {
+            on_row(i, row);
+        }
+    }
+
+    // One job per tuple: the pending cells of that tuple, tuple-major
+    // (cells are already in that order, so a linear scan groups them).
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for &i in &pending_idx {
+        match groups.last_mut() {
+            Some(g) if cells[g[0]].0.id == cells[i].0.id => g.push(i),
+            _ => groups.push(vec![i]),
+        }
+    }
+    let specs: Vec<String> = groups
+        .iter()
+        .map(|g| {
+            g.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut fresh: HashMap<String, String> = HashMap::with_capacity(pending_idx.len());
+    let mut panicked = 0usize;
+    let cluster_stats = run_groups(
+        cluster,
+        &format!("campaign {}", config.to_ctx()),
+        &specs,
+        |gid, rows| {
+            let group = &groups[gid];
+            if rows.len() != group.len() {
+                return Err(format!(
+                    "job {gid} returned {} rows for {} cells",
+                    rows.len(),
+                    group.len(),
+                ));
+            }
+            // Journal first (durability), then stream: the same ordering
+            // the in-process observer uses.
+            let mut lines = String::new();
+            for (&ci, row) in group.iter().zip(rows) {
+                lines.push_str(&format!("{}\t{row}\n", keys[ci]));
+            }
+            file.write_all(lines.as_bytes())
+                .map_err(|e| format!("cannot append to journal {}: {e}", journal.display()))?;
+            for (&ci, row) in group.iter().zip(rows) {
+                if row_field(row, 6) == "panic" {
+                    panicked += 1;
+                }
+                fresh.insert(keys[ci].clone(), row.clone());
+                on_row(ci, row);
+            }
+            Ok(())
+        },
+    )?;
+
+    let rows = keys
+        .iter()
+        .map(|key| {
+            completed
+                .get(key)
+                .cloned()
+                .or_else(|| fresh.remove(key))
+                .expect("every cell produced a row")
+        })
+        .collect();
+
+    // Present the cluster run through the familiar FleetStats shape so
+    // harness summaries and reports need no second code path. One "job"
+    // here is one tuple group; wall times are coordinator-observed.
+    let serial_equivalent = cluster_stats.timings.iter().map(|(_, w, _)| *w).sum();
+    let timings = cluster_stats
+        .timings
+        .iter()
+        .map(|&(gid, wall, worker)| JobTiming {
+            index: gid,
+            label: format!(
+                "#{} x{} cells (proc {worker})",
+                cells[groups[gid][0]].0.id,
+                groups[gid].len(),
+            ),
+            wall,
+            worker,
+        })
+        .collect();
+    if cluster_stats.deaths > 0 {
+        eprintln!(
+            "[cluster] recovered from {} worker death(s): {} jobs reassigned, {} respawns",
+            cluster_stats.deaths, cluster_stats.reassigned, cluster_stats.respawns,
+        );
+    }
+    Ok(CampaignReport {
+        rows,
+        reused: cells.len() - pending_idx.len(),
+        executed: pending_idx.len(),
+        panicked,
+        fleet: FleetStats {
+            jobs: specs.len(),
+            workers: cluster_stats.workers,
+            elapsed: started.elapsed(),
+            serial_equivalent,
+            timings,
+        },
+    })
+}
+
+// --- diff glue ----------------------------------------------------------
+
+/// Escapes a wire field: `\` -> `\\`, tab -> `\t`, newline -> `\n`.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+}
+
+/// Inverse of [`escape`].
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(c) => out.push(c),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Looks a scheme up by its stable [`Scheme::name`].
+fn scheme_from_name(name: &str) -> Option<Scheme> {
+    Scheme::ALL
+        .iter()
+        .copied()
+        .chain(std::iter::once(Scheme::NoTolerance))
+        .find(|s| s.name() == name)
+}
+
+/// Serializes one [`DiffRun`] as a tab-separated wire line.
+fn diff_run_to_wire(run: &DiffRun) -> String {
+    let violation = match &run.first_violation {
+        None => "none".to_string(),
+        Some(v) => format!("some:{}", escape(v)),
+    };
+    let oracle = match run.oracle_clean {
+        None => "-",
+        Some(true) => "1",
+        Some(false) => "0",
+    };
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{}",
+        escape(&run.workload),
+        run.vdd.volts(),
+        run.seed,
+        run.scheme.name(),
+        run.commits,
+        run.cycles,
+        run.stream_hash,
+        run.audit_cycles,
+        run.audit_checks,
+        run.audit_violations,
+        violation,
+        oracle,
+    )
+}
+
+/// Parses a [`diff_run_to_wire`] line.
+fn diff_run_from_wire(line: &str) -> Result<DiffRun, String> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 12 {
+        return Err(format!("diff wire row needs 12 fields, got {}", fields.len()));
+    }
+    let num = |i: usize| -> Result<u64, String> {
+        fields[i]
+            .parse::<u64>()
+            .map_err(|_| format!("bad numeric field {i}: {}", fields[i]))
+    };
+    Ok(DiffRun {
+        workload: unescape(fields[0]),
+        vdd: Voltage::new(
+            fields[1]
+                .parse::<f64>()
+                .map_err(|_| format!("bad vdd: {}", fields[1]))?,
+        ),
+        seed: num(2)?,
+        scheme: scheme_from_name(fields[3]).ok_or_else(|| format!("unknown scheme: {}", fields[3]))?,
+        commits: num(4)?,
+        cycles: num(5)?,
+        stream_hash: u64::from_str_radix(fields[6], 16)
+            .map_err(|_| format!("bad stream hash: {}", fields[6]))?,
+        audit_cycles: num(7)?,
+        audit_checks: num(8)?,
+        audit_violations: num(9)?,
+        first_violation: match fields[10] {
+            "none" => None,
+            v => Some(
+                v.strip_prefix("some:")
+                    .map(unescape)
+                    .ok_or_else(|| format!("bad violation field: {v}"))?,
+            ),
+        },
+        oracle_clean: match fields[11] {
+            "-" => None,
+            "1" => Some(true),
+            "0" => Some(false),
+            v => return Err(format!("bad oracle field: {v}")),
+        },
+    })
+}
+
+/// Renders the audit level as a ctx word.
+fn audit_word(audit: tv_audit::AuditLevel) -> &'static str {
+    match audit {
+        tv_audit::AuditLevel::Off => "off",
+        tv_audit::AuditLevel::Basic => "basic",
+        tv_audit::AuditLevel::Full => "full",
+    }
+}
+
+/// Serializes a differential sweep as a one-line worker context.
+///
+/// # Errors
+///
+/// Rejects workload names the line framing cannot carry (whitespace,
+/// `|`, `;` — e.g. a file path with spaces).
+fn diff_ctx(tuples: &[DiffTuple], cfg: &DiffConfig) -> Result<String, String> {
+    let mut tuple_words = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        let name = t.workload.name();
+        if name.contains(|c: char| c.is_whitespace() || c == '|' || c == ';') {
+            return Err(format!(
+                "workload name `{name}` cannot cross the cluster protocol \
+                 (contains whitespace, `|` or `;`)"
+            ));
+        }
+        tuple_words.push(format!("{name}|{}|{}", t.vdd.volts(), t.seed));
+    }
+    let schemes: Vec<&str> = cfg.schemes.iter().map(|s| s.name()).collect();
+    Ok(format!(
+        "diff commits={} warmup={} audit={} oracle={} cosim={} schemes={} tuples={}",
+        cfg.commits,
+        cfg.warmup,
+        audit_word(cfg.audit),
+        u8::from(cfg.oracle),
+        u8::from(cfg.cosim),
+        schemes.join(","),
+        tuple_words.join(";"),
+    ))
+}
+
+/// Parses a [`diff_ctx`] line back into tuples plus configuration.
+fn parse_diff_ctx(ctx: &str) -> Result<(Vec<DiffTuple>, DiffConfig), String> {
+    let ctx = ctx
+        .strip_prefix("diff ")
+        .ok_or_else(|| format!("not a diff ctx: {ctx}"))?;
+    let mut cfg = DiffConfig::default();
+    let mut tuples = Vec::new();
+    for word in ctx.split_whitespace() {
+        let (key, value) = word
+            .split_once('=')
+            .ok_or_else(|| format!("malformed ctx word: {word}"))?;
+        match key {
+            "commits" => cfg.commits = value.parse().map_err(|_| format!("bad commits: {value}"))?,
+            "warmup" => cfg.warmup = value.parse().map_err(|_| format!("bad warmup: {value}"))?,
+            "audit" => {
+                cfg.audit = match value {
+                    "off" => tv_audit::AuditLevel::Off,
+                    "basic" => tv_audit::AuditLevel::Basic,
+                    "full" => tv_audit::AuditLevel::Full,
+                    other => return Err(format!("bad audit level: {other}")),
+                }
+            }
+            "oracle" => cfg.oracle = value == "1",
+            "cosim" => cfg.cosim = value == "1",
+            "schemes" => {
+                cfg.schemes = value
+                    .split(',')
+                    .map(|n| scheme_from_name(n).ok_or_else(|| format!("unknown scheme: {n}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "tuples" => {
+                for t in value.split(';').filter(|t| !t.is_empty()) {
+                    let mut parts = t.split('|');
+                    let (Some(name), Some(vdd), Some(seed), None) =
+                        (parts.next(), parts.next(), parts.next(), parts.next())
+                    else {
+                        return Err(format!("malformed tuple: {t}"));
+                    };
+                    tuples.push(DiffTuple {
+                        workload: Workload::parse(name)?,
+                        vdd: Voltage::new(
+                            vdd.parse::<f64>().map_err(|_| format!("bad vdd: {vdd}"))?,
+                        ),
+                        seed: seed.parse().map_err(|_| format!("bad seed: {seed}"))?,
+                    });
+                }
+            }
+            other => return Err(format!("unknown ctx field: {other}")),
+        }
+    }
+    if tuples.is_empty() {
+        return Err("diff ctx carries no tuples".to_string());
+    }
+    Ok((tuples, cfg))
+}
+
+/// The diff worker process body (`audit_diff --worker`).
+pub fn diff_worker() -> ExitCode {
+    worker_loop(
+        |ctx| parse_diff_ctx(&format!("diff {ctx}")).or_else(|_| parse_diff_ctx(ctx)),
+        |(tuples, cfg), spec| {
+            let ti: usize = spec
+                .parse()
+                .map_err(|_| format!("bad tuple index: {spec}"))?;
+            let tuple = tuples
+                .get(ti)
+                .ok_or_else(|| format!("tuple index out of range: {ti}"))?;
+            let runs: Vec<DiffRun> = if cfg.cosim {
+                crate::cosim::diff_runs(tuple, cfg)
+            } else {
+                cfg.schemes
+                    .iter()
+                    .map(|&s| run_one(tuple, s, cfg))
+                    .collect()
+            };
+            Ok(runs.iter().map(diff_run_to_wire).collect())
+        },
+    )
+}
+
+/// [`run_differential`](crate::diff::run_differential) on a process
+/// fleet: one job per tuple, results reassembled in submission order
+/// (tuples outer, schemes inner), so the report is identical to the
+/// in-process harness at any worker count.
+///
+/// # Errors
+///
+/// Unrecoverable cluster failures and protocol errors; individual
+/// worker deaths are reassigned, not surfaced.
+pub fn run_differential_cluster(
+    cluster: &ClusterConfig,
+    tuples: &[DiffTuple],
+    cfg: &DiffConfig,
+) -> Result<DiffReport, String> {
+    let ctx = diff_ctx(tuples, cfg)?;
+    let specs: Vec<String> = (0..tuples.len()).map(|i| i.to_string()).collect();
+    let mut groups: Vec<Option<Vec<DiffRun>>> = vec![None; tuples.len()];
+    run_groups(cluster, &ctx, &specs, |gid, rows| {
+        let runs: Vec<DiffRun> = rows
+            .iter()
+            .map(|r| diff_run_from_wire(r))
+            .collect::<Result<_, _>>()?;
+        if runs.len() != cfg.schemes.len() {
+            return Err(format!(
+                "tuple {gid} returned {} runs for {} schemes",
+                runs.len(),
+                cfg.schemes.len(),
+            ));
+        }
+        groups[gid] = Some(runs);
+        Ok(())
+    })?;
+    let runs: Vec<DiffRun> = groups
+        .into_iter()
+        .flat_map(|g| g.expect("every tuple replied"))
+        .collect();
+    Ok(report_from_runs(runs, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_plan_is_round_robin_and_total() {
+        let plan = plan_shards(10, 3);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan[0], vec![0, 3, 6, 9]);
+        assert_eq!(plan[1], vec![1, 4, 7]);
+        assert_eq!(plan[2], vec![2, 5, 8]);
+        let mut all: Vec<usize> = plan.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // Never more shards than jobs, never fewer than one.
+        assert_eq!(plan_shards(2, 8).len(), 2);
+        assert_eq!(plan_shards(0, 4).len(), 1);
+        assert_eq!(plan_shards(5, 0).len(), 1);
+        assert_eq!(plan_shards(5, 1), vec![(0..5).collect::<Vec<_>>()]);
+    }
+
+    #[test]
+    fn campaign_ctx_round_trips() {
+        let mut cfg = CampaignConfig::smoke();
+        cfg.cosim = true;
+        cfg.include_control = false;
+        let parsed = CampaignConfig::from_ctx(&cfg.to_ctx()).expect("round trip");
+        assert_eq!(parsed, cfg);
+        assert_eq!(parsed.meta_line(), cfg.meta_line());
+
+        assert!(CampaignConfig::from_ctx("seed=1").is_err(), "missing fields");
+        assert!(CampaignConfig::from_ctx("nonsense").is_err());
+        let err = CampaignConfig::from_ctx("seed=x tuples=1 commits=1 warmup=0 watchdog=1 control=1 riscv=0 cosim=0")
+            .expect_err("bad number");
+        assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn diff_ctx_and_wire_round_trip() {
+        let cfg = DiffConfig {
+            commits: 1234,
+            warmup: 56,
+            audit: tv_audit::AuditLevel::Basic,
+            schemes: vec![Scheme::FaultFree, Scheme::Cds, Scheme::NoTolerance],
+            oracle: true,
+            cosim: true,
+        };
+        let tuples = vec![
+            DiffTuple {
+                workload: Workload::parse("gcc").unwrap(),
+                vdd: Voltage::low_fault(),
+                seed: 7,
+            },
+            DiffTuple {
+                workload: Workload::builtin("matmul").unwrap(),
+                vdd: Voltage::high_fault(),
+                seed: 8,
+            },
+        ];
+        let ctx = diff_ctx(&tuples, &cfg).expect("serializable");
+        let (t2, c2) = parse_diff_ctx(&ctx).expect("parse back");
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2[0].workload.name(), "gcc");
+        assert_eq!(t2[1].workload.name(), "riscv:matmul");
+        assert_eq!(t2[0].vdd, tuples[0].vdd);
+        assert_eq!(t2[1].seed, 8);
+        assert_eq!(c2.commits, 1234);
+        assert_eq!(c2.warmup, 56);
+        assert_eq!(c2.schemes, cfg.schemes);
+        assert!(c2.oracle && c2.cosim);
+
+        let run = DiffRun {
+            workload: "riscv:matmul".to_string(),
+            vdd: Voltage::low_fault(),
+            seed: 9,
+            scheme: Scheme::Abs,
+            commits: 1000,
+            cycles: 2500,
+            stream_hash: 0xdead_beef_0123_4567,
+            audit_cycles: 2500,
+            audit_checks: 9000,
+            audit_violations: 1,
+            first_violation: Some("cycle 3: weird\ttab and\nnewline".to_string()),
+            oracle_clean: Some(false),
+        };
+        let back = diff_run_from_wire(&diff_run_to_wire(&run)).expect("wire round trip");
+        assert_eq!(back, run);
+        assert!(!diff_run_to_wire(&run).contains('\n'), "wire rows are one line");
+
+        let clean = DiffRun {
+            first_violation: None,
+            oracle_clean: None,
+            ..run
+        };
+        assert_eq!(
+            diff_run_from_wire(&diff_run_to_wire(&clean)).unwrap(),
+            clean
+        );
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["", "plain", "a\tb", "a\nb", "back\\slash", "\\t literal", "\\"] {
+            assert_eq!(unescape(&escape(s)), s, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn scheme_lookup_covers_all_and_control() {
+        for s in Scheme::ALL.iter().copied().chain([Scheme::NoTolerance]) {
+            assert_eq!(scheme_from_name(s.name()), Some(s));
+        }
+        assert_eq!(scheme_from_name("nope"), None);
+    }
+
+    /// A scripted POSIX-shell worker: obeys the protocol, echoes one row
+    /// per job. Exercises the real spawn/pipe/reader machinery without
+    /// simulating anything.
+    #[cfg(unix)]
+    fn echo_worker() -> Vec<String> {
+        vec![
+            "sh".to_string(),
+            "-c".to_string(),
+            // Read CTX, then answer every job with one derived row.
+            "read ctx; while read cmd id spec; do echo \"OK $id 1\"; \
+             echo \"row-$id-$spec\"; done"
+                .to_string(),
+        ]
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn run_groups_collects_every_job_at_any_worker_count() {
+        let specs: Vec<String> = (0..13).map(|i| format!("s{i}")).collect();
+        let mut reference: Vec<Option<String>> = vec![None; specs.len()];
+        for procs in [1, 2, 4] {
+            let mut cluster = ClusterConfig::new(procs);
+            cluster.worker_cmd = echo_worker();
+            let mut got: Vec<Option<String>> = vec![None; specs.len()];
+            let stats = run_groups(&cluster, "test", &specs, |id, rows| {
+                assert_eq!(rows.len(), 1);
+                assert!(got[id].is_none(), "job {id} completed twice");
+                got[id] = Some(rows[0].clone());
+                Ok(())
+            })
+            .expect("cluster run");
+            assert_eq!(stats.workers, procs.min(specs.len()));
+            assert_eq!(stats.deaths, 0);
+            assert_eq!(stats.timings.len(), specs.len());
+            for (i, row) in got.iter().enumerate() {
+                assert_eq!(row.as_deref(), Some(format!("row-{i}-s{i}").as_str()));
+            }
+            if procs == 1 {
+                reference = got;
+            } else {
+                assert_eq!(got, reference, "results identical at procs={procs}");
+            }
+        }
+    }
+
+    /// A worker that dies (clean exit) after one job: every death path —
+    /// lease revocation, queue reassignment, respawn — gets exercised,
+    /// and all jobs still complete with the right rows.
+    #[cfg(unix)]
+    #[test]
+    fn run_groups_reassigns_work_from_dying_workers() {
+        let specs: Vec<String> = (0..9).map(|i| format!("s{i}")).collect();
+        let mut cluster = ClusterConfig::new(3);
+        cluster.respawn_budget = 32; // every respawn also dies after 1 job
+        cluster.worker_cmd = vec![
+            "sh".to_string(),
+            "-c".to_string(),
+            "read ctx; read cmd id spec; echo \"OK $id 1\"; echo \"row-$id\"; exit 0"
+                .to_string(),
+        ];
+        let mut got: Vec<Option<String>> = vec![None; specs.len()];
+        let stats = run_groups(&cluster, "test", &specs, |id, rows| {
+            got[id] = Some(rows[0].clone());
+            Ok(())
+        })
+        .expect("cluster survives serial worker deaths");
+        for (i, row) in got.iter().enumerate() {
+            assert_eq!(row.as_deref(), Some(format!("row-{i}").as_str()));
+        }
+        assert!(stats.deaths > 0, "workers died by construction");
+        assert!(stats.respawns > 0, "deaths forced respawns");
+    }
+
+    /// Workers that die without ever completing work exhaust the respawn
+    /// budget and surface an error instead of looping forever.
+    #[cfg(unix)]
+    #[test]
+    fn run_groups_gives_up_when_no_worker_survives() {
+        let specs = vec!["s0".to_string()];
+        let mut cluster = ClusterConfig::new(1);
+        cluster.respawn_budget = 2;
+        cluster.worker_cmd = vec!["sh".to_string(), "-c".to_string(), "exit 1".to_string()];
+        let err = run_groups(&cluster, "test", &specs, |_, _| Ok(()))
+            .expect_err("all workers die instantly");
+        assert!(err.contains("respawn budget"), "{err}");
+    }
+
+    /// An ERR frame is fatal — deterministic worker-side failures abort
+    /// the run instead of being retried on another worker.
+    #[cfg(unix)]
+    #[test]
+    fn run_groups_treats_err_frames_as_fatal() {
+        let specs = vec!["s0".to_string()];
+        let mut cluster = ClusterConfig::new(1);
+        cluster.worker_cmd = vec![
+            "sh".to_string(),
+            "-c".to_string(),
+            "read ctx; read job; echo 'ERR deterministic failure'; exit 2".to_string(),
+        ];
+        let err = run_groups(&cluster, "test", &specs, |_, _| Ok(()))
+            .expect_err("ERR frame is fatal");
+        assert!(err.contains("deterministic failure"), "{err}");
+    }
+
+    #[test]
+    fn empty_spec_list_is_a_no_op() {
+        let cluster = ClusterConfig::new(4);
+        // No workers are spawned at all, so even a bogus command works.
+        let stats = run_groups(&cluster, "test", &[], |_, _| Ok(())).expect("no-op");
+        assert_eq!(stats.workers, 0);
+        assert_eq!(stats.timings.len(), 0);
+    }
+}

@@ -171,7 +171,7 @@ pub(crate) fn stream_hash(log: &[(u64, u64, u8)]) -> u64 {
     h
 }
 
-fn run_one(tuple: &DiffTuple, scheme: Scheme, cfg: &DiffConfig) -> DiffRun {
+pub(crate) fn run_one(tuple: &DiffTuple, scheme: Scheme, cfg: &DiffConfig) -> DiffRun {
     let mut builder = scheme
         .pipeline_builder_for(&tuple.workload, tuple.seed, tuple.vdd)
         .record_commits(true)
@@ -233,6 +233,13 @@ pub fn run_differential(fleet: &Fleet, tuples: &[DiffTuple], cfg: &DiffConfig) -
             .results
     };
 
+    report_from_runs(runs, cfg)
+}
+
+/// Builds the [`DiffReport`] from runs in submission order (tuples outer,
+/// schemes inner), flagging any scheme whose stream diverges from its
+/// tuple's first scheme. Shared by the in-process and cluster runners.
+pub(crate) fn report_from_runs(runs: Vec<DiffRun>, cfg: &DiffConfig) -> DiffReport {
     let mut mismatches = Vec::new();
     for group in runs.chunks(cfg.schemes.len()) {
         let Some(first) = group.first() else { continue };

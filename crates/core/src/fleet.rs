@@ -110,7 +110,7 @@ impl std::fmt::Display for JobPanic {
 impl std::error::Error for JobPanic {}
 
 /// Extracts a human-readable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_string())

@@ -25,6 +25,11 @@
 //!   flapping, forced predictor false-positives/negatives) run under the
 //!   golden-model oracle on a crash-isolated fleet, with a per-row resume
 //!   journal that makes interrupted campaigns bit-identical on resume;
+//! * [`cluster`] — the multi-process sharded fleet: a coordinator that
+//!   spawns worker processes over a line-framed stdin/stdout protocol,
+//!   shards jobs deterministically, steals straggler shards, reassigns
+//!   work from `kill -9`'d workers and keeps campaign CSVs byte-identical
+//!   at any process count;
 //! * [`persist`] — atomic write-temp-then-rename result publication and
 //!   the FNV-1a content fingerprint used by journals and the
 //!   content-addressed result store;
@@ -49,6 +54,7 @@
 //! ```
 
 pub mod campaign;
+pub mod cluster;
 pub mod cosim;
 pub mod diff;
 pub mod experiment;
@@ -62,6 +68,10 @@ pub mod workload;
 pub use campaign::{
     run_campaign, run_campaign_observed, CampaignConfig, CampaignReport, CampaignTuple,
     FaultScenario,
+};
+pub use cluster::{
+    campaign_worker, diff_worker, plan_shards, run_campaign_cluster, run_differential_cluster,
+    run_groups, worker_loop, ClusterConfig, ClusterStats,
 };
 pub use persist::{fnv1a, write_atomic, write_atomic_str};
 pub use cosim::{build_cosim, evaluate_cosim, run_schemes_cosim, scheme_builders};

@@ -21,8 +21,73 @@ use std::time::Duration;
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD: usize = 64 * 1024;
 
-/// Upper bound on a request body — campaign specs are tiny.
-const MAX_BODY: usize = 1024 * 1024;
+/// Default upper bound on a request body — campaign specs are tiny.
+pub const DEFAULT_MAX_BODY: usize = 1024 * 1024;
+
+/// Parse-time resource caps for one request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Request head (request line + headers) byte cap.
+    pub max_head: usize,
+    /// Request body byte cap; a `Content-Length` above this is answered
+    /// with `413` *before* any body memory is allocated.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head: MAX_HEAD,
+            max_body: DEFAULT_MAX_BODY,
+        }
+    }
+}
+
+/// Why a request could not be read: the split the server needs to pick
+/// a status code (`413` vs `400` vs drop-the-connection).
+#[derive(Debug)]
+pub enum RequestError {
+    /// The declared `Content-Length` exceeds the configured cap; no body
+    /// memory was allocated.
+    BodyTooLarge {
+        /// What the client declared.
+        declared: usize,
+        /// The configured cap it exceeded.
+        cap: usize,
+    },
+    /// Syntactically invalid or ambiguous request (answer `400`).
+    Malformed(String),
+    /// Transport failure — including read timeouts from a stalled
+    /// client (`ErrorKind::WouldBlock`/`TimedOut`).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::BodyTooLarge { declared, cap } => {
+                write!(f, "request body of {declared} bytes exceeds the {cap}-byte cap")
+            }
+            RequestError::Malformed(msg) => f.write_str(msg),
+            RequestError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+impl From<RequestError> for io::Error {
+    fn from(e: RequestError) -> Self {
+        match e {
+            RequestError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -47,17 +112,58 @@ impl Request {
     }
 }
 
-/// Reads one request from the stream.
+/// Reads one request from the stream with default [`Limits`].
+///
+/// Compatibility wrapper over [`read_request_limited`] collapsing every
+/// failure to `io::Error`; the server uses the limited variant so it can
+/// answer `413` and `408` distinctly.
+///
+/// # Errors
+///
+/// Malformed request lines, oversized heads/bodies and transport errors
+/// all surface as `io::Error`.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    read_request_limited(reader, &Limits::default()).map_err(io::Error::from)
+}
+
+/// Resolves the request's `Content-Length` headers to one body length.
+///
+/// Duplicate `Content-Length` headers — even *agreeing* ones — are
+/// rejected: proxies and origin servers that pick different occurrences
+/// of an ambiguous length desynchronize on the body boundary (request
+/// smuggling), so the only safe answer is `400`.
+fn body_length(headers: &[(String, String)]) -> Result<usize, RequestError> {
+    let mut lengths = headers.iter().filter(|(n, _)| n == "content-length");
+    let Some((_, first)) = lengths.next() else {
+        return Ok(0);
+    };
+    if lengths.next().is_some() {
+        return Err(RequestError::Malformed(
+            "ambiguous duplicate content-length".to_string(),
+        ));
+    }
+    first
+        .parse()
+        .map_err(|_| RequestError::Malformed(format!("bad content-length: {first}")))
+}
+
+/// Reads one request from the stream under explicit [`Limits`].
 ///
 /// Returns `Ok(None)` on a clean EOF before any bytes (client closed an
 /// idle connection).
 ///
 /// # Errors
 ///
-/// Malformed request lines, oversized heads/bodies and transport errors
-/// all surface as `io::Error`; the caller answers with `400` or drops
-/// the connection.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+/// [`RequestError::BodyTooLarge`] when the declared `Content-Length`
+/// exceeds `limits.max_body` (nothing is allocated for it);
+/// [`RequestError::Malformed`] for bad request lines/headers and
+/// ambiguous duplicate `Content-Length`; [`RequestError::Io`] for
+/// transport failures, including read timeouts from stalled clients.
+pub fn read_request_limited(
+    reader: &mut BufReader<TcpStream>,
+    limits: &Limits,
+) -> Result<Option<Request>, RequestError> {
+    let malformed = |msg: &str| RequestError::Malformed(msg.to_string());
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Ok(None);
@@ -67,7 +173,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
         (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
             (m.to_string(), p.to_string())
         }
-        _ => return Err(bad_input("malformed request line")),
+        _ => return Err(malformed("malformed request line")),
     };
 
     let mut headers = Vec::new();
@@ -75,30 +181,28 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
     loop {
         let mut hline = String::new();
         if reader.read_line(&mut hline)? == 0 {
-            return Err(bad_input("eof inside headers"));
+            return Err(malformed("eof inside headers"));
         }
         head_bytes += hline.len();
-        if head_bytes > MAX_HEAD {
-            return Err(bad_input("request head too large"));
+        if head_bytes > limits.max_head {
+            return Err(malformed("request head too large"));
         }
         let trimmed = hline.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
             break;
         }
         let Some((name, value)) = trimmed.split_once(':') else {
-            return Err(bad_input("malformed header line"));
+            return Err(malformed("malformed header line"));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let length: usize = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| v.parse().map_err(|_| bad_input("bad content-length")))
-        .transpose()?
-        .unwrap_or(0);
-    if length > MAX_BODY {
-        return Err(bad_input("request body too large"));
+    let length = body_length(&headers)?;
+    if length > limits.max_body {
+        return Err(RequestError::BodyTooLarge {
+            declared: length,
+            cap: limits.max_body,
+        });
     }
     let mut body = vec![0u8; length];
     reader.read_exact(&mut body)?;
@@ -122,6 +226,8 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
@@ -323,11 +429,20 @@ pub fn request(
             let mut crlf = [0u8; 2];
             reader.read_exact(&mut crlf)?;
         }
-    } else if let Some(len) = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .and_then(|(_, v)| v.parse::<usize>().ok())
-    {
+    } else if let Some((_, len_value)) = {
+        // The same duplicate-Content-Length strictness as the request
+        // path: a response smuggling an ambiguous length is a bug, not
+        // something to silently resolve first-wins.
+        let mut lengths = headers.iter().filter(|(n, _)| n == "content-length");
+        let first = lengths.next();
+        if first.is_some() && lengths.next().is_some() {
+            return Err(bad_input("ambiguous duplicate content-length in response"));
+        }
+        first
+    } {
+        let len = len_value
+            .parse::<usize>()
+            .map_err(|_| bad_input("bad content-length in response"))?;
         body_bytes.resize(len, 0);
         reader.read_exact(&mut body_bytes)?;
     } else {
@@ -411,5 +526,75 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert_eq!(resp.header("x-store-key"), Some("abc"));
         assert_eq!(resp.body, b"id,verdict\n0,clean\n1,corrupt\n");
+    }
+
+    #[test]
+    fn duplicate_content_length_is_ambiguous() {
+        let h = |values: &[&str]| -> Vec<(String, String)> {
+            values
+                .iter()
+                .map(|v| ("content-length".to_string(), (*v).to_string()))
+                .collect()
+        };
+        assert_eq!(body_length(&[]).unwrap(), 0);
+        assert_eq!(body_length(&h(&["5"])).unwrap(), 5);
+        // Conflicting *and* agreeing duplicates are both rejected: any
+        // duplication leaves the body boundary ambiguous downstream.
+        assert!(matches!(
+            body_length(&h(&["5", "6"])),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            body_length(&h(&["5", "5"])),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            body_length(&h(&["nope"])),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_body_classifies_as_too_large() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(b"POST /campaign HTTP/1.1\r\nContent-Length: 100\r\n\r\n")
+                .expect("send head");
+            // Never send the body: the cap must trip on the declaration.
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream);
+        let limits = Limits {
+            max_body: 8,
+            ..Limits::default()
+        };
+        match read_request_limited(&mut reader, &limits) {
+            Err(RequestError::BodyTooLarge { declared: 100, cap: 8 }) => {}
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+        client.join().expect("client thread");
+    }
+
+    #[test]
+    fn client_rejects_duplicate_content_length_responses() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            read_request(&mut reader).expect("parse").expect("request");
+            stream
+                .write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nhihi",
+                )
+                .expect("respond");
+        });
+        let err = request(addr, "GET", "/x", b"", Duration::from_secs(5))
+            .expect_err("ambiguous response length must not parse");
+        assert!(err.to_string().contains("duplicate content-length"), "{err}");
+        server.join().expect("server thread");
     }
 }

@@ -40,7 +40,7 @@ pub mod server;
 pub mod spec;
 pub mod store;
 
-pub use http::{request, Response};
+pub use http::{request, Limits, RequestError, Response};
 pub use server::{ServeConfig, Server, Stats};
 pub use spec::parse_spec;
 pub use store::ResultStore;

@@ -41,11 +41,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 use tv_core::campaign::HEADER;
-use tv_core::{run_campaign_observed, CampaignConfig, Fleet};
+use tv_core::{run_campaign_cluster, run_campaign_observed, CampaignConfig, ClusterConfig, Fleet};
 
-use crate::http::{read_request, write_response, ChunkedWriter, Request};
+use crate::http::{
+    read_request_limited, write_response, ChunkedWriter, Limits, Request, RequestError,
+    DEFAULT_MAX_BODY,
+};
 use crate::json::Obj;
 use crate::spec::parse_spec;
 use crate::store::ResultStore;
@@ -61,6 +65,20 @@ pub struct ServeConfig {
     pub fleet_workers: usize,
     /// HTTP worker threads (concurrent connections in service).
     pub http_workers: usize,
+    /// Campaign worker *processes*; `0` keeps execution on the in-process
+    /// thread fleet, `N > 0` runs each campaign on the multi-process
+    /// sharded fleet instead (same CSV bytes either way).
+    pub procs: usize,
+    /// Cluster worker command (empty = this executable with `--worker`);
+    /// only meaningful with `procs > 0`. Lets tests and embedders point
+    /// at a binary that actually has a campaign worker mode.
+    pub worker_cmd: Vec<String>,
+    /// Per-connection socket read/write timeout; a stalled client is cut
+    /// off (best-effort `408`) instead of pinning an HTTP worker thread
+    /// forever. `None` disables (tests only).
+    pub io_timeout: Option<Duration>,
+    /// Request-body byte cap; larger declared bodies get `413`.
+    pub max_body: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +88,10 @@ impl Default for ServeConfig {
             store_dir: PathBuf::from("bench_results/store"),
             fleet_workers: 0,
             http_workers: 8,
+            procs: 0,
+            worker_cmd: Vec::new(),
+            io_timeout: Some(Duration::from_secs(10)),
+            max_body: DEFAULT_MAX_BODY,
         }
     }
 }
@@ -158,10 +180,14 @@ impl Inflight {
 /// Shared server state.
 struct State {
     fleet: Fleet,
+    /// `Some` routes campaign execution onto the process fleet.
+    cluster: Option<ClusterConfig>,
     store: ResultStore,
     stats: Stats,
     inflight: Mutex<HashMap<String, Arc<Inflight>>>,
     shutdown: AtomicBool,
+    io_timeout: Option<Duration>,
+    limits: Limits,
 }
 
 /// A running campaign server.
@@ -188,12 +214,23 @@ impl Server {
         } else {
             Fleet::new(config.fleet_workers)
         };
+        let cluster = (config.procs > 0).then(|| {
+            let mut cluster = ClusterConfig::new(config.procs);
+            cluster.worker_cmd = config.worker_cmd.clone();
+            cluster
+        });
         let state = Arc::new(State {
             fleet,
+            cluster,
             store,
             stats: Stats::default(),
             inflight: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
+            io_timeout: config.io_timeout,
+            limits: Limits {
+                max_body: config.max_body,
+                ..Limits::default()
+            },
         });
 
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
@@ -279,17 +316,45 @@ impl Server {
 
 /// Serves one connection: parse, route, respond, close.
 fn handle_connection(state: &State, stream: TcpStream) {
+    // Per-connection deadline: a client that never sends (or never
+    // reads) gets cut off instead of pinning this worker thread.
+    if state.io_timeout.is_some() {
+        if stream.set_read_timeout(state.io_timeout).is_err()
+            || stream.set_write_timeout(state.io_timeout).is_err()
+        {
+            return;
+        }
+    }
     let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
     let mut reader = BufReader::new(read_half);
-    let request = match read_request(&mut reader) {
+    let request = match read_request_limited(&mut reader, &state.limits) {
         Ok(Some(r)) => r,
         Ok(None) => return, // idle close (e.g. the shutdown poke)
-        Err(e) => {
+        Err(RequestError::BodyTooLarge { declared, cap }) => {
+            Stats::bump(&state.stats.errors);
+            respond_plain(
+                state,
+                stream,
+                413,
+                &format!("request body of {declared} bytes exceeds the {cap}-byte cap\n"),
+            );
+            return;
+        }
+        Err(RequestError::Malformed(e)) => {
             Stats::bump(&state.stats.errors);
             respond_plain(state, stream, 400, &format!("bad request: {e}\n"));
+            return;
+        }
+        Err(RequestError::Io(e)) => {
+            // A timed-out read gets a best-effort 408 (the write may
+            // itself time out — fine, the connection drops either way).
+            if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+                Stats::bump(&state.stats.errors);
+                respond_plain(state, stream, 408, "request timeout\n");
+            }
             return;
         }
     };
@@ -316,7 +381,14 @@ fn handle_connection(state: &State, stream: TcpStream) {
             }
         }
         ("POST", "/campaign") => handle_campaign(state, &request, stream),
+        ("GET", path) if path.starts_with("/result/") => {
+            handle_result(state, &path["/result/".len()..], stream);
+        }
         (_, "/campaign" | "/shutdown") => {
+            Stats::bump(&state.stats.errors);
+            respond_plain(state, stream, 405, "method not allowed\n");
+        }
+        (_, path) if path.starts_with("/result/") => {
             Stats::bump(&state.stats.errors);
             respond_plain(state, stream, 405, "method not allowed\n");
         }
@@ -329,6 +401,28 @@ fn handle_connection(state: &State, stream: TcpStream) {
 
 fn respond_plain(_state: &State, mut stream: TcpStream, status: u16, body: &str) {
     write_response(&mut stream, status, &[], "text/plain", body.as_bytes()).ok();
+}
+
+/// `GET /result/<key>`: fetches a finished campaign CSV from the
+/// content-addressed store by its `X-Store-Key`, without re-POSTing the
+/// spec. Unknown keys are `404`; a key that is not 16 hex chars can
+/// never name a store entry (and must not reach the filesystem), so it
+/// is `400`.
+fn handle_result(state: &State, key: &str, stream: TcpStream) {
+    let well_formed =
+        key.len() == 16 && key.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+    if !well_formed {
+        Stats::bump(&state.stats.errors);
+        respond_plain(state, stream, 400, "malformed store key\n");
+        return;
+    }
+    match state.store.get(key) {
+        Some(csv) => serve_csv(stream, key, "hit", &csv),
+        None => {
+            Stats::bump(&state.stats.errors);
+            respond_plain(state, stream, 404, "no stored result for this key\n");
+        }
+    }
 }
 
 /// The reorder buffer behind the streaming observer: rows arrive keyed
@@ -457,9 +551,13 @@ fn lead_campaign(state: &State, config: &CampaignConfig, key: &str, stream: TcpS
     }
 
     let journal = state.store.journal_path(key);
-    let report = run_campaign_observed(&state.fleet, config, &journal, true, |i, row| {
+    let observe = |i: usize, row: &str| {
         rows.lock().expect("row stream").push(i, row);
-    });
+    };
+    let report = match &state.cluster {
+        Some(cluster) => run_campaign_cluster(cluster, config, &journal, true, observe),
+        None => run_campaign_observed(&state.fleet, config, &journal, true, observe),
+    };
 
     match report {
         Ok(report) => {

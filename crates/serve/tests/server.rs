@@ -42,6 +42,11 @@ fn start_server(store_dir: &PathBuf) -> Server {
         store_dir: store_dir.clone(),
         fleet_workers: 2,
         http_workers: 8,
+        // Generous: campaign cells in debug builds can be slow, and these
+        // tests assert behaviour, not latency. The timeout-specific tests
+        // below configure their own tight deadline.
+        io_timeout: Some(Duration::from_secs(120)),
+        ..ServeConfig::default()
     })
     .expect("server starts")
 }
@@ -230,5 +235,141 @@ fn endpoints_cover_health_stats_errors_and_shutdown() {
     let bye = request(addr, "POST", "/shutdown", b"", TIMEOUT).expect("shutdown");
     assert_eq!(bye.status, 200);
     server.wait();
+    fs::remove_dir_all(&store_dir).ok();
+}
+
+/// The hung-client regression (ISSUE 9): with ONE http worker and a
+/// short io timeout, a client that connects and never sends a byte must
+/// not pin the worker — a healthy request right behind it succeeds.
+/// Before the fix, accepted sockets had no read timeout and the silent
+/// connection blocked the pool forever.
+#[test]
+fn hung_client_cannot_pin_the_worker_pool() {
+    let store_dir = temp_dir("hung");
+    let server = Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: store_dir.clone(),
+        fleet_workers: 1,
+        http_workers: 1,
+        io_timeout: Some(Duration::from_millis(500)),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // The attacker: connect, send nothing, hold the socket open.
+    let hung = std::net::TcpStream::connect(addr).expect("hung connect");
+    // Give the single worker time to accept it and block in read.
+    thread::sleep(Duration::from_millis(100));
+
+    // The victim request must get through once the hung read times out.
+    let t0 = std::time::Instant::now();
+    let health = request(addr, "GET", "/healthz", b"", Duration::from_secs(30))
+        .expect("healthy request survives a hung client");
+    assert_eq!(health.status, 200);
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "the worker was released by the timeout, not a fluke: {:?}",
+        t0.elapsed(),
+    );
+    drop(hung);
+
+    server.stop();
+    fs::remove_dir_all(&store_dir).ok();
+}
+
+/// Oversized declared bodies are refused with `413` before any body
+/// memory is allocated; an in-cap request on the same server still works.
+#[test]
+fn oversized_bodies_get_413_under_a_configured_cap() {
+    let store_dir = temp_dir("cap");
+    let server = Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: store_dir.clone(),
+        fleet_workers: 1,
+        http_workers: 2,
+        max_body: 64,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let big = vec![b'x'; 1000];
+    let resp = request(addr, "POST", "/campaign", &big, TIMEOUT).expect("oversized post");
+    assert_eq!(resp.status, 413);
+    assert!(resp.text().contains("64-byte cap"), "{}", resp.text());
+
+    let health = request(addr, "GET", "/healthz", b"", TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+
+    server.stop();
+    fs::remove_dir_all(&store_dir).ok();
+}
+
+/// Ambiguous duplicate `Content-Length` headers are rejected with `400`
+/// (request-smuggling hygiene), via a raw socket since the client helper
+/// cannot be talked into sending them.
+#[test]
+fn duplicate_content_length_requests_get_400() {
+    use std::io::{Read, Write};
+    let store_dir = temp_dir("dupcl");
+    let server = start_server(&store_dir);
+    let addr = server.local_addr();
+
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+    raw.write_all(
+        b"POST /campaign HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 12\r\n\r\n{}",
+    )
+    .expect("send ambiguous request");
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).expect("read response");
+    assert!(
+        reply.starts_with("HTTP/1.1 400"),
+        "ambiguous content-length must be 400, got: {reply}"
+    );
+    assert!(reply.contains("duplicate content-length"), "{reply}");
+
+    server.stop();
+    fs::remove_dir_all(&store_dir).ok();
+}
+
+/// `GET /result/<key>` retrieves a finished CSV by store key without
+/// re-POSTing the spec; unknown keys 404, malformed keys 400.
+#[test]
+fn result_endpoint_serves_store_entries_by_key() {
+    let store_dir = temp_dir("result");
+    let server = start_server(&store_dir);
+    let addr = server.local_addr();
+
+    // A key that could exist but doesn't: 404.
+    let miss = request(addr, "GET", "/result/0123456789abcdef", b"", TIMEOUT).expect("miss");
+    assert_eq!(miss.status, 404);
+    // Keys that could never name a store entry: 400, not a path lookup.
+    for bad in ["xyz", "0123456789ABCDEF", "../../etc/passwd", "0123456789abcde"] {
+        let resp =
+            request(addr, "GET", &format!("/result/{bad}"), b"", TIMEOUT).expect("bad key");
+        assert_eq!(resp.status, 400, "key {bad:?} must be rejected");
+    }
+    let wrong_method =
+        request(addr, "POST", "/result/0123456789abcdef", b"", TIMEOUT).expect("post");
+    assert_eq!(wrong_method.status, 405);
+
+    // Execute a small campaign, then fetch it back by its key alone.
+    let spec = r#"{"tuples": 1, "riscv": 0, "seed": 5, "commits": 1500, "warmup": 500}"#;
+    let executed =
+        request(addr, "POST", "/campaign", spec.as_bytes(), TIMEOUT).expect("campaign");
+    assert_eq!(executed.status, 200);
+    let key = executed.header("x-store-key").expect("store key").to_string();
+    let fetched =
+        request(addr, "GET", &format!("/result/{key}"), b"", TIMEOUT).expect("result hit");
+    assert_eq!(fetched.status, 200);
+    assert_eq!(fetched.header("x-cache"), Some("hit"));
+    assert_eq!(
+        fetched.text(),
+        executed.text(),
+        "/result must serve the exact bytes the campaign streamed"
+    );
+
+    server.stop();
     fs::remove_dir_all(&store_dir).ok();
 }

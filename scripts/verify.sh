@@ -105,6 +105,33 @@ cargo run --release -q -p tv-bench --bin campaign --offline -- \
     --smoke --cosim --out "$tmp_campaign/killed" --resume >/dev/null 2>/dev/null
 cmp "$tmp_campaign/campaign.csv" "$tmp_campaign/killed/campaign.csv"
 echo "    campaign.csv byte-identical after kill -9 + cross-mode --resume"
+
+echo "==> multi-process sharded fleet: --procs 3 + worker kill -9 determinism"
+# The same smoke campaign on the process fleet: three worker processes,
+# one of which is kill -9'd for real while the run is in flight (workers
+# are children of the coordinator, so pgrep -P finds one as soon as the
+# fleet is up). The coordinator must detect the death, reassign the
+# dead worker's shard, and still finish with an exit-0 CSV that is
+# byte-identical to the in-process co-sim run above.
+./target/release/campaign \
+    --smoke --procs 3 --out "$tmp_campaign/cluster" \
+    >"$tmp_campaign/cluster.log" 2>&1 &
+cluster_pid=$!
+worker_pid=""
+for _ in $(seq 200); do
+    worker_pid="$(pgrep -P "$cluster_pid" 2>/dev/null | head -n1 || true)"
+    [[ -n "$worker_pid" ]] && break
+    sleep 0.02
+done
+[[ -n "$worker_pid" ]] || { echo "FAIL: no cluster worker process appeared"; exit 1; }
+kill -9 "$worker_pid"
+wait "$cluster_pid"
+grep -q "died" "$tmp_campaign/cluster.log" \
+    || { echo "FAIL: coordinator never reported the killed worker"; exit 1; }
+cmp "$tmp_campaign/campaign.csv" "$tmp_campaign/cluster/campaign.csv"
+echo "    campaign.csv byte-identical under --procs 3 with a worker kill -9"
+# Keep the process-fleet CSV as a CI artifact next to the smoke CSV.
+cp "$tmp_campaign/cluster/campaign.csv" bench_results/campaign_cluster.csv
 rm -rf "$tmp_campaign"
 
 echo "==> campaign server: dedup, byte-identity, crash resume, warm burst"
