@@ -96,10 +96,27 @@ fn parse_args() -> Args {
 }
 
 fn main() -> ExitCode {
+    // Arm chaos injection first (TV_CHAOS=<seed>:<profile>): both the
+    // coordinator and its workers honour it, workers with per-slot
+    // derived schedules.
+    let chaos = match tv_core::chaos::install_from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::from(2);
+        }
+    };
     // Worker mode speaks the cluster protocol on stdin/stdout and must
     // be dispatched before anything can print to stdout.
     if std::env::args().nth(1).as_deref() == Some("--worker") {
         return tv_core::campaign_worker();
+    }
+    if let Some(plan) = &chaos {
+        println!(
+            "chaos: profile `{}` seed {} active (deterministic fault injection)",
+            plan.profile().name,
+            plan.seed(),
+        );
     }
     let args = parse_args();
     let cfg = &args.config;
@@ -152,6 +169,12 @@ fn main() -> ExitCode {
          ({} reused from journal, {} executed)",
         report.reused, report.executed,
     );
+    if report.quarantined > 0 {
+        println!(
+            "journal: {} corrupt row(s) quarantined and re-executed",
+            report.quarantined,
+        );
+    }
     println!("fleet: {}", report.fleet.summary());
 
     let mut ok = true;

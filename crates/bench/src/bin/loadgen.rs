@@ -23,6 +23,14 @@
 //! `--expect-warm` is the dedup proof for a warm cache: the server's
 //! `executions` and `cells_executed` counters must not move across the
 //! whole burst — thousands of requests, zero re-simulations.
+//!
+//! Transport failures (refused/reset connections, I/O errors, 5xx) are
+//! retried up to 3 times with capped exponential backoff plus
+//! deterministic jitter (hashed from request index and attempt, so runs
+//! are reproducible); 4xx responses are not retried (they are
+//! deterministic rejections). Retries are reported separately from
+//! failures in both the stdout summary and `BENCH_serve.json`
+//! (`retries`, `retried_requests`).
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::PathBuf;
@@ -132,6 +140,32 @@ struct Tally {
     coalesced: AtomicU64,
     other: AtomicU64,
     failed: AtomicU64,
+    /// Retry attempts issued (a request retried twice counts 2).
+    retries: AtomicU64,
+    /// Requests that needed at least one retry (succeeded or not).
+    retried_requests: AtomicU64,
+}
+
+/// Attempts per request: the first try plus up to 3 retries.
+const MAX_ATTEMPTS: u32 = 4;
+
+/// Backoff before retry `attempt` (1-based) of request `req`: capped
+/// exponential (10ms, 20ms, 40ms... <= 250ms) plus deterministic jitter
+/// hashed from `(req, attempt)` so two runs sleep identically.
+fn retry_backoff(req: usize, attempt: u32) -> Duration {
+    let base_us = (10_000u64 << (attempt - 1).min(6)).min(250_000);
+    let mut bytes = [0u8; 12];
+    bytes[..8].copy_from_slice(&(req as u64).to_le_bytes());
+    bytes[8..].copy_from_slice(&attempt.to_le_bytes());
+    let jitter_us = fnv1a(&bytes) % (base_us / 2 + 1);
+    Duration::from_micros(base_us + jitter_us)
+}
+
+/// Whether a response status is worth retrying: 5xx are transient
+/// (e.g. a failed execution that resumes its journal on resubmission);
+/// 4xx are deterministic rejections.
+fn retryable_status(status: u16) -> bool {
+    status >= 500
 }
 
 fn main() {
@@ -154,18 +188,39 @@ fn main() {
     thread::scope(|scope| {
         for _ in 0..args.clients {
             scope.spawn(|| loop {
-                if next.fetch_add(1, Ordering::Relaxed) >= args.requests {
+                let req = next.fetch_add(1, Ordering::Relaxed);
+                if req >= args.requests {
                     break;
                 }
+                // Retry loop: transport errors and 5xx get capped
+                // exponential backoff; the latency sample covers the
+                // whole request including retries (that is what a
+                // caller experiences).
                 let start = Instant::now();
-                let resp = request(
-                    args.addr,
-                    "POST",
-                    "/campaign",
-                    args.spec.as_bytes(),
-                    TIMEOUT,
-                );
+                let mut attempt = 0u32;
+                let resp = loop {
+                    attempt += 1;
+                    let resp = request(
+                        args.addr,
+                        "POST",
+                        "/campaign",
+                        args.spec.as_bytes(),
+                        TIMEOUT,
+                    );
+                    let transient = match &resp {
+                        Err(_) => true,
+                        Ok(r) => r.status != 200 && retryable_status(r.status),
+                    };
+                    if !transient || attempt >= MAX_ATTEMPTS {
+                        break resp;
+                    }
+                    tally.retries.fetch_add(1, Ordering::Relaxed);
+                    thread::sleep(retry_backoff(req, attempt));
+                };
                 let elapsed_us = start.elapsed().as_micros() as u64;
+                if attempt > 1 {
+                    tally.retried_requests.fetch_add(1, Ordering::Relaxed);
+                }
                 let Ok(resp) = resp else {
                     tally.failed.fetch_add(1, Ordering::Relaxed);
                     continue;
@@ -207,6 +262,8 @@ fn main() {
     lat.sort_unstable();
     let ok = lat.len();
     let failed = tally.failed.load(Ordering::Relaxed);
+    let retries = tally.retries.load(Ordering::Relaxed);
+    let retried_requests = tally.retried_requests.load(Ordering::Relaxed);
     let (hit, miss, coalesced, other) = (
         tally.hit.load(Ordering::Relaxed),
         tally.miss.load(Ordering::Relaxed),
@@ -228,6 +285,11 @@ fn main() {
         "loadgen: dispositions {hit} hit / {miss} miss / {coalesced} coalesced / {other} other; \
          server executed {executions_delta} campaigns ({cells_delta} cells) during the burst",
     );
+    if retries > 0 {
+        println!(
+            "loadgen: {retried_requests} request(s) needed retries ({retries} retry attempts)"
+        );
+    }
 
     if let Some(path) = &args.save_body {
         let body = first_body
@@ -250,6 +312,8 @@ fn main() {
         .u64("hit", hit)
         .u64("miss", miss)
         .u64("coalesced", coalesced)
+        .u64("retries", retries)
+        .u64("retried_requests", retried_requests)
         .num("wall_s", wall_s)
         .num("requests_per_sec", ok as f64 / wall_s)
         .num("p50_ms", percentile(&lat, 0.50))

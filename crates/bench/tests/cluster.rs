@@ -110,6 +110,47 @@ fn csv_is_byte_identical_across_proc_counts_and_mid_run_worker_sigkills() {
 }
 
 #[test]
+fn chaos_env_hook_survives_the_cluster_profile_to_identical_bytes() {
+    // Fault-free reference.
+    let ref_dir = temp_dir("chaos-ref");
+    run_campaign(&ref_dir, &["--workers", "2"], None);
+    let reference = csv(&ref_dir);
+
+    // The same campaign under TV_CHAOS process-fabric injection: the
+    // schedule is deterministic, and any run an injected fault kills is
+    // resumed (exactly the operational recipe) until one completes.
+    let dir = temp_dir("chaos-run");
+    let mut banner_seen = false;
+    let mut completed = false;
+    for attempt in 0..10 {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_campaign"));
+        cmd.args(CAMPAIGN_ARGS)
+            .args(["--out", dir.to_str().expect("utf-8 path"), "--procs", "2"])
+            .env_remove("TV_CLUSTER_KILL")
+            .env("TV_CHAOS", "5:cluster");
+        if attempt > 0 {
+            cmd.arg("--resume");
+        }
+        let output = cmd.output().expect("spawn campaign");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        banner_seen |= stdout.contains("chaos: profile `cluster` seed 5 active");
+        if output.status.success() {
+            completed = true;
+            break;
+        }
+    }
+    assert!(banner_seen, "the campaign must announce the active chaos plan");
+    assert!(completed, "no chaos run survived in 10 resume attempts");
+    assert_eq!(
+        csv(&dir),
+        reference,
+        "TV_CHAOS=5:cluster must not change a byte of the CSV"
+    );
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&ref_dir).ok();
+}
+
+#[test]
 fn torn_journal_resumes_under_procs_to_identical_bytes() {
     // Uninterrupted reference (also supplies the journal to tear).
     let ref_dir = temp_dir("resume-ref");

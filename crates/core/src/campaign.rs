@@ -15,15 +15,36 @@
 //! Cells run on a crash-isolated fleet ([`Fleet::map_caught_observed`]):
 //! a panicking cell becomes a `panic` verdict row instead of killing the
 //! campaign. Every finished row is immediately appended to a journal file
-//! (`<out>.journal`) as one `key\tcsv-row` line, so a killed campaign
-//! loses at most the cells that were mid-flight. Re-running with resume
-//! enabled replays the journal — completed rows are reused **verbatim**
-//! and only the missing cells execute — which makes the final CSV
-//! bit-identical to an uninterrupted run by construction. The journal's
-//! first line fingerprints the campaign configuration; resuming against a
-//! journal written by a different configuration is refused. A torn final
-//! line (the kill landed mid-write) is detected and discarded: only
-//! newline-terminated lines with the full field count are trusted.
+//! (`<out>.journal`), so a killed campaign loses at most the cells that
+//! were mid-flight. Re-running with resume enabled replays the journal —
+//! completed rows are reused **verbatim** and only the missing cells
+//! execute — which makes the final CSV bit-identical to an uninterrupted
+//! run by construction.
+//!
+//! # Journal format (v3): per-row CRC32 and quarantine
+//!
+//! Every journal line is `<crc32-hex8>\t<payload>` ([`journal_line`]),
+//! where the CRC covers the payload bytes. The first payload is the
+//! configuration fingerprint ([`CampaignConfig::meta_line`]); row
+//! payloads are `key\tcsv-row`. On resume ([`parse_journal`] /
+//! [`prepare_journal`]):
+//!
+//! * a line whose CRC does not verify — a flipped bit, a torn append, an
+//!   overwritten sector — is **quarantined**: moved to
+//!   `<journal>.quarantine`, its cell re-executed. CRC-32 catches every
+//!   single-bit error and every burst up to 32 bits, so damage cannot
+//!   masquerade as a valid row and resumes stay byte-identical to an
+//!   uninterrupted run (self-healing, never a wrong row);
+//! * a *corrupt header* poisons trust in the whole file (rows carry no
+//!   campaign identity of their own), so every line is quarantined and
+//!   the campaign starts fresh — degraded, still correct;
+//! * a **valid** header naming a different configuration is refused with
+//!   a clear error (that journal belongs to someone else);
+//! * a torn final line without its newline (the kill landed mid-append)
+//!   is discarded as before.
+//!
+//! After quarantine the journal is rewritten atomically with only the
+//! surviving rows, so damage is processed exactly once.
 //!
 //! [`PipelineBuilder::oracle`]: tv_uarch::PipelineBuilder::oracle
 
@@ -31,13 +52,15 @@ use std::collections::HashMap;
 use std::fs;
 use std::fs::OpenOptions;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use tv_prng::crc32;
 use tv_timing::{FaultCalibration, SensorModel, Voltage};
 use tv_uarch::{CoSim, CoreConfig, OracleReport, SimStats};
 use tv_workloads::{Benchmark, Profile};
 
+use crate::chaos::ChaosIo;
 use crate::fleet::{Fleet, FleetStats, JobPanic};
 use crate::persist::{fnv1a, fnv1a_word, write_atomic_str};
 use crate::schemes::Scheme;
@@ -308,7 +331,7 @@ impl CampaignConfig {
     /// with bit-identical rows, so journals stay interchangeable.
     pub fn meta_line(&self) -> String {
         format!(
-            "# tv-campaign v2 seed={} tuples={} commits={} warmup={} watchdog={} control={} riscv={} wl={:016x}",
+            "# tv-campaign v3 seed={} tuples={} commits={} warmup={} watchdog={} control={} riscv={} wl={:016x}",
             self.campaign_seed,
             self.tuples,
             self.commits,
@@ -638,6 +661,8 @@ pub struct CampaignReport {
     pub rows: Vec<String>,
     /// Rows reused verbatim from the resume journal.
     pub reused: usize,
+    /// Corrupt journal lines quarantined (and re-executed) by this run.
+    pub quarantined: usize,
     /// Cells executed in this run.
     pub executed: usize,
     /// Executed cells that panicked (recorded as `panic` rows).
@@ -697,91 +722,180 @@ impl CampaignReport {
     }
 }
 
-/// Parses a journal body into completed `key -> row` entries.
+/// Renders one CRC-protected journal line: `<crc32-hex8>\t<payload>\n`,
+/// with the CRC computed over the payload bytes.
+pub fn journal_line(payload: &str) -> String {
+    format!("{:08x}\t{payload}\n", crc32(payload.as_bytes()))
+}
+
+/// Decodes one journal line back to its payload, verifying the CRC.
+/// Returns `None` for any malformed or damaged line.
+fn decode_journal_line(line: &str) -> Option<&str> {
+    let (crc_hex, payload) = line.split_once('\t')?;
+    if crc_hex.len() != 8 {
+        return None;
+    }
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    (crc == crc32(payload.as_bytes())).then_some(payload)
+}
+
+/// The quarantine sidecar of a journal (`<journal>.quarantine`).
+pub(crate) fn quarantine_path(journal: &Path) -> PathBuf {
+    let mut os = journal.as_os_str().to_os_string();
+    os.push(".quarantine");
+    PathBuf::from(os)
+}
+
+/// The outcome of reading a journal body.
+#[derive(Debug, Default)]
+pub struct ParsedJournal {
+    /// Rows that verified (CRC + shape), keyed by cell key.
+    pub completed: HashMap<String, String>,
+    /// Raw lines that failed verification, in journal order. These are
+    /// *damage*, not data: their cells re-execute.
+    pub quarantined: Vec<String>,
+}
+
+/// Parses a journal body into completed `key -> row` entries plus the
+/// quarantine set.
 ///
-/// Returns an error when the journal's fingerprint line does not match
-/// `meta` (the journal belongs to a different campaign configuration).
-/// Torn trailing data — a final line without its newline, or a line whose
-/// row is missing fields — is discarded, not trusted.
-pub(crate) fn parse_journal(text: &str, meta: &str) -> Result<HashMap<String, String>, String> {
+/// Every complete line must decode as `<crc32>\t<payload>` with a
+/// verifying CRC; lines that do not (bit flips, truncations, torn
+/// appends that later gained a newline) land in
+/// [`quarantined`](ParsedJournal::quarantined). A corrupt *header* line
+/// quarantines the entire journal — rows carry no campaign identity of
+/// their own, so none of them can be trusted to belong to `meta`. A torn
+/// final line without its newline is silently discarded (the expected
+/// SIGKILL residue, handled since v1).
+///
+/// # Errors
+///
+/// A journal whose header verifies but names a different configuration
+/// is refused — that journal is someone else's, not damaged.
+pub fn parse_journal(text: &str, meta: &str) -> Result<ParsedJournal, String> {
     if text.is_empty() {
-        return Ok(HashMap::new());
+        return Ok(ParsedJournal::default());
     }
     // Only newline-terminated lines are complete; a SIGKILL mid-append
     // leaves at most one torn tail, which we drop here.
     let complete = &text[..text.rfind('\n').map_or(0, |i| i + 1)];
+    let mut parsed = ParsedJournal::default();
     let mut lines = complete.lines();
     match lines.next() {
-        None => return Ok(HashMap::new()),
-        Some(first) if first == meta => {}
-        Some(first) => {
-            return Err(format!(
-                "journal belongs to a different campaign: found \"{first}\", expected \"{meta}\""
-            ))
-        }
+        None => return Ok(parsed),
+        Some(first) => match decode_journal_line(first) {
+            Some(payload) if payload == meta => {}
+            Some(payload) => {
+                return Err(format!(
+                    "journal belongs to a different campaign: found \"{payload}\", \
+                     expected \"{meta}\""
+                ))
+            }
+            None => {
+                // Header damage: nothing below it can be attributed to
+                // this campaign. Quarantine everything, start fresh.
+                parsed.quarantined.push(first.to_string());
+                parsed.quarantined.extend(lines.map(str::to_string));
+                return Ok(parsed);
+            }
+        },
     }
-    let mut completed = HashMap::new();
     for line in lines {
-        let Some((key, row)) = line.split_once('\t') else {
-            continue;
-        };
-        if row.split(',').count() != FIELDS {
-            continue;
+        let valid = decode_journal_line(line).and_then(|payload| {
+            let (key, row) = payload.split_once('\t')?;
+            (row.split(',').count() == FIELDS).then(|| (key.to_string(), row.to_string()))
+        });
+        match valid {
+            Some((key, row)) => {
+                parsed.completed.insert(key, row);
+            }
+            None => parsed.quarantined.push(line.to_string()),
         }
-        completed.insert(key.to_string(), row.to_string());
     }
-    Ok(completed)
+    Ok(parsed)
 }
 
 /// A journal opened for appending, with completed rows already parsed —
 /// the state every campaign runner (in-process fleet or process cluster)
 /// needs before executing pending cells.
-pub(crate) struct JournalPrep {
+pub struct JournalPrep {
     /// Rows reused verbatim from the journal, keyed by cell key.
     pub completed: HashMap<String, String>,
-    /// Append handle positioned on a fresh line (any torn tail from a
-    /// previous kill is newline-terminated).
+    /// Corrupt lines moved to `<journal>.quarantine` by this resume.
+    pub quarantined: usize,
+    /// Append handle positioned on a fresh line.
     pub file: fs::File,
 }
 
-/// Reads/validates `journal` against `meta`, starts a fresh journal when
-/// there is nothing to resume, and returns the append handle plus the
-/// completed rows. Shared by the in-process and cluster campaign runners
-/// so both obey the identical resume semantics.
-pub(crate) fn prepare_journal(
-    journal: &Path,
-    meta: &str,
-    resume: bool,
-) -> Result<JournalPrep, String> {
-    let mut torn_tail = false;
-    let completed = if resume && journal.exists() {
-        let text = fs::read_to_string(journal)
+/// Reads/validates `journal` against `meta`, quarantines damaged lines
+/// to `<journal>.quarantine`, rewrites the journal with only the
+/// surviving rows (self-healing: damage is processed exactly once), and
+/// returns the append handle plus the completed rows. Shared by the
+/// in-process and cluster campaign runners so both obey the identical
+/// resume semantics.
+///
+/// # Errors
+///
+/// Unreadable/unwritable journals and valid-but-foreign headers surface
+/// as errors; damaged lines do not (they quarantine).
+pub fn prepare_journal(journal: &Path, meta: &str, resume: bool) -> Result<JournalPrep, String> {
+    let parsed = if resume && journal.exists() {
+        // Lossy decode, not `read_to_string`: a bit flip that lands a
+        // non-UTF-8 byte must not brick the journal. The replacement
+        // character breaks that line's CRC, so the damage quarantines
+        // like any other instead of making the file unreadable forever.
+        let bytes = fs::read(journal)
             .map_err(|e| format!("cannot read journal {}: {e}", journal.display()))?;
-        torn_tail = !text.is_empty() && !text.ends_with('\n');
+        let text = String::from_utf8_lossy(&bytes);
         parse_journal(&text, meta)?
     } else {
-        HashMap::new()
+        ParsedJournal::default()
     };
-    if completed.is_empty() {
-        // Fresh (or effectively empty) journal: start it with the
-        // configuration fingerprint. Published atomically so a concurrent
-        // reader (or a crash here) never sees a half-written meta line.
-        write_atomic_str(journal, &format!("{meta}\n"))
-            .map_err(|e| format!("cannot start journal {}: {e}", journal.display()))?;
-        torn_tail = false;
+    if !parsed.quarantined.is_empty() {
+        // Damage goes to the quarantine sidecar (appended: repeated
+        // resumes under repeated corruption accumulate evidence), with a
+        // header naming the campaign it was quarantined from.
+        let qpath = quarantine_path(journal);
+        let mut body = format!("# quarantined from {meta}\n");
+        for line in &parsed.quarantined {
+            body.push_str(line);
+            body.push('\n');
+        }
+        let mut qfile = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&qpath)
+            .map_err(|e| format!("cannot open quarantine {}: {e}", qpath.display()))?;
+        qfile
+            .write_all(body.as_bytes())
+            .map_err(|e| format!("cannot write quarantine {}: {e}", qpath.display()))?;
+        eprintln!(
+            "[campaign] quarantined {} corrupt journal line(s) to {}; their cells re-execute",
+            parsed.quarantined.len(),
+            qpath.display(),
+        );
     }
-    let mut file = OpenOptions::new()
+    // Rewrite the journal from verified content only: the header plus
+    // surviving rows (sorted by key for a stable file). This drops
+    // quarantined lines and any torn tail in one atomic publish, so a
+    // later resume never re-quarantines the same damage.
+    let mut body = journal_line(meta);
+    let mut entries: Vec<(&String, &String)> = parsed.completed.iter().collect();
+    entries.sort();
+    for (key, row) in entries {
+        body.push_str(&journal_line(&format!("{key}\t{row}")));
+    }
+    write_atomic_str(journal, &body)
+        .map_err(|e| format!("cannot start journal {}: {e}", journal.display()))?;
+    let file = OpenOptions::new()
         .append(true)
         .open(journal)
         .map_err(|e| format!("cannot append to journal {}: {e}", journal.display()))?;
-    if torn_tail {
-        // Terminate the kill's torn half-line so appended rows start on a
-        // fresh line; the orphaned fragment stays behind and is discarded
-        // by the field-count check on any later resume.
-        file.write_all(b"\n")
-            .map_err(|e| format!("cannot repair journal {}: {e}", journal.display()))?;
-    }
-    Ok(JournalPrep { completed, file })
+    Ok(JournalPrep {
+        completed: parsed.completed,
+        quarantined: parsed.quarantined.len(),
+        file,
+    })
 }
 
 /// Runs (or resumes) a fault-injection campaign.
@@ -834,6 +948,7 @@ where
 
     let prep = prepare_journal(journal, &meta, resume)?;
     let completed = prep.completed;
+    let quarantined = prep.quarantined;
 
     let pending_idx: Vec<usize> = (0..cells.len())
         .filter(|&i| !completed.contains_key(&keys[i]))
@@ -850,7 +965,20 @@ where
         }
     }
 
-    let file = Mutex::new(prep.file);
+    // The chaos wrapper injects journal faults when a plan is installed
+    // and passes through untouched otherwise. An append failure is *not*
+    // fatal: the row lives on in memory (this run's CSV is complete) and
+    // a resume simply re-executes the cell — losing durability, never
+    // correctness.
+    let file = Mutex::new(ChaosIo::journal(prep.file));
+    let append = |lines: &str| {
+        let mut f = file.lock().expect("journal lock");
+        if let Err(e) = f.write_all(lines.as_bytes()) {
+            eprintln!(
+                "[campaign] journal append failed ({e}); affected cells re-execute on resume"
+            );
+        }
+    };
 
     let executed = pending.len();
     let (mut fresh, panicked, fleet_stats): (HashMap<String, String>, usize, FleetStats) =
@@ -918,12 +1046,9 @@ where
                     let rows = bundle_rows(i, result);
                     let mut lines = String::new();
                     for (key, row) in bundle_keys[i].iter().zip(&rows) {
-                        lines.push_str(&format!("{key}\t{row}\n"));
+                        lines.push_str(&journal_line(&format!("{key}\t{row}")));
                     }
-                    {
-                        let mut f = file.lock().expect("journal lock");
-                        f.write_all(lines.as_bytes()).expect("journal append");
-                    }
+                    append(&lines);
                     // Rows are durable in the journal; now stream them.
                     for (&global, row) in bundle_global[i].iter().zip(&rows) {
                         on_row(global, row);
@@ -958,11 +1083,7 @@ where
                     };
                     // One write_all per line: a kill can tear at most the
                     // last line, which parse_journal discards on resume.
-                    let line = format!("{}\t{row}\n", pending_keys[i]);
-                    {
-                        let mut f = file.lock().expect("journal lock");
-                        f.write_all(line.as_bytes()).expect("journal append");
-                    }
+                    append(&journal_line(&format!("{}\t{row}", pending_keys[i])));
                     on_row(pending_idx[i], &row);
                 },
             );
@@ -992,6 +1113,7 @@ where
     Ok(CampaignReport {
         rows,
         reused: cells.len() - executed,
+        quarantined,
         executed,
         panicked,
         fleet: fleet_stats,
@@ -1159,10 +1281,75 @@ mod tests {
             campaign_seed: 999,
             ..cfg
         };
-        fs::write(&journal, format!("{}\n", other.meta_line())).expect("seed journal");
+        // A *valid* header (CRC verifies) naming another campaign: this
+        // journal is someone else's data, not damage — refuse it.
+        fs::write(&journal, journal_line(&other.meta_line())).expect("seed journal");
         let err = run_campaign(&Fleet::new(1), &cfg, &journal, true)
             .expect_err("mismatched fingerprint must be refused");
         assert!(err.contains("different campaign"), "{err}");
+        fs::remove_dir_all(journal.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn journal_lines_round_trip_and_reject_any_single_byte_damage() {
+        let payload = "3/CDS\t3,burst,gcc,0.970,CDS,77,clean,1,2,3,4,5,6,7,8,9,10,11,-";
+        let line = journal_line(payload);
+        assert!(line.ends_with('\n'));
+        let body = line.trim_end_matches('\n');
+        assert_eq!(decode_journal_line(body), Some(payload));
+        // Any single-byte change — in the CRC field, the tab, or the
+        // payload — must fail verification.
+        let bytes = body.as_bytes();
+        for i in 0..bytes.len() {
+            let mut damaged = bytes.to_vec();
+            damaged[i] ^= 0x04;
+            if let Ok(s) = std::str::from_utf8(&damaged) {
+                assert_ne!(
+                    decode_journal_line(s),
+                    Some(payload),
+                    "damage at byte {i} went undetected"
+                );
+            }
+        }
+        assert_eq!(decode_journal_line("no-crc-here"), None);
+        assert_eq!(decode_journal_line("zzzzzzzz\tpayload"), None);
+    }
+
+    #[test]
+    fn parse_journal_quarantines_damaged_rows_and_heals_on_resume() {
+        let cfg = tiny_config();
+        let meta = cfg.meta_line();
+        let good =
+            journal_line("0/ABS\t0,paper,gcc,0.970,ABS,1,clean,1,2,3,4,5,6,7,8,9,10,11,-");
+        let bad = good.replace("clean", "cleam"); // payload changed, CRC stale
+        let text = format!("{}{good}{bad}", journal_line(&meta));
+        let parsed = parse_journal(&text, &meta).expect("header verifies");
+        assert_eq!(parsed.completed.len(), 1, "the intact row survives");
+        assert!(parsed.completed.contains_key("0/ABS"));
+        assert_eq!(parsed.quarantined.len(), 1, "the damaged row quarantines");
+        assert!(parsed.quarantined[0].contains("cleam"));
+
+        // A corrupt header distrusts the whole journal: everything
+        // quarantines, nothing completes — the campaign starts fresh.
+        let corrupt_header = format!("{}{good}", journal_line(&meta).replace('3', "4"));
+        let parsed = parse_journal(&corrupt_header, &meta).expect("not an error");
+        assert!(parsed.completed.is_empty());
+        assert_eq!(parsed.quarantined.len(), 2);
+
+        // End-to-end: prepare_journal moves the damage to the sidecar,
+        // rewrites the journal, and a second prepare sees no new damage.
+        let journal = temp_journal("quarantine");
+        fs::write(&journal, &text).expect("seed damaged journal");
+        let prep = prepare_journal(&journal, &meta, true).expect("prepare");
+        assert_eq!(prep.quarantined, 1);
+        assert_eq!(prep.completed.len(), 1);
+        drop(prep);
+        let qpath = quarantine_path(&journal);
+        let qbody = fs::read_to_string(&qpath).expect("quarantine file exists");
+        assert!(qbody.contains("cleam"), "damage preserved as evidence: {qbody}");
+        let again = prepare_journal(&journal, &meta, true).expect("second prepare");
+        assert_eq!(again.quarantined, 0, "healed journals stay healed");
+        assert_eq!(again.completed.len(), 1);
         fs::remove_dir_all(journal.parent().unwrap()).ok();
     }
 

@@ -1,0 +1,658 @@
+//! Deterministic, seed-driven fault injection for the platform itself.
+//!
+//! The paper's thesis is detect-and-recover: never trust every path to
+//! be clean, catch the violation and replay. This module holds the
+//! *platform* to that standard. A [`ChaosPlan`] — ChaCha12-seeded and
+//! fingerprinted like a campaign configuration, so every run is
+//! replayable from its `seed:profile` pair — schedules faults from a
+//! small taxonomy against the persistence and process fabric:
+//!
+//! * [`Site::PersistWrite`] — transient I/O errors in
+//!   [`write_atomic`](crate::persist::write_atomic) publications;
+//! * [`Site::JournalAppend`] — write errors, short (torn) writes and
+//!   silent bit-flips in campaign-journal appends, via the [`ChaosIo`]
+//!   writer wrapper;
+//! * [`Site::WorkerExit`] / [`Site::WorkerStall`] /
+//!   [`Site::WorkerGarbage`] — cluster worker processes dying mid-job,
+//!   hanging briefly, or emitting a corrupt protocol frame;
+//! * [`Site::ConnReset`] / [`Site::ConnStall`] — the campaign server
+//!   dropping a connection before the response or dribbling it out
+//!   slow-loris style.
+//!
+//! Faults are injected behind zero-cost-off hooks: every hook first
+//! checks one relaxed atomic ([`active_plan`] returns `None` without
+//! touching a lock when nothing is installed), so production runs pay a
+//! single predictable branch. Activation mirrors the cluster kill hook:
+//! either [`install`] in-process or `TV_CHAOS=<seed>:<profile>` in the
+//! environment ([`install_from_env`]), which the cluster coordinator
+//! re-derives per worker slot and generation so respawned workers draw
+//! fresh (but still replayable) schedules.
+//!
+//! # The injection doctrine
+//!
+//! Silent corruption is only injected where the platform can *detect*
+//! it: journal rows carry per-row CRC32s and store entries carry
+//! checksum sidecars, so a flipped bit is quarantined or evicted, never
+//! believed. Everywhere else (persist, connections, workers) the
+//! injected faults are loud — errors, kills, resets — because a fault
+//! the platform cannot even observe is a test of nothing. Under every
+//! built-in profile the final campaign CSV must be byte-identical to a
+//! fault-free run; the `chaos` bench bin enforces exactly that.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tv_prng::{ChaCha12Rng, Rng, SeedableRng};
+
+use crate::persist::fnv1a;
+
+/// Env var activating chaos injection: `TV_CHAOS=<seed>:<profile>`.
+pub const ENV: &str = "TV_CHAOS";
+
+/// Number of distinct injection sites (one decision counter each).
+const SITES: usize = 7;
+
+/// One fault-injection site in the platform fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// `write_atomic` publication: transient error before any byte lands.
+    PersistWrite,
+    /// Journal append through [`ChaosIo`]: error, short write, or flip.
+    JournalAppend,
+    /// Cluster worker: exit without replying (the job dies with it).
+    WorkerExit,
+    /// Cluster worker: stall briefly before running the job.
+    WorkerStall,
+    /// Cluster worker: emit a garbage protocol frame, then die.
+    WorkerGarbage,
+    /// Server connection: drop without sending a response.
+    ConnReset,
+    /// Server connection: stall mid-response (slow-loris).
+    ConnStall,
+}
+
+impl Site {
+    /// Every site, indexed consistently with the per-site counters.
+    pub const ALL: [Site; SITES] = [
+        Site::PersistWrite,
+        Site::JournalAppend,
+        Site::WorkerExit,
+        Site::WorkerStall,
+        Site::WorkerGarbage,
+        Site::ConnReset,
+        Site::ConnStall,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            Site::PersistWrite => 0,
+            Site::JournalAppend => 1,
+            Site::WorkerExit => 2,
+            Site::WorkerStall => 3,
+            Site::WorkerGarbage => 4,
+            Site::ConnReset => 5,
+            Site::ConnStall => 6,
+        }
+    }
+
+    /// Stable short name used in counter summaries and `chaos.csv`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::PersistWrite => "persist",
+            Site::JournalAppend => "journal",
+            Site::WorkerExit => "worker_exit",
+            Site::WorkerStall => "worker_stall",
+            Site::WorkerGarbage => "worker_garbage",
+            Site::ConnReset => "conn_reset",
+            Site::ConnStall => "conn_stall",
+        }
+    }
+}
+
+/// Per-site fault probabilities — a named, versioned fault mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Stable profile name (part of the plan fingerprint).
+    pub name: &'static str,
+    /// `P(fault)` per site, indexed by [`Site::ALL`] order.
+    pub rates: [f64; SITES],
+}
+
+impl Profile {
+    /// The injection probability at `site`.
+    pub fn rate(&self, site: Site) -> f64 {
+        self.rates[site.idx()]
+    }
+}
+
+/// The built-in profiles, in escalating order of violence. `off` injects
+/// nothing (useful as the control leg of a chaos sweep).
+pub const PROFILES: [Profile; 6] = [
+    Profile {
+        name: "off",
+        rates: [0.0; SITES],
+    },
+    // Journal/persist faults only: exercises CRC quarantine + re-execute.
+    Profile {
+        name: "journal",
+        rates: [0.05, 0.20, 0.0, 0.0, 0.0, 0.0, 0.0],
+    },
+    // Process-fabric faults only: exercises reassignment, backoff and
+    // slot quarantine.
+    Profile {
+        name: "cluster",
+        rates: [0.0, 0.0, 0.10, 0.06, 0.06, 0.0, 0.0],
+    },
+    // Connection faults only: exercises loadgen's retry/backoff path.
+    Profile {
+        name: "serve",
+        rates: [0.0, 0.0, 0.0, 0.0, 0.0, 0.25, 0.10],
+    },
+    // A little of everything.
+    Profile {
+        name: "light",
+        rates: [0.02, 0.08, 0.04, 0.03, 0.02, 0.08, 0.04],
+    },
+    // A lot of everything — the escalation endpoint.
+    Profile {
+        name: "heavy",
+        rates: [0.08, 0.30, 0.12, 0.08, 0.08, 0.30, 0.12],
+    },
+];
+
+/// Looks a built-in profile up by name.
+pub fn profile(name: &str) -> Option<Profile> {
+    PROFILES.iter().copied().find(|p| p.name == name)
+}
+
+/// splitmix64-style mixer (same idiom as the campaign tuple sweep).
+fn mix2(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// What a [`ChaosIo`] write does when its fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// No fault this write.
+    None,
+    /// Fail before writing anything.
+    Error,
+    /// Write a prefix of the buffer, then fail — a torn append.
+    Short,
+    /// Flip one bit of the buffer and write it all — silent corruption
+    /// (only survivable because journal rows are CRC-checked).
+    Flip {
+        /// Byte offset to corrupt (taken modulo the buffer length).
+        offset: usize,
+        /// Non-zero XOR mask for that byte.
+        mask: u8,
+    },
+}
+
+/// A deterministic fault schedule: a pure function of `(seed, profile)`
+/// plus one atomic sequence counter per site, so the n-th decision at a
+/// site is identical across replays no matter how threads interleave
+/// *between* sites.
+#[derive(Debug)]
+pub struct ChaosPlan {
+    seed: u64,
+    profile: Profile,
+    sequence: [AtomicU64; SITES],
+    injected: [AtomicU64; SITES],
+}
+
+impl ChaosPlan {
+    /// Builds a plan from a seed and a built-in profile name.
+    ///
+    /// # Errors
+    ///
+    /// Names no built-in profile matches are rejected with the list of
+    /// valid names.
+    pub fn new(seed: u64, profile_name: &str) -> Result<ChaosPlan, String> {
+        let profile = profile(profile_name).ok_or_else(|| {
+            let names: Vec<&str> = PROFILES.iter().map(|p| p.name).collect();
+            format!("unknown chaos profile `{profile_name}` (built-ins: {})", names.join(", "))
+        })?;
+        Ok(ChaosPlan {
+            seed,
+            profile,
+            sequence: Default::default(),
+            injected: Default::default(),
+        })
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's profile.
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    /// The replayable identity line, campaign-`meta_line` style.
+    pub fn meta(&self) -> String {
+        format!("# tv-chaos v1 seed={} profile={}", self.seed, self.profile.name)
+    }
+
+    /// FNV-1a fingerprint of [`meta`](Self::meta) — the identity under
+    /// which a chaos run is recorded and replayed.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.meta().as_bytes())
+    }
+
+    /// The env value (`seed:profile`) reproducing this plan.
+    pub fn env_value(&self) -> String {
+        format!("{}:{}", self.seed, self.profile.name)
+    }
+
+    /// The env value for a worker in `slot` at respawn `generation`:
+    /// same profile, slot/generation-derived seed — replayable, but
+    /// respawned workers do not replay their predecessor's schedule
+    /// (which would turn a transient fault into a kill loop).
+    pub fn worker_env_value(&self, slot: usize, generation: u64) -> String {
+        let derived = mix2(self.seed, 0x776f_726b ^ (slot as u64) << 32 ^ generation);
+        format!("{derived}:{}", self.profile.name)
+    }
+
+    /// One seeded RNG per decision: site-local sequence numbers keep the
+    /// schedule replayable per site regardless of cross-site interleaving.
+    fn draw(&self, site: Site) -> ChaCha12Rng {
+        let n = self.sequence[site.idx()].fetch_add(1, Ordering::Relaxed);
+        ChaCha12Rng::seed_from_u64(mix2(self.seed, mix2(site.idx() as u64 + 1, n)))
+    }
+
+    /// Decides whether the next event at `site` faults.
+    pub fn decide(&self, site: Site) -> bool {
+        let p = self.profile.rate(site);
+        if p <= 0.0 {
+            return false;
+        }
+        let fire = self.draw(site).gen_bool(p);
+        if fire {
+            self.injected[site.idx()].fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Decides the fault (if any) for one `len`-byte write at `site`.
+    pub fn write_fault(&self, site: Site, len: usize) -> WriteFault {
+        let p = self.profile.rate(site);
+        if p <= 0.0 {
+            return WriteFault::None;
+        }
+        let mut rng = self.draw(site);
+        if !rng.gen_bool(p) {
+            return WriteFault::None;
+        }
+        self.injected[site.idx()].fetch_add(1, Ordering::Relaxed);
+        match rng.gen_range(0..3u32) {
+            0 => WriteFault::Error,
+            1 => WriteFault::Short,
+            _ => WriteFault::Flip {
+                offset: rng.gen_range(0..len.max(1)),
+                mask: 1 << rng.gen_range(0..8u32),
+            },
+        }
+    }
+
+    /// A bounded stall length for a fired [`Site::WorkerStall`] /
+    /// [`Site::ConnStall`] fault.
+    pub fn stall(&self, site: Site) -> Duration {
+        Duration::from_millis(self.draw(site).gen_range(10..120u64))
+    }
+
+    /// Faults injected so far at `site`.
+    pub fn injected(&self, site: Site) -> u64 {
+        self.injected[site.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far across all sites.
+    pub fn total_injected(&self) -> u64 {
+        Site::ALL.iter().map(|&s| self.injected(s)).sum()
+    }
+
+    /// One-line `site=count` summary of the injected faults.
+    pub fn counters(&self) -> String {
+        Site::ALL
+            .iter()
+            .map(|&s| format!("{}={}", s.name(), self.injected(s)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Fast-path flag: `false` means [`active_plan`] returns `None` without
+/// taking the lock — the zero-cost-off guarantee.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed plan. A `Mutex` (not `OnceLock`) so the chaos bench bin
+/// can run several profiles in one process.
+static PLAN: Mutex<Option<Arc<ChaosPlan>>> = Mutex::new(None);
+
+/// Installs `plan` process-globally; every hook consults it until
+/// [`uninstall`]. Returns the shared handle (for reading counters).
+pub fn install(plan: ChaosPlan) -> Arc<ChaosPlan> {
+    let plan = Arc::new(plan);
+    *PLAN.lock().expect("chaos plan lock") = Some(Arc::clone(&plan));
+    ENABLED.store(true, Ordering::Release);
+    plan
+}
+
+/// Removes the installed plan; hooks return to their zero-cost-off path.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    *PLAN.lock().expect("chaos plan lock") = None;
+}
+
+/// The installed plan, or `None` (one relaxed load when off).
+pub fn active_plan() -> Option<Arc<ChaosPlan>> {
+    if !ENABLED.load(Ordering::Acquire) {
+        return None;
+    }
+    PLAN.lock().expect("chaos plan lock").clone()
+}
+
+/// Installs a plan from `TV_CHAOS=<seed>:<profile>` when set.
+///
+/// # Errors
+///
+/// A set-but-malformed value is an error (silently ignoring a chaos
+/// request would fake a passing run), naming the accepted syntax.
+pub fn install_from_env() -> Result<Option<Arc<ChaosPlan>>, String> {
+    let Ok(value) = std::env::var(ENV) else {
+        return Ok(None);
+    };
+    let plan = plan_from_value(&value)?;
+    Ok(Some(install(plan)))
+}
+
+/// Parses a `<seed>:<profile>` activation value into a plan.
+///
+/// # Errors
+///
+/// Rejects values without the `seed:profile` shape, non-numeric seeds
+/// and unknown profile names.
+pub fn plan_from_value(value: &str) -> Result<ChaosPlan, String> {
+    let (seed, profile_name) = value
+        .split_once(':')
+        .ok_or_else(|| format!("{ENV} must be <seed>:<profile>, got `{value}`"))?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| format!("bad {ENV} seed `{seed}` (need a u64)"))?;
+    ChaosPlan::new(seed, profile_name)
+}
+
+/// A `Write` wrapper injecting [`WriteFault`]s per the active plan.
+///
+/// With no plan installed (or `plan: None` and nothing global) it is a
+/// transparent pass-through. `Short` faults write a real prefix before
+/// failing, so the bytes on disk are genuinely torn; `Flip` faults
+/// corrupt one bit and report success, modelling silent media/DMA
+/// corruption that only a row CRC can catch.
+pub struct ChaosIo<W: Write> {
+    inner: W,
+    site: Site,
+    plan: Option<Arc<ChaosPlan>>,
+}
+
+impl<W: Write> ChaosIo<W> {
+    /// Wraps a journal append handle, consulting the global plan.
+    pub fn journal(inner: W) -> Self {
+        ChaosIo {
+            inner,
+            site: Site::JournalAppend,
+            plan: None,
+        }
+    }
+
+    /// Wraps `inner` with an explicit plan (tests; no global state).
+    pub fn with_plan(inner: W, site: Site, plan: Arc<ChaosPlan>) -> Self {
+        ChaosIo {
+            inner,
+            site,
+            plan: Some(plan),
+        }
+    }
+
+    fn plan(&self) -> Option<Arc<ChaosPlan>> {
+        match &self.plan {
+            Some(p) => Some(Arc::clone(p)),
+            None => active_plan(),
+        }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for ChaosIo<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let Some(plan) = self.plan() else {
+            return self.inner.write(buf);
+        };
+        match plan.write_fault(self.site, buf.len()) {
+            WriteFault::None => self.inner.write(buf),
+            WriteFault::Error => Err(io::Error::other("chaos: injected write error")),
+            WriteFault::Short => {
+                let prefix = (buf.len() / 2).max(1).min(buf.len());
+                self.inner.write_all(&buf[..prefix])?;
+                let _ = self.inner.flush();
+                Err(io::Error::other(format!(
+                    "chaos: injected short write ({prefix}/{} bytes)",
+                    buf.len()
+                )))
+            }
+            WriteFault::Flip { offset, mask } => {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                let mut corrupt = buf.to_vec();
+                let at = offset % corrupt.len();
+                corrupt[at] ^= mask;
+                self.inner.write_all(&corrupt)?;
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Deterministically damages `bytes` in place — one bit-flip or one
+/// truncation, chosen and placed by `seed`. Returns a description of the
+/// damage. Used for at-rest corruption (journal files, store entries)
+/// where there is no write path to wrap. Empty inputs are left alone.
+pub fn corrupt_bytes(bytes: &mut Vec<u8>, seed: u64) -> String {
+    if bytes.is_empty() {
+        return "no-op (empty)".to_string();
+    }
+    let mut rng = ChaCha12Rng::seed_from_u64(mix2(seed, 0xc0_44u64));
+    let at = rng.gen_range(0..bytes.len());
+    if rng.gen_bool(0.5) {
+        let mask = 1u8 << rng.gen_range(0..8u32);
+        bytes[at] ^= mask;
+        format!("flip byte {at} mask {mask:#04x}")
+    } else {
+        bytes.truncate(at);
+        format!("truncate to {at} bytes")
+    }
+}
+
+/// [`corrupt_bytes`] applied to a file on disk (read, damage, rewrite).
+///
+/// # Errors
+///
+/// Propagates read/write errors.
+pub fn corrupt_file(path: &Path, seed: u64) -> io::Result<String> {
+    let mut bytes = std::fs::read(path)?;
+    let what = corrupt_bytes(&mut bytes, seed);
+    std::fs::write(path, &bytes)?;
+    Ok(what)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_replayable_per_site() {
+        let a = ChaosPlan::new(42, "heavy").expect("profile");
+        let b = ChaosPlan::new(42, "heavy").expect("profile");
+        let da: Vec<bool> = (0..200).map(|_| a.decide(Site::WorkerExit)).collect();
+        let db: Vec<bool> = (0..200).map(|_| b.decide(Site::WorkerExit)).collect();
+        assert_eq!(da, db, "same seed, same site, same schedule");
+        assert!(da.iter().any(|&f| f), "heavy profile must fire sometimes");
+        assert!(!da.iter().all(|&f| f), "heavy profile must not always fire");
+
+        // Interleaving decisions at another site must not perturb the
+        // first site's schedule.
+        let c = ChaosPlan::new(42, "heavy").expect("profile");
+        let dc: Vec<bool> = (0..200)
+            .map(|_| {
+                c.decide(Site::ConnReset);
+                c.decide(Site::WorkerExit)
+            })
+            .collect();
+        assert_eq!(da, dc, "schedules are site-local");
+
+        let other = ChaosPlan::new(43, "heavy").expect("profile");
+        let dother: Vec<bool> = (0..200).map(|_| other.decide(Site::WorkerExit)).collect();
+        assert_ne!(da, dother, "different seeds diverge");
+    }
+
+    #[test]
+    fn off_profile_never_fires_and_counts_nothing() {
+        let plan = ChaosPlan::new(7, "off").expect("profile");
+        for _ in 0..500 {
+            for site in Site::ALL {
+                assert!(!plan.decide(site));
+                assert_eq!(plan.write_fault(site, 64), WriteFault::None);
+            }
+        }
+        assert_eq!(plan.total_injected(), 0);
+    }
+
+    #[test]
+    fn fingerprint_follows_seed_and_profile() {
+        let a = ChaosPlan::new(1, "light").unwrap();
+        let b = ChaosPlan::new(1, "light").unwrap();
+        let c = ChaosPlan::new(2, "light").unwrap();
+        let d = ChaosPlan::new(1, "heavy").unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        assert!(a.meta().starts_with("# tv-chaos v1 "));
+        assert_eq!(plan_from_value(&a.env_value()).unwrap().fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn bad_activation_values_are_rejected() {
+        assert!(plan_from_value("no-colon").is_err());
+        assert!(plan_from_value("x:heavy").is_err());
+        assert!(plan_from_value("5:swarm-of-bees").is_err());
+        assert!(ChaosPlan::new(0, "nope")
+            .unwrap_err()
+            .contains("heavy"), "error lists the built-ins");
+        for p in PROFILES {
+            assert!(plan_from_value(&format!("9:{}", p.name)).is_ok());
+        }
+    }
+
+    #[test]
+    fn worker_env_values_differ_by_slot_and_generation() {
+        let plan = ChaosPlan::new(11, "cluster").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for slot in 0..4 {
+            for generation in 0..4 {
+                let v = plan.worker_env_value(slot, generation);
+                assert!(seen.insert(v.clone()), "duplicate worker env {v}");
+                let derived = plan_from_value(&v).expect("derived value parses");
+                assert_eq!(derived.profile().name, "cluster");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_io_fault_modes_match_bytes_on_disk() {
+        // Probability 1 on the journal site: every write faults, and the
+        // three modes all occur across a run of writes.
+        let mut always = profile("journal").unwrap();
+        always.rates[Site::JournalAppend.idx()] = 1.0;
+        let plan = Arc::new(ChaosPlan {
+            seed: 5,
+            profile: always,
+            sequence: Default::default(),
+            injected: Default::default(),
+        });
+        let payload = b"0/ABS\t0,paper,gcc,0.970,ABS,1,clean,1,2,3,4,5,6,7,8,9,10,11,-\n";
+        let (mut errors, mut shorts, mut flips) = (0, 0, 0);
+        for _ in 0..60 {
+            let mut sink = Vec::new();
+            let mut w = ChaosIo::with_plan(&mut sink, Site::JournalAppend, Arc::clone(&plan));
+            match w.write_all(payload) {
+                Err(e) if e.to_string().contains("short write") => {
+                    shorts += 1;
+                    assert!(!sink.is_empty() && sink.len() < payload.len(), "torn prefix");
+                    assert_eq!(&payload[..sink.len()], &sink[..], "prefix is honest");
+                }
+                Err(_) => {
+                    errors += 1;
+                    assert!(sink.is_empty(), "error mode writes nothing");
+                }
+                Ok(()) => {
+                    flips += 1;
+                    assert_eq!(sink.len(), payload.len());
+                    let diff: Vec<usize> = (0..sink.len())
+                        .filter(|&i| sink[i] != payload[i])
+                        .collect();
+                    assert_eq!(diff.len(), 1, "flip corrupts exactly one byte");
+                    assert_eq!(
+                        (sink[diff[0]] ^ payload[diff[0]]).count_ones(),
+                        1,
+                        "exactly one bit"
+                    );
+                }
+            }
+        }
+        assert!(errors > 0 && shorts > 0 && flips > 0, "{errors}/{shorts}/{flips}");
+        assert_eq!(plan.injected(Site::JournalAppend), 60);
+    }
+
+    #[test]
+    fn chaos_io_is_transparent_without_a_plan() {
+        // No global install, no explicit plan: bytes pass through intact.
+        let mut sink = Vec::new();
+        let mut w = ChaosIo::journal(&mut sink);
+        w.write_all(b"hello\n").expect("clean write");
+        w.flush().expect("clean flush");
+        assert_eq!(sink, b"hello\n");
+    }
+
+    #[test]
+    fn corrupt_bytes_is_deterministic_and_always_damages() {
+        let original: Vec<u8> = (0u8..200).collect();
+        for seed in 0..50u64 {
+            let mut a = original.clone();
+            let mut b = original.clone();
+            let wa = corrupt_bytes(&mut a, seed);
+            let wb = corrupt_bytes(&mut b, seed);
+            assert_eq!(a, b, "same seed, same damage");
+            assert_eq!(wa, wb);
+            assert_ne!(a, original, "seed {seed} failed to damage");
+        }
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(corrupt_bytes(&mut empty, 3).contains("no-op"));
+    }
+}

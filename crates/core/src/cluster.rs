@@ -34,42 +34,68 @@
 //!
 //! # Death, reassignment, determinism
 //!
-//! A worker's death — `kill -9`, OOM, a torn frame — surfaces as EOF (or
-//! a partial line) on its stdout. The coordinator revokes the lease:
-//! the in-flight job and the dead worker's queue move to the orphan
-//! pool, idle workers pick them up, and a replacement process is spawned
-//! while a respawn budget lasts. Every completed row is journalled by
-//! the coordinator through the same [`campaign`](crate::campaign)
-//! journal the in-process runner uses — the journal *is* the
-//! coordination substrate — so a kill of the coordinator itself resumes
-//! exactly like a killed single-process campaign. Rows are pure
-//! functions of their cell and the final CSV is assembled by key in
-//! tuple-major order, so the bytes are identical at any worker count,
-//! under any interleaving, steal pattern or mid-run kill.
+//! A worker's death — `kill -9`, OOM, a torn frame, a garbage frame —
+//! surfaces on its stdout (EOF, a partial line, or an unparseable
+//! frame). The coordinator revokes the lease: the in-flight job and the
+//! dead worker's queue move to the orphan pool and idle workers pick
+//! them up. Every completed row is journalled by the coordinator through
+//! the same [`campaign`](crate::campaign) journal the in-process runner
+//! uses — the journal *is* the coordination substrate — so a kill of the
+//! coordinator itself resumes exactly like a killed single-process
+//! campaign. Rows are pure functions of their cell and the final CSV is
+//! assembled by key in tuple-major order, so the bytes are identical at
+//! any worker count, under any interleaving, steal pattern or mid-run
+//! kill. An explicit `ERR` frame stays **fatal**: it reports a
+//! deterministic worker-side failure that would fail identically on any
+//! replacement, so retry-looping it would loop forever.
 //!
-//! # Kill-test hooks
+//! # Failure accounting: backoff and quarantine
+//!
+//! Worker slots are fixed: a replacement process respawns *into* the
+//! slot of the process it replaces (a new *generation*; stale events
+//! from the predecessor are ignored). Each death increments the slot's
+//! consecutive-failure count and schedules the respawn after a capped
+//! exponential backoff ([`ClusterConfig::backoff_base`] doubling per
+//! consecutive failure up to [`ClusterConfig::backoff_cap`]), while the
+//! shared respawn budget lasts. A successful reply resets the count; a
+//! slot reaching [`ClusterConfig::quarantine_after`] consecutive
+//! failures is **permanently quarantined** — never respawned, its work
+//! redistributed — so a poisoned slot (bad CPU, cursed cgroup, a chaos
+//! profile with a grudge) degrades the fleet instead of eating the whole
+//! respawn budget. The campaign completes on the survivors; only when
+//! *no* slot is alive or pending respawn does the run fail.
+//!
+//! # Kill-test and chaos hooks
 //!
 //! Setting `TV_CLUSTER_KILL=<worker>@<jobs>` on the coordinator arranges
 //! for the initial process in slot `<worker>` to SIGKILL *itself* upon
 //! receiving its `<jobs>+1`-th job — before running it, so the job is
 //! genuinely in flight when the worker dies. Respawned processes never
 //! inherit the hook, so recovery is observable rather than a kill loop.
-//! (The worker-side env var is `TV_CLUSTER_SELFKILL=<jobs>`.)
+//! (The worker-side env var is `TV_CLUSTER_SELFKILL=<jobs>`.) Each
+//! worker is told its slot via `TV_CLUSTER_SLOT=<index>`, which scripted
+//! test workers use for per-slot behaviour. When a
+//! [`chaos`](crate::chaos) plan is active, the coordinator derives a
+//! per-`(slot, generation)` `TV_CHAOS` value for every spawn
+//! ([`ChaosPlan::worker_env_value`](crate::chaos::ChaosPlan::worker_env_value)),
+//! so workers fault deterministically but respawns do not replay their
+//! predecessor's fatal schedule.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::process::{Child, ChildStdin, Command, ExitCode, Stdio};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 use tv_timing::Voltage;
 
 use crate::campaign::{
-    cell_key, cell_prefix, panic_row, prepare_journal, row_field, run_cell, run_cells_cosim,
-    CampaignConfig, CampaignReport, CampaignTuple,
+    cell_key, cell_prefix, journal_line, panic_row, prepare_journal, row_field, run_cell,
+    run_cells_cosim, CampaignConfig, CampaignReport, CampaignTuple,
 };
+use crate::chaos::ChaosIo;
 use crate::diff::{report_from_runs, run_one, DiffConfig, DiffReport, DiffRun, DiffTuple};
 use crate::fleet::{panic_message, FleetStats, JobTiming};
 use crate::schemes::Scheme;
@@ -81,6 +107,10 @@ pub const KILL_ENV: &str = "TV_CLUSTER_KILL";
 /// Worker-side env var the coordinator injects: SIGKILL self upon
 /// receiving job number `<value>+1`.
 pub const SELFKILL_ENV: &str = "TV_CLUSTER_SELFKILL";
+
+/// Worker-side env var carrying the worker's slot index. Informational
+/// for real workers; scripted test workers key per-slot behaviour on it.
+pub const SLOT_ENV: &str = "TV_CLUSTER_SLOT";
 
 /// Process-fleet construction parameters.
 #[derive(Debug, Clone)]
@@ -94,6 +124,14 @@ pub struct ClusterConfig {
     /// Replacement processes the coordinator may spawn after worker
     /// deaths before giving up.
     pub respawn_budget: usize,
+    /// Consecutive failures (deaths with no completed job in between)
+    /// after which a slot is permanently quarantined.
+    pub quarantine_after: u32,
+    /// Respawn backoff after a slot's first consecutive failure; doubles
+    /// per further failure.
+    pub backoff_base: Duration,
+    /// Upper bound on the respawn backoff.
+    pub backoff_cap: Duration,
 }
 
 impl ClusterConfig {
@@ -104,6 +142,9 @@ impl ClusterConfig {
             procs: procs.max(1),
             worker_cmd: Vec::new(),
             respawn_budget: 2 * procs.max(1) + 2,
+            quarantine_after: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
         }
     }
 
@@ -149,6 +190,8 @@ pub struct ClusterStats {
     pub stolen: usize,
     /// Jobs reassigned out of dead workers (leases revoked + queues).
     pub reassigned: usize,
+    /// Slots permanently quarantined after repeated consecutive failures.
+    pub quarantined: usize,
     /// Coordinator wall-clock time.
     pub elapsed: Duration,
     /// Per-job `(job id, wall, worker slot)` in completion order. Wall
@@ -156,29 +199,65 @@ pub struct ClusterStats {
     pub timings: Vec<(usize, Duration, usize)>,
 }
 
-/// One worker process slot.
+/// One worker process slot. Slots are fixed for the whole run; processes
+/// respawn *into* their slot with a bumped generation.
 struct Slot {
-    child: Child,
+    child: Option<Child>,
     stdin: Option<ChildStdin>,
     queue: VecDeque<usize>,
     /// The lease: the dispatched job and when it left.
     inflight: Option<(usize, Instant)>,
     alive: bool,
+    /// Bumped on every spawn into this slot; events tagged with an older
+    /// generation come from a reaped predecessor and are ignored.
+    generation: u64,
+    /// Deaths since the last completed job.
+    failures: u32,
+    /// Permanently out of service; never respawned.
+    quarantined: bool,
+    /// A scheduled respawn (backoff expiry), serviced by the main loop.
+    respawn_at: Option<Instant>,
 }
 
-/// What a worker's stdout reader thread reports back.
+impl Slot {
+    fn vacant() -> Self {
+        Slot {
+            child: None,
+            stdin: None,
+            queue: VecDeque::new(),
+            inflight: None,
+            alive: false,
+            generation: 0,
+            failures: 0,
+            quarantined: false,
+            respawn_at: None,
+        }
+    }
+}
+
+/// What a worker's stdout reader thread reports back. Every event is
+/// tagged with the generation the reader was spawned for, so a reply or
+/// death from a replaced process cannot be misattributed to its
+/// successor in the same slot.
 enum Event {
     /// A complete `OK` frame with its rows.
     Reply {
         worker: usize,
+        generation: u64,
         id: usize,
         rows: Vec<String>,
     },
-    /// An `ERR` frame or a malformed frame — a protocol-level bug, fatal
-    /// to the whole run (deterministic failures must not retry-loop).
+    /// An explicit `ERR` frame — a deterministic worker-side failure,
+    /// fatal to the whole run (it would fail identically on any
+    /// replacement, so retry-looping it would loop forever).
     Fatal { worker: usize, msg: String },
-    /// EOF or torn output: the process died.
-    Dead { worker: usize },
+    /// The process died: EOF, torn output, or a garbage frame (`garbage`
+    /// carries the offending line when there was one).
+    Dead {
+        worker: usize,
+        generation: u64,
+        garbage: Option<String>,
+    },
 }
 
 struct Coordinator<'a> {
@@ -197,40 +276,47 @@ struct Coordinator<'a> {
 }
 
 impl Coordinator<'_> {
-    /// Spawns a worker process into a new slot and sends it the context.
-    /// `initial` slots may receive the kill-test hook; respawns never do.
-    fn spawn_slot(&mut self, queue: VecDeque<usize>, initial: bool) -> Result<usize, String> {
-        let slot_idx = self.slots.len();
+    /// Spawns a worker process into slot `w` (bumping its generation) and
+    /// sends it the context. `initial` spawns may receive the kill-test
+    /// hook; respawns never do.
+    fn spawn_into(&mut self, w: usize, initial: bool) -> Result<(), String> {
+        self.slots[w].generation += 1;
+        let generation = self.slots[w].generation;
         let mut cmd = self.cluster.command()?;
         cmd.stdin(Stdio::piped()).stdout(Stdio::piped());
         // Workers must never act as coordinators of their own sub-fleet,
         // and only the targeted initial slot self-kills.
         cmd.env_remove(KILL_ENV).env_remove(SELFKILL_ENV);
+        cmd.env(SLOT_ENV, w.to_string());
         if initial {
             if let Some((target, jobs)) = self.kill_spec {
-                if target == slot_idx {
+                if target == w {
                     cmd.env(SELFKILL_ENV, jobs.to_string());
                 }
             }
         }
+        // Under an active chaos plan, each (slot, generation) gets its
+        // own derived schedule: deterministic faults, but a respawn never
+        // replays its predecessor's fatal draw.
+        if let Some(plan) = crate::chaos::active_plan() {
+            cmd.env(crate::chaos::ENV, plan.worker_env_value(w, generation));
+        }
         let mut child = cmd
             .spawn()
-            .map_err(|e| format!("cannot spawn worker {slot_idx}: {e}"))?;
+            .map_err(|e| format!("cannot spawn worker {w}: {e}"))?;
         let mut stdin = child.stdin.take().expect("piped stdin");
         let stdout = child.stdout.take().expect("piped stdout");
         let tx = self.tx.clone();
-        std::thread::spawn(move || read_worker(slot_idx, stdout, &tx));
+        std::thread::spawn(move || read_worker(w, generation, stdout, &tx));
         // A write failure here means the child is already gone; the
         // reader thread will report Dead, so just drop the error.
         let _ = writeln!(stdin, "CTX {}", self.ctx).and_then(|()| stdin.flush());
-        self.slots.push(Slot {
-            child,
-            stdin: Some(stdin),
-            queue,
-            inflight: None,
-            alive: true,
-        });
-        Ok(slot_idx)
+        let slot = &mut self.slots[w];
+        slot.child = Some(child);
+        slot.stdin = Some(stdin);
+        slot.inflight = None;
+        slot.alive = true;
+        Ok(())
     }
 
     /// Picks the next job for an idle worker: orphans (reclaimed work)
@@ -274,16 +360,21 @@ impl Coordinator<'_> {
     }
 
     /// Revokes a dead worker's lease and queue, redistributes the work,
-    /// and spawns a replacement when needed (and budgeted).
-    fn handle_death(&mut self, w: usize) -> Result<(), String> {
-        if !self.slots[w].alive {
-            return Ok(()); // already reaped (e.g. Fatal then EOF)
+    /// and either quarantines the slot (too many consecutive failures)
+    /// or schedules a backed-off respawn while the budget lasts.
+    fn handle_death(&mut self, w: usize, generation: u64, garbage: Option<String>) {
+        if !self.slots[w].alive || self.slots[w].generation != generation {
+            return; // already reaped, or an event from a replaced process
         }
         let slot = &mut self.slots[w];
         slot.alive = false;
         slot.stdin.take(); // close our end
-        let _ = slot.child.kill();
-        let _ = slot.child.wait();
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        slot.failures += 1;
+        let failures = slot.failures;
         self.stats.deaths += 1;
         let mut reclaimed = 0usize;
         if let Some((id, _)) = slot.inflight.take() {
@@ -296,7 +387,7 @@ impl Coordinator<'_> {
         }
         self.stats.reassigned += reclaimed;
         if self.done >= self.specs.len() {
-            return Ok(()); // late death after all jobs finished
+            return; // late death after all jobs finished
         }
         // Idle live workers absorb the orphans immediately.
         for v in 0..self.slots.len() {
@@ -306,41 +397,105 @@ impl Coordinator<'_> {
             self.dispatch(v);
         }
         let live = self.slots.iter().filter(|s| s.alive).count();
+        let cause = match garbage {
+            Some(g) => {
+                let g: String = one_line(&g).chars().take(80).collect();
+                format!(" (garbage frame: {g})")
+            }
+            None => String::new(),
+        };
         eprintln!(
-            "[cluster] worker {w} died; {reclaimed} jobs reassigned, {live} workers live"
+            "[cluster] worker {w} died{cause}; {reclaimed} jobs reassigned, {live} workers live"
         );
-        if (live == 0 || !self.orphans.is_empty()) && self.respawns_left > 0 {
+        let slot = &mut self.slots[w];
+        if failures >= self.cluster.quarantine_after {
+            slot.quarantined = true;
+            self.stats.quarantined += 1;
+            eprintln!(
+                "[cluster] worker {w} quarantined after {failures} consecutive failures"
+            );
+        } else if self.respawns_left > 0 {
             self.respawns_left -= 1;
-            self.stats.respawns += 1;
-            let fresh = self.spawn_slot(VecDeque::new(), false)?;
-            eprintln!("[cluster] respawned worker {fresh}");
-            self.dispatch(fresh);
-        } else if live == 0 {
-            return Err(format!(
-                "all workers died with {} jobs unfinished and the respawn budget exhausted",
-                self.specs.len() - self.done,
-            ));
+            let delay = backoff_delay(self.cluster, failures);
+            slot.respawn_at = Some(Instant::now() + delay);
+            eprintln!(
+                "[cluster] worker {w} respawning in {delay:?} (consecutive failure {failures})"
+            );
+        }
+    }
+
+    /// Spawns replacements whose backoff has expired.
+    fn service_respawns(&mut self) -> Result<(), String> {
+        let now = Instant::now();
+        for w in 0..self.slots.len() {
+            if self.slots[w].respawn_at.is_some_and(|t| t <= now) {
+                self.slots[w].respawn_at = None;
+                self.stats.respawns += 1;
+                self.spawn_into(w, false)?;
+                eprintln!("[cluster] respawned worker {w}");
+                self.dispatch(w);
+            }
         }
         Ok(())
     }
+
+    /// Errors out when work remains but no slot is alive or pending
+    /// respawn — every slot is quarantined or the budget ran dry.
+    fn check_liveness(&self) -> Result<(), String> {
+        if self.done >= self.specs.len()
+            || self
+                .slots
+                .iter()
+                .any(|s| s.alive || s.respawn_at.is_some())
+        {
+            return Ok(());
+        }
+        let quarantined = self.slots.iter().filter(|s| s.quarantined).count();
+        Err(format!(
+            "all workers died with {} jobs unfinished \
+             ({quarantined} slots quarantined, respawn budget exhausted)",
+            self.specs.len() - self.done,
+        ))
+    }
 }
 
-/// The stdout reader for one worker: turns frames into [`Event`]s. Runs
-/// on its own thread; exits on EOF or after a fatal frame.
-fn read_worker(worker: usize, stdout: impl Read, tx: &Sender<Event>) {
+/// Capped exponential backoff: `base * 2^(failures-1)`, at most `cap`.
+fn backoff_delay(cluster: &ClusterConfig, failures: u32) -> Duration {
+    let exp = failures.saturating_sub(1).min(16);
+    cluster
+        .backoff_base
+        .saturating_mul(1u32 << exp)
+        .min(cluster.backoff_cap)
+}
+
+/// The stdout reader for one worker process: turns frames into
+/// [`Event`]s, all tagged with the process's generation. Runs on its own
+/// thread; exits on EOF, a fatal frame, or a garbage frame.
+///
+/// A *garbage* frame — anything that isn't a well-formed `OK`/`ERR` — is
+/// reported as a death, not a fatal error: it means the process's output
+/// stream can no longer be trusted (chaos injection, a stray print, a
+/// corrupted buffer), which is a property of that process, not of the
+/// job. The job is reassigned and the slot's failure accounting decides
+/// whether to respawn or quarantine. Only an explicit well-formed `ERR`
+/// frame is fatal, because it reports a deterministic failure.
+fn read_worker(worker: usize, generation: u64, stdout: impl Read, tx: &Sender<Event>) {
     let mut reader = BufReader::new(stdout);
     let mut line = String::new();
+    let dead = |garbage: Option<String>| {
+        let _ = tx.send(Event::Dead {
+            worker,
+            generation,
+            garbage,
+        });
+    };
     loop {
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => {
-                let _ = tx.send(Event::Dead { worker });
-                return;
-            }
+            Ok(0) | Err(_) => return dead(None),
             Ok(_) if !line.ends_with('\n') => {
                 // A torn final line: the process died mid-write.
-                let _ = tx.send(Event::Dead { worker });
-                return;
+                return dead(None);
             }
             Ok(_) => {}
         }
@@ -350,11 +505,7 @@ fn read_worker(worker: usize, stdout: impl Read, tx: &Sender<Event>) {
                 .split_once(' ')
                 .and_then(|(id, n)| Some((id.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
             let Some((id, nrows)) = parsed else {
-                let _ = tx.send(Event::Fatal {
-                    worker,
-                    msg: format!("malformed OK frame: {frame}"),
-                });
-                return;
+                return dead(Some(frame.to_string()));
             };
             let mut rows = Vec::with_capacity(nrows);
             for _ in 0..nrows {
@@ -364,13 +515,18 @@ fn read_worker(worker: usize, stdout: impl Read, tx: &Sender<Event>) {
                         row.pop();
                         rows.push(row);
                     }
-                    _ => {
-                        let _ = tx.send(Event::Dead { worker });
-                        return;
-                    }
+                    _ => return dead(None),
                 }
             }
-            if tx.send(Event::Reply { worker, id, rows }).is_err() {
+            if tx
+                .send(Event::Reply {
+                    worker,
+                    generation,
+                    id,
+                    rows,
+                })
+                .is_err()
+            {
                 return; // coordinator gone
             }
         } else if let Some(msg) = frame.strip_prefix("ERR ") {
@@ -380,11 +536,7 @@ fn read_worker(worker: usize, stdout: impl Read, tx: &Sender<Event>) {
             });
             return;
         } else {
-            let _ = tx.send(Event::Fatal {
-                worker,
-                msg: format!("unexpected frame: {frame}"),
-            });
-            return;
+            return dead(Some(frame.to_string()));
         }
     }
 }
@@ -440,19 +592,41 @@ where
     };
 
     let result = (|| -> Result<(), String> {
-        for queue in plan_shards(total, workers) {
-            coord.spawn_slot(queue.into(), true)?;
+        for (w, queue) in plan_shards(total, workers).into_iter().enumerate() {
+            coord.slots.push(Slot::vacant());
+            coord.slots[w].queue = queue.into();
+            coord.spawn_into(w, true)?;
         }
         for w in 0..workers {
             coord.dispatch(w);
         }
         while coord.done < total {
-            let event = coord
-                .rx
-                .recv()
-                .map_err(|_| "every worker reader exited with jobs unfinished".to_string())?;
+            coord.service_respawns()?;
+            coord.check_liveness()?;
+            let event = match coord.rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(event) => event,
+                // Timeouts exist only to service pending respawns.
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err("every worker reader exited with jobs unfinished".to_string())
+                }
+            };
             match event {
-                Event::Reply { worker, id, rows } => {
+                Event::Reply {
+                    worker,
+                    generation,
+                    id,
+                    rows,
+                } => {
+                    if coord.slots[worker].generation != generation
+                        || !coord.slots[worker].alive
+                    {
+                        // A reply from a process already declared dead:
+                        // its job was reassigned; the duplicate-complete
+                        // guard below makes the race harmless, but the
+                        // lease now belongs to a different process.
+                        continue;
+                    }
                     let Some((leased, t0)) = coord.slots[worker].inflight.take() else {
                         return Err(format!("worker {worker} replied without a lease"));
                     };
@@ -461,6 +635,7 @@ where
                             "worker {worker} replied for job {id} while leasing {leased}"
                         ));
                     }
+                    coord.slots[worker].failures = 0;
                     coord.stats.timings.push((id, t0.elapsed(), worker));
                     // A reassigned job can complete twice when a worker
                     // presumed dead had already sent its reply; the first
@@ -475,7 +650,11 @@ where
                 Event::Fatal { worker, msg } => {
                     return Err(format!("worker {worker}: {msg}"));
                 }
-                Event::Dead { worker } => coord.handle_death(worker)?,
+                Event::Dead {
+                    worker,
+                    generation,
+                    garbage,
+                } => coord.handle_death(worker, generation, garbage),
             }
         }
         Ok(())
@@ -485,10 +664,12 @@ where
     // error path kill outright so a wedged worker cannot hang us.
     for slot in &mut coord.slots {
         slot.stdin.take();
-        if result.is_err() {
-            let _ = slot.child.kill();
+        if let Some(child) = &mut slot.child {
+            if result.is_err() {
+                let _ = child.kill();
+            }
+            let _ = child.wait();
         }
-        let _ = slot.child.wait();
     }
     result.map(|()| {
         coord.stats.elapsed = started.elapsed();
@@ -572,6 +753,24 @@ where
             sigkill_self();
         }
         received += 1;
+        if let Some(plan) = crate::chaos::active_plan() {
+            use crate::chaos::Site;
+            if plan.decide(Site::WorkerExit) {
+                // Crash mid-job: the coordinator sees EOF with the lease
+                // open and reassigns the job.
+                std::process::exit(3);
+            }
+            if plan.decide(Site::WorkerGarbage) {
+                // Corrupt the protocol stream, then die: the coordinator
+                // must treat the slot as dead, never trust the frame.
+                let _ = writeln!(out, "chaos-garbage-frame job={id} n={received}");
+                let _ = out.flush();
+                std::process::exit(4);
+            }
+            if plan.decide(Site::WorkerStall) {
+                std::thread::sleep(plan.stall(Site::WorkerStall));
+            }
+        }
         let reply = match run_group(&task, spec) {
             Ok(rows) => {
                 if let Some(bad) = rows.iter().find(|r| r.contains('\n')) {
@@ -708,7 +907,8 @@ where
 
     let prep = prepare_journal(journal, &meta, resume)?;
     let completed = prep.completed;
-    let mut file = prep.file;
+    let quarantined = prep.quarantined;
+    let mut file = ChaosIo::journal(prep.file);
 
     let pending_idx: Vec<usize> = (0..cells.len())
         .filter(|&i| !completed.contains_key(&keys[i]))
@@ -755,13 +955,18 @@ where
                 ));
             }
             // Journal first (durability), then stream: the same ordering
-            // the in-process observer uses.
+            // the in-process observer uses. An append failure is not
+            // fatal — the rows merely lose durability and re-execute on
+            // resume, exactly like the in-process runner.
             let mut lines = String::new();
             for (&ci, row) in group.iter().zip(rows) {
-                lines.push_str(&format!("{}\t{row}\n", keys[ci]));
+                lines.push_str(&journal_line(&format!("{}\t{row}", keys[ci])));
             }
-            file.write_all(lines.as_bytes())
-                .map_err(|e| format!("cannot append to journal {}: {e}", journal.display()))?;
+            if let Err(e) = file.write_all(lines.as_bytes()) {
+                eprintln!(
+                    "[campaign] journal append failed ({e}); affected cells re-execute on resume"
+                );
+            }
             for (&ci, row) in group.iter().zip(rows) {
                 if row_field(row, 6) == "panic" {
                     panicked += 1;
@@ -811,6 +1016,7 @@ where
     Ok(CampaignReport {
         rows,
         reused: cells.len() - pending_idx.len(),
+        quarantined,
         executed: pending_idx.len(),
         panicked,
         fleet: FleetStats {
@@ -1289,6 +1495,87 @@ mod tests {
         let err = run_groups(&cluster, "test", &specs, |_, _| Ok(()))
             .expect_err("all workers die instantly");
         assert!(err.contains("respawn budget"), "{err}");
+    }
+
+    #[test]
+    fn backoff_doubles_per_failure_and_caps() {
+        let mut cfg = ClusterConfig::new(1);
+        cfg.backoff_base = Duration::from_millis(50);
+        cfg.backoff_cap = Duration::from_millis(300);
+        assert_eq!(backoff_delay(&cfg, 1), Duration::from_millis(50));
+        assert_eq!(backoff_delay(&cfg, 2), Duration::from_millis(100));
+        assert_eq!(backoff_delay(&cfg, 3), Duration::from_millis(200));
+        assert_eq!(backoff_delay(&cfg, 4), Duration::from_millis(300));
+        assert_eq!(backoff_delay(&cfg, 40), Duration::from_millis(300));
+    }
+
+    /// A slot whose every process dies instantly is quarantined after
+    /// `quarantine_after` consecutive failures, and the run completes on
+    /// the surviving slot — correctly and with the right rows.
+    #[cfg(unix)]
+    #[test]
+    fn run_groups_quarantines_poisoned_slot_and_completes_on_survivors() {
+        let specs: Vec<String> = (0..6).map(|i| format!("s{i}")).collect();
+        let mut cluster = ClusterConfig::new(2);
+        cluster.quarantine_after = 2;
+        cluster.backoff_base = Duration::from_millis(1);
+        cluster.worker_cmd = vec![
+            "sh".to_string(),
+            "-c".to_string(),
+            // Slot 0 is poisoned: its process (and every respawn into the
+            // slot) dies before speaking the protocol. The survivor works
+            // slowly enough that slot 0 reaches its quarantine threshold
+            // before the run finishes.
+            "if [ \"$TV_CLUSTER_SLOT\" = 0 ]; then exit 1; fi; \
+             read ctx; while read cmd id spec; do sleep 0.1; echo \"OK $id 1\"; echo \"row-$id\"; done"
+                .to_string(),
+        ];
+        let mut got: Vec<Option<String>> = vec![None; specs.len()];
+        let stats = run_groups(&cluster, "test", &specs, |id, rows| {
+            got[id] = Some(rows[0].clone());
+            Ok(())
+        })
+        .expect("campaign completes on the surviving slot");
+        for (i, row) in got.iter().enumerate() {
+            assert_eq!(row.as_deref(), Some(format!("row-{i}").as_str()));
+        }
+        assert_eq!(stats.quarantined, 1, "slot 0 permanently quarantined");
+        assert!(stats.deaths >= 2, "slot 0 died at least quarantine_after times");
+    }
+
+    /// A garbage frame (unparseable protocol output) is a worker death —
+    /// the job is reassigned to a replacement — not a fatal error.
+    #[cfg(unix)]
+    #[test]
+    fn run_groups_treats_garbage_frames_as_death_not_fatal() {
+        let marker =
+            std::env::temp_dir().join(format!("tv-cluster-garbage-{}", std::process::id()));
+        let _ = std::fs::remove_file(&marker);
+        let specs = vec!["s0".to_string()];
+        let mut cluster = ClusterConfig::new(1);
+        cluster.backoff_base = Duration::from_millis(1);
+        cluster.worker_cmd = vec![
+            "sh".to_string(),
+            "-c".to_string(),
+            // First process corrupts the stream and dies; the respawn
+            // (marker present) behaves.
+            format!(
+                "read ctx; if [ ! -e {m} ]; then : > {m}; echo 'chaos garbage %%%'; exit 0; fi; \
+                 while read cmd id spec; do echo \"OK $id 1\"; echo \"row-$id\"; done",
+                m = marker.display()
+            ),
+        ];
+        let mut got: Vec<Option<String>> = vec![None; specs.len()];
+        let stats = run_groups(&cluster, "test", &specs, |id, rows| {
+            got[id] = Some(rows[0].clone());
+            Ok(())
+        })
+        .expect("garbage frame is a death, not fatal");
+        let _ = std::fs::remove_file(&marker);
+        assert_eq!(got[0].as_deref(), Some("row-0"));
+        assert_eq!(stats.deaths, 1);
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(stats.quarantined, 0);
     }
 
     /// An ERR frame is fatal — deterministic worker-side failures abort

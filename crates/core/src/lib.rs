@@ -30,6 +30,11 @@
 //!   shards jobs deterministically, steals straggler shards, reassigns
 //!   work from `kill -9`'d workers and keeps campaign CSVs byte-identical
 //!   at any process count;
+//! * [`chaos`] — deterministic, seed-driven fault injection against the
+//!   platform's own persistence and process fabric (journal corruption,
+//!   persist errors, worker kills, connection faults), behind
+//!   zero-cost-off hooks — the platform-level analog of the paper's
+//!   detect-and-recover bar;
 //! * [`persist`] — atomic write-temp-then-rename result publication and
 //!   the FNV-1a content fingerprint used by journals and the
 //!   content-addressed result store;
@@ -54,6 +59,7 @@
 //! ```
 
 pub mod campaign;
+pub mod chaos;
 pub mod cluster;
 pub mod cosim;
 pub mod diff;
@@ -66,9 +72,10 @@ pub mod select;
 pub mod workload;
 
 pub use campaign::{
-    run_campaign, run_campaign_observed, CampaignConfig, CampaignReport, CampaignTuple,
-    FaultScenario,
+    journal_line, parse_journal, prepare_journal, run_campaign, run_campaign_observed,
+    CampaignConfig, CampaignReport, CampaignTuple, FaultScenario, ParsedJournal,
 };
+pub use chaos::{ChaosIo, ChaosPlan};
 pub use cluster::{
     campaign_worker, diff_worker, plan_shards, run_campaign_cluster, run_differential_cluster,
     run_groups, worker_loop, ClusterConfig, ClusterStats,

@@ -14,6 +14,28 @@
 //! in one atomic step. A reader sees either the old complete file or the
 //! new complete file, never a torn hybrid.
 //!
+//! # Durability contract
+//!
+//! `write_atomic` guarantees, on return:
+//!
+//! 1. **Atomicity** — concurrent readers observe old-or-new bytes, never
+//!    a mixture (the `rename(2)` contract).
+//! 2. **Content durability** — the new bytes are on stable storage
+//!    (`fsync` of the temp file *before* the rename), so a power cut can
+//!    never resurrect a zero-length or partial file under the new name.
+//! 3. **Name durability (best effort)** — the parent directory is
+//!    `fsync`ed *after* the rename, so on journaling filesystems the
+//!    rename itself survives the crash. Filesystems that refuse
+//!    directory fsync (some network/overlay mounts) degrade gracefully:
+//!    the old complete file may reappear after a crash, but never a torn
+//!    one.
+//!
+//! Under an active [`chaos`](crate::chaos) plan, `write_atomic` is an
+//! injection point (`Site::PersistWrite`): scheduled calls fail with a
+//! loud transient `io::Error` before touching the filesystem — callers
+//! must already tolerate a failed publication, and the chaos campaign
+//! verifies they do.
+//!
 //! [`fnv1a`] is the workspace's content-fingerprint hash (the same
 //! construction as the differential harness's commit-stream hash): it
 //! keys the campaign journal fingerprint and the server's
@@ -32,12 +54,23 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 /// The temporary file lives next to `path` (`.<name>.tmp-<pid>-<seq>`),
 /// so the final `rename` stays on one filesystem and is atomic. On any
 /// error the temporary file is removed and `path` is left untouched.
+/// See the [module docs](self) for the full durability contract.
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error when the temp file cannot be
-/// created, written, flushed or renamed.
+/// created, written, flushed or renamed — or a chaos-injected transient
+/// error when a [`chaos`](crate::chaos) plan schedules one for this
+/// call (nothing is written in that case).
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(plan) = crate::chaos::active_plan() {
+        if plan.decide(crate::chaos::Site::PersistWrite) {
+            return Err(io::Error::other(format!(
+                "chaos: injected persist fault for {}",
+                path.display()
+            )));
+        }
+    }
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let name = path
         .file_name()
@@ -62,6 +95,15 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     })();
     if publish.is_err() {
         fs::remove_file(&tmp).ok();
+        return publish;
+    }
+    // Make the *rename* durable too: fsync the parent directory so the
+    // new directory entry survives a crash. Best effort — directories on
+    // some filesystems cannot be opened or synced, and the content
+    // durability above already rules out torn files.
+    let dir_to_sync = dir.unwrap_or_else(|| Path::new("."));
+    if let Ok(d) = fs::File::open(dir_to_sync) {
+        let _ = d.sync_all();
     }
     publish
 }

@@ -1,0 +1,124 @@
+//! Vendored CRC-32 (IEEE 802.3) for row-level corruption detection.
+//!
+//! The campaign journal and the result store need a checksum whose job
+//! is *error detection*, not fingerprinting: a single flipped bit, a
+//! flipped byte, or any burst shorter than 32 bits in a journal row must
+//! be caught with certainty so the row can be quarantined and its cell
+//! re-executed. FNV-1a (the workspace's content fingerprint) has no such
+//! guarantee; the reflected CRC-32 with polynomial `0xEDB88320` detects
+//! all single-bit errors, all double-bit errors within the typical row
+//! length, all odd numbers of bit errors, and every burst up to 32 bits —
+//! which is exactly the fault population the chaos layer injects.
+//!
+//! Offline-build policy: like the ChaCha12 and FxHash ports in this
+//! crate, this is a self-contained implementation (table-driven, one
+//! 256-entry table built in `const` context), not a dependency.
+
+/// The reflected CRC-32 polynomial (IEEE 802.3, zlib, PNG).
+const POLY: u32 = 0xEDB8_8320;
+
+/// The byte-at-a-time lookup table for [`POLY`].
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` — the
+/// standard zlib/PNG parameterization).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// A streaming CRC-32 accumulator, for checksumming without a contiguous
+/// buffer (e.g. a store entry read in chunks).
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ u32::from(b)) & 0xFF) as usize];
+        }
+    }
+
+    /// The checksum of everything updated so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_reference_vectors() {
+        // The standard CRC-32 check value and a few well-known vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_at_any_split() {
+        let data = b"id,scenario,bench,vdd,scheme,seed,verdict";
+        let reference = crc32(data);
+        for split in 0..=data.len() {
+            let mut acc = Crc32::new();
+            acc.update(&data[..split]);
+            acc.update(&data[split..]);
+            assert_eq!(acc.finish(), reference, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_every_single_byte_corruption() {
+        // The property the journal quarantine logic relies on: no
+        // single-byte change (including to '\t' or '\n') can preserve
+        // the checksum.
+        let row = b"3/CDS\t3,burst,gcc,0.970,CDS,77,clean,30000,61234,12,8,4,0,12,0,3,0,0,-";
+        let reference = crc32(row);
+        let mut corrupt = row.to_vec();
+        for i in 0..row.len() {
+            for flip in [0xFFu8, 0x01, b'\t' ^ row[i], b'\n' ^ row[i]] {
+                if flip == 0 {
+                    continue;
+                }
+                corrupt[i] ^= flip;
+                assert_ne!(crc32(&corrupt), reference, "offset {i} xor {flip:#x}");
+                corrupt[i] = row[i];
+            }
+        }
+    }
+}

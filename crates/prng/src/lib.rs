@@ -24,10 +24,12 @@
 //! workspace root).
 
 mod chacha;
+mod crc32;
 mod fxhash;
 mod uniform;
 
 pub use chacha::ChaCha12Rng;
+pub use crc32::{crc32, Crc32};
 pub use fxhash::{fast_map, fast_map_with_capacity, FastHashMap, FxHasher};
 pub use uniform::{SampleRange, SampleUniform};
 

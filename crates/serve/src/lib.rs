@@ -41,6 +41,6 @@ pub mod spec;
 pub mod store;
 
 pub use http::{request, Limits, RequestError, Response};
-pub use server::{ServeConfig, Server, Stats};
+pub use server::{install_sigterm_handler, sigterm_received, ServeConfig, Server, Stats};
 pub use spec::parse_spec;
-pub use store::ResultStore;
+pub use store::{FsckReport, ResultStore};

@@ -188,6 +188,7 @@ struct State {
     shutdown: AtomicBool,
     io_timeout: Option<Duration>,
     limits: Limits,
+    http_workers: usize,
 }
 
 /// A running campaign server.
@@ -209,6 +210,17 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let store = ResultStore::open(&config.store_dir)?;
+        // Startup fsck: never serve bytes that rotted while we were
+        // down. Evicted keys simply re-execute on their next request.
+        let fsck = store.fsck();
+        if !fsck.evicted.is_empty() {
+            eprintln!(
+                "tv-serve: startup fsck evicted {} corrupt store entr{} ({} verified)",
+                fsck.evicted.len(),
+                if fsck.evicted.len() == 1 { "y" } else { "ies" },
+                fsck.ok,
+            );
+        }
         let fleet = if config.fleet_workers == 0 {
             Fleet::auto()
         } else {
@@ -231,6 +243,7 @@ impl Server {
                 max_body: config.max_body,
                 ..Limits::default()
             },
+            http_workers: config.http_workers.max(1),
         });
 
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
@@ -316,6 +329,20 @@ impl Server {
 
 /// Serves one connection: parse, route, respond, close.
 fn handle_connection(state: &State, stream: TcpStream) {
+    // Chaos connection faults: a scheduled reset drops the connection
+    // before a single byte is served (the client sees EOF and must
+    // retry); a stall holds it for a while first — exactly the slow-loris
+    // shape the io_timeout machinery exists for.
+    if let Some(plan) = tv_core::chaos::active_plan() {
+        use tv_core::chaos::Site;
+        if plan.decide(Site::ConnStall) {
+            std::thread::sleep(plan.stall(Site::ConnStall));
+        }
+        if plan.decide(Site::ConnReset) {
+            drop(stream);
+            return;
+        }
+    }
     // Per-connection deadline: a client that never sends (or never
     // reads) gets cut off instead of pinning this worker thread.
     if state.io_timeout.is_some() {
@@ -364,6 +391,46 @@ fn handle_connection(state: &State, stream: TcpStream) {
         ("GET", "/healthz") => {
             let mut stream = stream;
             write_response(&mut stream, 200, &[], "text/plain", b"ok\n").ok();
+        }
+        ("GET", "/health") => {
+            let draining = state.shutdown.load(Ordering::SeqCst);
+            let mut o = Obj::new();
+            o.str("status", if draining { "draining" } else { "ok" })
+                .u64("http_workers", state.http_workers as u64)
+                .u64("fleet_workers", state.fleet.workers() as u64)
+                .u64(
+                    "cluster_procs",
+                    state.cluster.as_ref().map_or(0, |c| c.procs) as u64,
+                )
+                .u64("store_entries", state.store.len() as u64)
+                .u64(
+                    "inflight",
+                    state.inflight.lock().expect("inflight map").len() as u64,
+                )
+                .u64("requests", state.stats.requests.load(Ordering::Relaxed))
+                .u64("executions", state.stats.executions.load(Ordering::Relaxed))
+                .u64("errors", state.stats.errors.load(Ordering::Relaxed));
+            let body = o.render();
+            let mut stream = stream;
+            write_response(&mut stream, 200, &[], "application/json", body.as_bytes()).ok();
+        }
+        ("GET", "/fsck") => {
+            let report = state.store.fsck();
+            let mut o = Obj::new();
+            o.u64("checked", report.checked as u64)
+                .u64("ok", report.ok as u64)
+                .u64("evicted", report.evicted.len() as u64)
+                .u64("journals", report.journals as u64);
+            let body = o.render();
+            if !report.evicted.is_empty() {
+                eprintln!(
+                    "tv-serve: /fsck evicted {} corrupt entr{}",
+                    report.evicted.len(),
+                    if report.evicted.len() == 1 { "y" } else { "ies" },
+                );
+            }
+            let mut stream = stream;
+            write_response(&mut stream, 200, &[], "application/json", body.as_bytes()).ok();
         }
         ("GET", "/stats") => {
             let body = state.stats.to_json(state.store.len());
@@ -579,6 +646,42 @@ fn lead_campaign(state: &State, config: &CampaignConfig, key: &str, stream: TcpS
             Stats::bump(&state.stats.errors);
         }
     }
+}
+
+/// Process-wide SIGTERM latch for graceful drain; see
+/// [`install_sigterm_handler`].
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_sig: i32) {
+    // A relaxed-ordering store on a static atomic is the only
+    // async-signal-safe thing a handler may do.
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs a SIGTERM handler that latches the signal into a flag
+/// instead of killing the process. A host binary polls
+/// [`sigterm_received`] and, when set, drains gracefully:
+/// [`Server::trigger_shutdown`] (stop accepting), [`Server::wait`]
+/// (finish in-flight requests), flush, exit 0. Idempotent; no-op on
+/// non-unix targets.
+pub fn install_sigterm_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let handler: extern "C" fn(i32) = on_sigterm;
+        unsafe {
+            signal(15, handler as usize);
+        }
+    }
+}
+
+/// Whether a SIGTERM arrived since [`install_sigterm_handler`] armed
+/// the latch.
+pub fn sigterm_received() -> bool {
+    SIGTERM.load(Ordering::SeqCst)
 }
 
 /// Serves a finished CSV with cache-disposition headers.

@@ -238,6 +238,58 @@ fn endpoints_cover_health_stats_errors_and_shutdown() {
     fs::remove_dir_all(&store_dir).ok();
 }
 
+/// `GET /health` reports pool/store shape; startup fsck and `GET /fsck`
+/// verify every store entry against its checksum sidecar and evict the
+/// corrupt ones, so damaged bytes are re-executed, never served.
+#[test]
+fn health_and_fsck_endpoints_verify_the_store() {
+    use tv_serve::ResultStore;
+    let store_dir = temp_dir("fsck-endpoints");
+    // Seed one valid and one corrupt entry before the server starts:
+    // startup fsck must evict the corrupt one.
+    let seed = ResultStore::open(&store_dir).expect("seed store");
+    seed.publish("aaaaaaaaaaaaaaa1", "header\ngood\n").expect("publish");
+    seed.publish("aaaaaaaaaaaaaaa2", "header\nbad\n").expect("publish");
+    let mut bytes = fs::read(seed.csv_path("aaaaaaaaaaaaaaa2")).unwrap();
+    bytes[3] ^= 0x40;
+    fs::write(seed.csv_path("aaaaaaaaaaaaaaa2"), &bytes).unwrap();
+
+    let server = start_server(&store_dir);
+    let addr = server.local_addr();
+
+    let health = request(addr, "GET", "/health", b"", TIMEOUT).expect("health");
+    assert_eq!(health.status, 200);
+    let body = health.text();
+    let doc = tv_serve::json::Json::parse(&body).expect("health JSON");
+    let obj = doc.as_obj().expect("health object");
+    assert_eq!(obj["status"].as_str(), Some("ok"));
+    assert_eq!(
+        obj["store_entries"].as_u64(),
+        Some(1),
+        "startup fsck evicted the corrupt entry: {body}"
+    );
+    assert_eq!(obj["http_workers"].as_u64(), Some(8), "{body}");
+    assert_eq!(obj["fleet_workers"].as_u64(), Some(2), "{body}");
+
+    // Corrupt the survivor at runtime; /fsck detects and evicts it.
+    let mut bytes = fs::read(seed.csv_path("aaaaaaaaaaaaaaa1")).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    fs::write(seed.csv_path("aaaaaaaaaaaaaaa1"), &bytes).unwrap();
+    let fsck = request(addr, "GET", "/fsck", b"", TIMEOUT).expect("fsck");
+    assert_eq!(fsck.status, 200);
+    let body = fsck.text();
+    assert_eq!(stats_field(&body, "checked"), 1, "{body}");
+    assert_eq!(stats_field(&body, "evicted"), 1, "{body}");
+
+    let refetch =
+        request(addr, "GET", "/result/aaaaaaaaaaaaaaa1", b"", TIMEOUT).expect("refetch");
+    assert_eq!(refetch.status, 404, "evicted entries read as absent");
+
+    server.stop();
+    fs::remove_dir_all(&store_dir).ok();
+}
+
 /// The hung-client regression (ISSUE 9): with ONE http worker and a
 /// short io timeout, a client that connects and never sends a byte must
 /// not pin the worker — a healthy request right behind it succeeds.

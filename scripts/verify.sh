@@ -191,7 +191,72 @@ mkdir -p bench_results
     --out bench_results/BENCH_serve.json
 kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
+
+echo "==> store fsck: injected corruption is detected and evicted"
+# Flip one byte of a published store entry; `serve --fsck` must detect
+# exactly that entry via its checksum sidecar, evict it (exit 1), and a
+# second pass over the healed store must come back clean (exit 0).
+store_csv="$(ls "$tmp_serve/store"/*.csv | head -n1)"
+printf 'X' | dd of="$store_csv" bs=1 seek=12 conv=notrunc 2>/dev/null
+if ./target/release/serve --fsck --store "$tmp_serve/store" \
+        >"$tmp_serve/fsck1.json" 2>/dev/null; then
+    echo "FAIL: fsck exited 0 over a corrupt store"; exit 1
+fi
+grep -q '"evicted":1' "$tmp_serve/fsck1.json" \
+    || { echo "FAIL: fsck missed the corrupt entry:"; cat "$tmp_serve/fsck1.json"; exit 1; }
+./target/release/serve --fsck --store "$tmp_serve/store" >"$tmp_serve/fsck2.json"
+grep -q '"evicted":0' "$tmp_serve/fsck2.json" \
+    || { echo "FAIL: store still dirty after eviction:"; cat "$tmp_serve/fsck2.json"; exit 1; }
+echo "    fsck evicted the corrupted entry; healed store verifies clean"
 rm -rf "$tmp_serve"
+
+echo "==> chaos campaign: escalating fault profiles, CSV byte-identity enforced"
+# The chaos bench bin runs the smoke campaign under every escalating
+# fault profile (journal damage, worker kills/stalls/garbage frames, and
+# both combined), self-heals via quarantine + resume, and exits non-zero
+# unless every leg's CSV is byte-identical to the fault-free reference.
+tmp_chaos="$(mktemp -d)"
+cargo run --release -q -p tv-bench --bin chaos --offline -- \
+    --out "$tmp_chaos"
+cp "$tmp_chaos/chaos.csv" bench_results/chaos.csv
+# Keep the quarantine sidecars as artifacts — they are the evidence of
+# what the injected damage actually was.
+for q in "$tmp_chaos"/chaos/*/campaign.journal.quarantine; do
+    [[ -e "$q" ]] || continue
+    cp "$q" "bench_results/chaos_$(basename "$(dirname "$q")").quarantine"
+done
+
+echo "==> chaos + real worker kill -9: quarantine/backoff fleet still converges"
+# The harshest process-fabric mix: TV_CHAOS cluster injection AND a real
+# SIGKILL of a live worker. Runs that an injected fault kills are resumed
+# (the operational recipe); the survivors' CSV must match the smoke
+# reference byte-for-byte.
+chaos_ok=0
+for attempt in 1 2 3 4 5; do
+    resume_flag=""
+    [[ "$attempt" -gt 1 ]] && resume_flag="--resume"
+    TV_CHAOS=42:cluster ./target/release/campaign \
+        --smoke --procs 3 --out "$tmp_chaos/killed" $resume_flag \
+        >>"$tmp_chaos/chaos-kill.log" 2>&1 &
+    chaos_pid=$!
+    if [[ "$attempt" == 1 ]]; then
+        worker_pid=""
+        for _ in $(seq 200); do
+            worker_pid="$(pgrep -P "$chaos_pid" 2>/dev/null | head -n1 || true)"
+            [[ -n "$worker_pid" ]] && break
+            sleep 0.02
+        done
+        [[ -n "$worker_pid" ]] && kill -9 "$worker_pid" 2>/dev/null
+    fi
+    if wait "$chaos_pid"; then chaos_ok=1; break; fi
+done
+[[ "$chaos_ok" == 1 ]] || { echo "FAIL: chaos cluster campaign never converged"; \
+    cat "$tmp_chaos/chaos-kill.log"; exit 1; }
+grep -q "died" "$tmp_chaos/chaos-kill.log" \
+    || { echo "FAIL: no worker death was ever reported under chaos + kill -9"; exit 1; }
+cmp bench_results/campaign_smoke.csv "$tmp_chaos/killed/campaign.csv"
+echo "    CSV byte-identical under TV_CHAOS=42:cluster plus a real worker kill -9"
+rm -rf "$tmp_chaos"
 
 if [[ "$SKIP_SWEEP" == 1 ]]; then
     echo "==> sweep skipped (--skip-sweep)"

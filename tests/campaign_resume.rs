@@ -24,6 +24,13 @@ fn tiny() -> CampaignConfig {
     }
 }
 
+/// The payload of a v3 journal line (`<crc32-hex8>\t<payload>`).
+fn payload(line: &str) -> &str {
+    let (crc, payload) = line.split_once('\t').expect("crc\\tpayload shape");
+    assert_eq!(crc.len(), 8, "8 hex digits of CRC32: {line}");
+    payload
+}
+
 fn temp_journal(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("tv-campaign-it-{}-{tag}", std::process::id()));
     fs::create_dir_all(&dir).expect("temp dir");
@@ -45,13 +52,14 @@ fn journal_is_written_during_the_run_not_at_the_end() {
     let text = fs::read_to_string(&journal).expect("journal exists");
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), cells + 1, "meta line + one line per cell");
-    // v2: the fingerprint carries the combined workload content hash
-    // (`wl=`), so journals and store keys follow program bytes.
-    assert!(lines[0].starts_with("# tv-campaign v2 "), "{}", lines[0]);
-    assert!(lines[0].contains(" wl="), "{}", lines[0]);
+    // v3: every line (header included) is CRC-framed, and the meta
+    // payload carries the combined workload content hash (`wl=`), so
+    // journals and store keys follow program bytes.
+    assert!(payload(lines[0]).starts_with("# tv-campaign v3 "), "{}", lines[0]);
+    assert!(payload(lines[0]).contains(" wl="), "{}", lines[0]);
     let mut keys = std::collections::HashSet::new();
     for line in &lines[1..] {
-        let (key, row) = line.split_once('\t').expect("key\\trow shape");
+        let (key, row) = payload(line).split_once('\t').expect("key\\trow shape");
         assert!(keys.insert(key.to_string()), "duplicate journal key {key}");
         assert_eq!(row.split(',').count(), 19, "malformed row: {row}");
     }
@@ -59,7 +67,7 @@ fn journal_is_written_during_the_run_not_at_the_end() {
     // order rather than tuple order.
     let mut journalled: Vec<&str> = lines[1..]
         .iter()
-        .map(|l| l.split_once('\t').expect("key\\trow shape").1)
+        .map(|l| payload(l).split_once('\t').expect("key\\trow shape").1)
         .collect();
     journalled.sort_unstable();
     let mut produced: Vec<&str> = report.rows.iter().map(String::as_str).collect();

@@ -1,0 +1,160 @@
+//! Journal corruption exhaustion: damage anywhere must heal or refuse,
+//! never emit a wrong row.
+//!
+//! The v3 journal frames every line (header included) as
+//! `<crc32-hex8>\t<payload>\n`. The self-healing contract: a resumed
+//! campaign quarantines every line that fails its CRC, re-executes the
+//! affected cells, and produces a CSV byte-identical to an undamaged
+//! run. These tests attack that contract exhaustively at the parse
+//! level — a single-bit flip at *every* offset with *every* mask, and a
+//! truncation at *every* offset — and end-to-end through
+//! [`run_campaign`] resume on a sample of damaged journals. The
+//! acceptable outcomes are exactly two: the damage heals (surviving
+//! rows are verbatim-correct, missing ones re-execute) or the journal
+//! is refused; a believed-but-wrong row is never acceptable.
+
+use std::collections::HashMap;
+use std::fs;
+
+use tv_core::{journal_line, parse_journal, run_campaign, CampaignConfig, Fleet};
+
+/// A structurally valid 19-field verdict row for key slot `i`.
+fn fake_row(i: usize) -> String {
+    format!(
+        "{i},paper,gcc,0.9{i},ABS,1,clean,1,2,3,4,5,6,7,8,9,10,11,-",
+    )
+}
+
+/// A synthetic-but-wellformed v3 journal: meta header plus `rows` keyed
+/// rows, every line CRC-framed exactly as the campaign writes them.
+fn synthetic_journal(meta: &str, rows: usize) -> (String, HashMap<String, String>) {
+    let mut text = journal_line(meta);
+    let mut reference = HashMap::new();
+    for i in 0..rows {
+        let key = format!("{i}/ABS");
+        let row = fake_row(i);
+        text.push_str(&journal_line(&format!("{key}\t{row}")));
+        reference.insert(key, row);
+    }
+    (text, reference)
+}
+
+/// Asserts the invariant every damaged parse must uphold: each entry it
+/// *believes* is byte-identical to the reference entry for that key.
+/// Fewer entries than the reference is fine (they re-execute); a wrong
+/// entry is the one unacceptable outcome.
+fn assert_no_wrong_rows(
+    parsed: &tv_core::ParsedJournal,
+    reference: &HashMap<String, String>,
+    what: &str,
+) {
+    for (key, row) in &parsed.completed {
+        match reference.get(key) {
+            Some(want) => assert_eq!(row, want, "{what}: corrupted row believed for key {key}"),
+            None => panic!("{what}: invented key {key} with row {row}"),
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_heals_or_refuses_never_lies() {
+    let meta = "# tv-campaign v3 seed=2013 tuples=4 commits=5000 warmup=2000 \
+                watchdog=500000 control=true riscv=1 wl=0123456789abcdef";
+    let (text, reference) = synthetic_journal(meta, 6);
+    let bytes = text.as_bytes();
+
+    let mut quarantines = 0usize;
+    for offset in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut damaged = bytes.to_vec();
+            damaged[offset] ^= 1 << bit;
+            // Mirror the production read path: lossy decode, so flips
+            // into non-UTF-8 territory still parse (and quarantine).
+            let lossy = String::from_utf8_lossy(&damaged);
+            let what = format!("flip offset {offset} bit {bit}");
+            match parse_journal(&lossy, meta) {
+                Ok(parsed) => {
+                    assert_no_wrong_rows(&parsed, &reference, &what);
+                    quarantines += parsed.quarantined.len();
+                }
+                // Refusal is acceptable (and with CRC framing a flip
+                // cannot fabricate a valid foreign header, so in
+                // practice this arm stays cold).
+                Err(e) => panic!("{what}: single-bit flips must quarantine, not refuse: {e}"),
+            }
+        }
+    }
+    assert!(quarantines > 0, "the sweep never hit a line? journal too small");
+}
+
+#[test]
+fn every_truncation_point_heals_or_refuses_never_lies() {
+    let meta = "# tv-campaign v3 seed=2013 tuples=4 commits=5000 warmup=2000 \
+                watchdog=500000 control=true riscv=1 wl=0123456789abcdef";
+    let (text, reference) = synthetic_journal(meta, 6);
+
+    for cut in 0..text.len() {
+        let truncated = &text[..cut];
+        let what = format!("truncate to {cut} bytes");
+        let parsed = parse_journal(truncated, meta)
+            .unwrap_or_else(|e| panic!("{what}: truncation must never refuse: {e}"));
+        assert_no_wrong_rows(&parsed, &reference, &what);
+        // A truncation deletes suffix rows and at most tears one line;
+        // everything before the cut must survive verbatim.
+        let whole_lines = text[..cut].matches('\n').count();
+        assert!(
+            parsed.completed.len() + parsed.quarantined.len() + 1 >= whole_lines,
+            "{what}: lost complete lines before the cut",
+        );
+    }
+}
+
+#[test]
+fn resumes_over_damaged_journals_reproduce_the_reference_end_to_end() {
+    let cfg = CampaignConfig {
+        tuples: 2,
+        commits: 3_000,
+        warmup: 1_000,
+        riscv_tuples: 1,
+        ..CampaignConfig::full()
+    };
+    let dir = std::env::temp_dir().join(format!("tv-journal-chaos-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+
+    let ref_journal = dir.join("reference.journal");
+    let reference = run_campaign(&Fleet::new(2), &cfg, &ref_journal, false).expect("reference");
+    let pristine = fs::read(&ref_journal).expect("journal bytes");
+
+    // A spread of flips (including the header) and truncations; each
+    // resume must quarantine-and-re-execute its way back to the exact
+    // reference rows.
+    let step = (pristine.len() / 9).max(1);
+    let mut damages: Vec<(String, Vec<u8>)> = (0..pristine.len())
+        .step_by(step)
+        .map(|offset| {
+            let mut d = pristine.clone();
+            d[offset] ^= 0x10;
+            (format!("flip at {offset}"), d)
+        })
+        .collect();
+    for cut in [pristine.len() / 3, 2 * pristine.len() / 3] {
+        damages.push((format!("truncate to {cut}"), pristine[..cut].to_vec()));
+    }
+
+    for (what, damaged) in damages {
+        let journal = dir.join("damaged.journal");
+        fs::write(&journal, &damaged).expect("write damaged journal");
+        fs::remove_file(dir.join("damaged.journal.quarantine")).ok();
+        let resumed = run_campaign(&Fleet::new(2), &cfg, &journal, true)
+            .unwrap_or_else(|e| panic!("{what}: resume must heal, got refusal: {e}"));
+        assert_eq!(resumed.rows, reference.rows, "{what}: diverged from reference");
+        assert_eq!(resumed.csv(), reference.csv(), "{what}: CSV bytes diverged");
+        if resumed.quarantined > 0 {
+            assert!(
+                dir.join("damaged.journal.quarantine").exists(),
+                "{what}: quarantined rows must land in the sidecar",
+            );
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,59 @@
+//! `write_atomic` under injected persist faults: loud failures, no
+//! residue, old bytes intact.
+//!
+//! This test installs a process-global chaos plan, so it lives alone in
+//! its own integration-test binary — sharing a process with tests that
+//! exercise the fault-free paths would bleed injected faults into them.
+
+use std::fs;
+
+use tv_core::chaos::{self, ChaosPlan};
+use tv_core::write_atomic_str;
+
+#[test]
+fn injected_persist_faults_are_loud_and_leave_no_residue() {
+    let dir = std::env::temp_dir().join(format!("tv-persist-chaos-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("out.csv");
+
+    // The heavy profile schedules persist faults at 8%; 300 seeded
+    // writes make hitting several a certainty while staying replayable.
+    let plan = chaos::install(ChaosPlan::new(7, "heavy").expect("profile"));
+    let mut last_published = String::new();
+    let mut failures = 0usize;
+    for i in 0..300 {
+        let content = format!("generation {i}\n");
+        match write_atomic_str(&path, &content) {
+            Ok(()) => last_published = content,
+            Err(e) => {
+                failures += 1;
+                assert!(
+                    e.to_string().contains("chaos: injected persist fault"),
+                    "unexpected error under injection: {e}",
+                );
+                // A failed publication must not have replaced the file.
+                if !last_published.is_empty() {
+                    assert_eq!(
+                        fs::read_to_string(&path).expect("old file intact"),
+                        last_published,
+                        "failed write {i} disturbed the published bytes",
+                    );
+                }
+            }
+        }
+    }
+    chaos::uninstall();
+    assert!(failures > 0, "heavy profile never fired in 300 writes");
+    assert_eq!(plan.injected(chaos::Site::PersistWrite) as usize, failures);
+
+    // After the dust settles: the last successful write is what's on
+    // disk, and no temp file survived any of the failures.
+    assert_eq!(fs::read_to_string(&path).expect("file exists"), last_published);
+    let residue: Vec<String> = fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp-"))
+        .collect();
+    assert!(residue.is_empty(), "temp residue after faults: {residue:?}");
+    fs::remove_dir_all(&dir).ok();
+}
